@@ -1,0 +1,36 @@
+"""Ablation: Feed-Forward design choices.
+
+Two pieces of Section IV-A are individually switchable here:
+
+* *scan injection* — the examples in the paper inject semijoins "after
+  PS2 is read and after L is read", i.e. at the scans, pruning before
+  any downstream work; without it filters only guard stateful inputs;
+* *interest pruning* — "any potential AIP sets without interested
+  parties are then eliminated"; without it every producible working set
+  is maintained, paying insert cost for sets nobody will use.
+"""
+
+import pytest
+
+from benchmarks.figlib import figure_cell
+
+QUERIES = ["Q1A", "Q2A"]
+VARIANTS = {
+    "full": {},
+    "no-scan-inject": {"inject_at_scans": False},
+    "no-interest-prune": {"prune_uninterested": False},
+}
+
+
+@pytest.mark.parametrize("variant", sorted(VARIANTS))
+@pytest.mark.parametrize("qid", QUERIES)
+def test_ablation_ff_knobs(benchmark, figure_tables, qid, variant):
+    figure_cell(
+        benchmark, figure_tables,
+        key="zz_ablation_ff",
+        title="Ablation: feed-forward knobs",
+        queries=QUERIES, strategies=sorted(VARIANTS),
+        metric="virtual_seconds",
+        qid=qid, strategy="feedforward", column=variant,
+        strategy_kwargs=VARIANTS[variant],
+    )

@@ -1,0 +1,29 @@
+"""Ablation: Bloom filter false-positive target.
+
+The paper sizes its filters for a 5% false-positive rate with one hash
+function (Section VI).  This bench sweeps the target: tighter filters
+prune (slightly) more but cost memory; looser filters leak spurious
+tuples downstream.
+"""
+
+import pytest
+
+from benchmarks.figlib import figure_cell
+
+QUERIES = ["Q2A", "Q1A"]
+FP_RATES = [0.01, 0.05, 0.20]
+COLUMNS = ["fp=%g" % r for r in FP_RATES]
+
+
+@pytest.mark.parametrize("fp_rate", FP_RATES)
+@pytest.mark.parametrize("qid", QUERIES)
+def test_ablation_fp_rate(benchmark, figure_tables, qid, fp_rate):
+    figure_cell(
+        benchmark, figure_tables,
+        key="zz_ablation_fp",
+        title="Ablation: Bloom false-positive target (feed-forward)",
+        queries=QUERIES, strategies=COLUMNS,
+        metric="virtual_seconds",
+        qid=qid, strategy="feedforward", column="fp=%g" % fp_rate,
+        strategy_kwargs={"fp_rate": fp_rate},
+    )

@@ -1,0 +1,30 @@
+"""Ablation: the pipelined hash join short-circuit optimisation.
+
+Section VI-A attributes the Q2C Magic anomaly to this optimisation:
+"if one of the join inputs completes, the other input 'short-circuits'
+and stops buffering input that will not be needed later."  Turning it
+off on the *baseline* plan shows how much state the optimisation saves
+— the same state the Magic plan gives back by making LINEITEM wait on
+the filter set.
+"""
+
+import pytest
+
+from benchmarks.figlib import figure_cell
+
+QUERIES = ["Q2A", "Q2C", "Q4A"]
+MODES = ["short-circuit", "no-short-circuit"]
+
+
+@pytest.mark.parametrize("mode", MODES)
+@pytest.mark.parametrize("qid", QUERIES)
+def test_ablation_short_circuit(benchmark, figure_tables, qid, mode):
+    figure_cell(
+        benchmark, figure_tables,
+        key="zz_ablation_sc",
+        title="Ablation: hash join short-circuit (baseline strategy)",
+        queries=QUERIES, strategies=MODES,
+        metric="peak_state_mb",
+        qid=qid, strategy="baseline", column=mode,
+        short_circuit=(mode == "short-circuit"),
+    )

@@ -1,0 +1,30 @@
+"""Ablation: Bloom filter vs exact hash-set AIP sets.
+
+Section V of the paper: "Preliminary experiments found that the added
+precision of a hash table was generally countered by its increased
+creation and probing cost ... Bloom filters proved to be superior in
+performance for all cases."  This bench reproduces that comparison on
+the Feed-Forward strategy.
+"""
+
+import pytest
+
+from benchmarks.figlib import figure_cell
+from repro.aip.sets import BLOOM, HASHSET
+
+QUERIES = ["Q1A", "Q2A", "Q4A"]
+KINDS = [BLOOM, HASHSET]
+
+
+@pytest.mark.parametrize("kind", KINDS)
+@pytest.mark.parametrize("qid", QUERIES)
+def test_ablation_summary_kind(benchmark, figure_tables, qid, kind):
+    figure_cell(
+        benchmark, figure_tables,
+        key="zz_ablation_kind",
+        title="Ablation: AIP summary kind under feed-forward",
+        queries=QUERIES, strategies=KINDS,
+        metric="virtual_seconds",
+        qid=qid, strategy="feedforward", column=kind,
+        strategy_kwargs={"summary_kind": kind},
+    )

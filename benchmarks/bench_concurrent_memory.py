@@ -1,0 +1,47 @@
+"""Multi-query memory: the paper's §VI-B/§VI-D motivation.
+
+"A reduction in both CPU cost and memory can be very useful in
+improving throughput if multiple queries are running concurrently."
+This bench runs a three-query mix concurrently on one engine and
+compares aggregate peak intermediate state across strategies.
+"""
+
+import pytest
+
+from benchmarks.figlib import METRIC_UNITS, SCALE_FACTOR
+from repro.data.tpch import cached_tpch
+from repro.exec.context import ExecutionContext
+from repro.harness.concurrent import run_concurrent
+from repro.harness.report import FigureTable
+from repro.harness.strategies import make_strategy
+from repro.workloads.registry import get_query
+
+MIX = ["Q1A", "Q3A", "Q2A"]
+STRATEGIES = ["baseline", "feedforward", "costbased"]
+
+
+def _run_mix(strategy_name):
+    catalog = cached_tpch(scale_factor=SCALE_FACTOR)
+    plans = [get_query(q).build_baseline(catalog) for q in MIX]
+    strategies = [make_strategy(strategy_name) for _ in MIX]
+    ctx = ExecutionContext(catalog)
+    run_concurrent(plans, ctx, strategies=strategies)
+    return ctx.metrics
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES)
+def test_concurrent_mix_memory(benchmark, figure_tables, strategy):
+    metrics = benchmark.pedantic(
+        _run_mix, args=(strategy,), rounds=1, iterations=1,
+    )
+    table = figure_tables.get("zz_concurrent")
+    if table is None:
+        table = FigureTable(
+            "Multi-query mix (%s): aggregate peak state" % "+".join(MIX),
+            ["mix"], STRATEGIES, "peak_state_mb",
+            METRIC_UNITS["peak_state_mb"],
+        )
+        figure_tables["zz_concurrent"] = table
+    table.add("mix", strategy, metrics.peak_state_bytes / 1e6)
+    benchmark.extra_info["peak_state_mb"] = metrics.peak_state_bytes / 1e6
+    benchmark.extra_info["virtual_seconds"] = metrics.clock

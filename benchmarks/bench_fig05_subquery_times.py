@@ -1,0 +1,28 @@
+"""Figure 5: running times for the TPC-H Query 2 and IBM-query variants
+(Q3A/Q3B/Q3D/Q3E/Q1A/Q1B/Q1D/Q1E) under all four strategies, with fast
+(streamed) inputs.
+
+Paper shape: Magic beats Baseline on most variants; both AIP methods
+beat Baseline and Magic almost uniformly; Cost-based is within a few
+percent of Feed-forward either way.
+"""
+
+import pytest
+
+from benchmarks.figlib import figure_cell
+from repro.harness.strategies import STRATEGIES
+from repro.workloads.registry import FIG5_QUERIES
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES)
+@pytest.mark.parametrize("qid", FIG5_QUERIES)
+def test_fig05_running_time(benchmark, figure_tables, qid, strategy):
+    figure_cell(
+        benchmark, figure_tables,
+        key="fig05",
+        title="Figure 5: running times, TPC-H Q2 + IBM variants (fast inputs)",
+        queries=FIG5_QUERIES, strategies=STRATEGIES,
+        metric="virtual_seconds",
+        qid=qid, strategy=strategy,
+        delayed=False,
+    )

@@ -1,0 +1,26 @@
+"""Figure 6: running times for the TPC-H Query 17 variants (Q2A-Q2E)
+under all four strategies, with fast (streamed) inputs.
+
+Paper shape: large AIP wins on Q2A/Q2B/Q2D; Magic slightly *worse* than
+Baseline on Q2E (the magic set is not selective).
+"""
+
+import pytest
+
+from benchmarks.figlib import figure_cell
+from repro.harness.strategies import STRATEGIES
+from repro.workloads.registry import FIG6_QUERIES
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES)
+@pytest.mark.parametrize("qid", FIG6_QUERIES)
+def test_fig06_running_time(benchmark, figure_tables, qid, strategy):
+    figure_cell(
+        benchmark, figure_tables,
+        key="fig06",
+        title="Figure 6: running times, TPC-H Q17 variants (fast inputs)",
+        queries=FIG6_QUERIES, strategies=STRATEGIES,
+        metric="virtual_seconds",
+        qid=qid, strategy=strategy,
+        delayed=False,
+    )

@@ -1,0 +1,25 @@
+"""Figure 7: intermediate state (space usage) for the Figure 5 queries.
+
+Paper shape: both AIP methods cut intermediate state substantially
+relative to Baseline; Magic is comparable to Baseline.
+"""
+
+import pytest
+
+from benchmarks.figlib import figure_cell
+from repro.harness.strategies import STRATEGIES
+from repro.workloads.registry import FIG5_QUERIES
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES)
+@pytest.mark.parametrize("qid", FIG5_QUERIES)
+def test_fig07_space(benchmark, figure_tables, qid, strategy):
+    figure_cell(
+        benchmark, figure_tables,
+        key="fig07",
+        title="Figure 7: space usage, TPC-H Q2 + IBM variants (fast inputs)",
+        queries=FIG5_QUERIES, strategies=STRATEGIES,
+        metric="peak_state_mb",
+        qid=qid, strategy=strategy,
+        delayed=False,
+    )

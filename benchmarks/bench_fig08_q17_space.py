@@ -1,0 +1,26 @@
+"""Figure 8: intermediate state (space usage) for the Figure 6 queries.
+
+Paper shape: AIP cuts state; Magic's space blows up on Q2C because its
+plan loses the pipelined hash join short-circuit on LINEITEM (see the
+bench_ablation_short_circuit benchmark for the mechanism).
+"""
+
+import pytest
+
+from benchmarks.figlib import figure_cell
+from repro.harness.strategies import STRATEGIES
+from repro.workloads.registry import FIG6_QUERIES
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES)
+@pytest.mark.parametrize("qid", FIG6_QUERIES)
+def test_fig08_space(benchmark, figure_tables, qid, strategy):
+    figure_cell(
+        benchmark, figure_tables,
+        key="fig08",
+        title="Figure 8: space usage, TPC-H Q17 variants (fast inputs)",
+        queries=FIG6_QUERIES, strategies=STRATEGIES,
+        metric="peak_state_mb",
+        qid=qid, strategy=strategy,
+        delayed=False,
+    )

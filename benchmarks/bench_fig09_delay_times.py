@@ -1,0 +1,28 @@
+"""Figure 9: running times for the Figure 5 queries with the large
+input relation delayed (100 ms initial + 5 ms per 1000 tuples — the
+paper delays PARTSUPP).
+
+Paper shape: running-time gaps between strategies shrink (I/O delay
+dominates) but AIP keeps a noticeable edge; Feed-forward becomes even
+more viable since filter cost hides inside the waits.
+"""
+
+import pytest
+
+from benchmarks.figlib import figure_cell
+from repro.harness.strategies import STRATEGIES
+from repro.workloads.registry import FIG5_QUERIES
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES)
+@pytest.mark.parametrize("qid", FIG5_QUERIES)
+def test_fig09_delayed_running_time(benchmark, figure_tables, qid, strategy):
+    figure_cell(
+        benchmark, figure_tables,
+        key="fig09",
+        title="Figure 9: running times under delayed PARTSUPP, Q2+IBM variants",
+        queries=FIG5_QUERIES, strategies=STRATEGIES,
+        metric="virtual_seconds",
+        qid=qid, strategy=strategy,
+        delayed=True,
+    )

@@ -1,0 +1,25 @@
+"""Figure 10: running times for the TPC-H Q17 variants with the large
+input (LINEITEM in this family) delayed.
+
+Paper shape: as Figure 9 — smaller gaps, AIP still ahead.
+"""
+
+import pytest
+
+from benchmarks.figlib import figure_cell
+from repro.harness.strategies import STRATEGIES
+from repro.workloads.registry import FIG6_QUERIES
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES)
+@pytest.mark.parametrize("qid", FIG6_QUERIES)
+def test_fig10_delayed_running_time(benchmark, figure_tables, qid, strategy):
+    figure_cell(
+        benchmark, figure_tables,
+        key="fig10",
+        title="Figure 10: running times under delay, TPC-H Q17 variants",
+        queries=FIG6_QUERIES, strategies=STRATEGIES,
+        metric="virtual_seconds",
+        qid=qid, strategy=strategy,
+        delayed=True,
+    )

@@ -1,0 +1,25 @@
+"""Figure 11: space usage under delay for the Figure 5 queries.
+
+Paper shape: "very similar to the previous experiment" — the state
+savings persist even when time gaps shrink.
+"""
+
+import pytest
+
+from benchmarks.figlib import figure_cell
+from repro.harness.strategies import STRATEGIES
+from repro.workloads.registry import FIG5_QUERIES
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES)
+@pytest.mark.parametrize("qid", FIG5_QUERIES)
+def test_fig11_delayed_space(benchmark, figure_tables, qid, strategy):
+    figure_cell(
+        benchmark, figure_tables,
+        key="fig11",
+        title="Figure 11: space usage under delayed PARTSUPP, Q2+IBM variants",
+        queries=FIG5_QUERIES, strategies=STRATEGIES,
+        metric="peak_state_mb",
+        qid=qid, strategy=strategy,
+        delayed=True,
+    )

@@ -1,0 +1,24 @@
+"""Figure 12: space usage under delay for the TPC-H Q17 variants.
+
+Paper shape: matches Figure 8 — state savings are delay-insensitive.
+"""
+
+import pytest
+
+from benchmarks.figlib import figure_cell
+from repro.harness.strategies import STRATEGIES
+from repro.workloads.registry import FIG6_QUERIES
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES)
+@pytest.mark.parametrize("qid", FIG6_QUERIES)
+def test_fig12_delayed_space(benchmark, figure_tables, qid, strategy):
+    figure_cell(
+        benchmark, figure_tables,
+        key="fig12",
+        title="Figure 12: space usage under delay, TPC-H Q17 variants",
+        queries=FIG6_QUERIES, strategies=STRATEGIES,
+        metric="peak_state_mb",
+        qid=qid, strategy=strategy,
+        delayed=True,
+    )

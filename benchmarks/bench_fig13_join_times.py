@@ -1,0 +1,30 @@
+"""Figure 13: running times for plain join queries (Q4A/Q5A/Q4B/Q5B)
+and distributed joins (Q3C/Q1C) under Baseline / Feed-forward /
+Cost-based (the paper omits Magic here — these are single-block or
+remote-fetch workloads).
+
+Paper shape: AIP helps the base join queries; more on Q4B (selective
+supplier cut); Q5B is the useless-filter case where Cost-based at least
+does not generate wasteful filters; Q1C/Q3C gain substantially from
+shipping filters to the remote PARTSUPP site (adaptive Bloomjoin).
+"""
+
+import pytest
+
+from benchmarks.figlib import figure_cell
+from repro.harness.strategies import JOIN_FIGURE_STRATEGIES
+from repro.workloads.registry import FIG13_QUERIES
+
+
+@pytest.mark.parametrize("strategy", JOIN_FIGURE_STRATEGIES)
+@pytest.mark.parametrize("qid", FIG13_QUERIES)
+def test_fig13_join_running_time(benchmark, figure_tables, qid, strategy):
+    figure_cell(
+        benchmark, figure_tables,
+        key="fig13",
+        title="Figure 13: running times, join + distributed join queries",
+        queries=FIG13_QUERIES, strategies=JOIN_FIGURE_STRATEGIES,
+        metric="virtual_seconds",
+        qid=qid, strategy=strategy,
+        delayed=False,
+    )

@@ -1,0 +1,26 @@
+"""Figure 14: space usage for the Figure 13 queries.
+
+Paper shape: AIP reduces intermediate state on the join queries
+(including Q5B's final LINEITEM join, where state drops even though
+running time does not), and on the distributed variants.
+"""
+
+import pytest
+
+from benchmarks.figlib import figure_cell
+from repro.harness.strategies import JOIN_FIGURE_STRATEGIES
+from repro.workloads.registry import FIG13_QUERIES
+
+
+@pytest.mark.parametrize("strategy", JOIN_FIGURE_STRATEGIES)
+@pytest.mark.parametrize("qid", FIG13_QUERIES)
+def test_fig14_join_space(benchmark, figure_tables, qid, strategy):
+    figure_cell(
+        benchmark, figure_tables,
+        key="fig14",
+        title="Figure 14: space usage, join + distributed join queries",
+        queries=FIG13_QUERIES, strategies=JOIN_FIGURE_STRATEGIES,
+        metric="peak_state_mb",
+        qid=qid, strategy=strategy,
+        delayed=False,
+    )

@@ -1,0 +1,76 @@
+"""Wide-area querying: what AIP buys when a remote source is slow.
+
+Reproduces the Section VI-B setup on one query: PARTSUPP is delayed by
+100 ms and rate-limited (5 ms per 1000 tuples).  With fast inputs the
+engine is CPU-bound and AIP's pruning shows up directly as shorter
+running time; under delays the I/O wait dominates and the running-time
+gap shrinks — but the intermediate-state savings persist, which is what
+matters when many queries share the engine's memory.
+
+Run with::
+
+    python examples/delayed_sources.py
+"""
+
+from repro import (
+    ArrivalModel,
+    CostBasedStrategy,
+    ExecutionContext,
+    FeedForwardStrategy,
+    cached_tpch,
+    execute_plan,
+)
+from repro.workloads.registry import get_query
+
+
+def resolver_for(delayed: bool):
+    if not delayed:
+        return None
+
+    def resolver(node):
+        if node.table_name == "partsupp":
+            return ArrivalModel.delayed(
+                initial_delay=0.100, batch_size=1000, batch_delay=0.005,
+            )
+        return None
+
+    return resolver
+
+
+def main():
+    catalog = cached_tpch(scale_factor=0.01)
+    query = get_query("Q1A")  # TPC-H 2: the nested minimum-cost query
+
+    for mode in ("fast inputs", "delayed PARTSUPP"):
+        delayed = mode != "fast inputs"
+        print("\n=== %s ===" % mode)
+        print("%-18s %12s %12s %12s" % (
+            "strategy", "time (vs)", "idle (vs)", "state (MB)",
+        ))
+        for label, strategy in (
+            ("baseline", None),
+            ("feed-forward AIP", FeedForwardStrategy()),
+            ("cost-based AIP", CostBasedStrategy()),
+        ):
+            plan = query.build_baseline(catalog)
+            ctx = ExecutionContext(catalog, strategy=strategy)
+            result = execute_plan(
+                plan, ctx, arrival_resolver=resolver_for(delayed)
+            )
+            m = result.metrics
+            print("%-18s %12.4f %12.4f %12.4f" % (
+                label, m.clock, m.idle_time, m.peak_state_bytes / 1e6,
+            ))
+
+    print(
+        "\nNote how the delayed runs converge in running time (waits"
+        "\ndominate) while cost-based AIP keeps its intermediate-state"
+        "\nadvantage.  Feed-forward's fixed Bloom-filter overhead looms"
+        "\nlarge at this toy scale (see EXPERIMENTS.md, deviation D2);"
+        "\nits benefit here is the pruning, visible in the fast-input"
+        "\nrunning times."
+    )
+
+
+if __name__ == "__main__":
+    main()

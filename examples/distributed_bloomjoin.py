@@ -1,0 +1,69 @@
+"""Adaptive Bloomjoin: shipping AIP filters to a remote site.
+
+Reproduces the Section VI-C distributed setup: all computation runs at
+the master, but PARTSUPP lives at a remote site and is fetched over a
+simulated Ethernet.  When the cost-based AIP Manager sees the selective
+local subexpression complete, it ships a Bloom filter of the surviving
+PARTKEYs to the remote site; rows the filter rejects stop consuming
+link bandwidth — the adaptive analogue of a Bloomjoin.
+
+Run with::
+
+    python examples/distributed_bloomjoin.py
+"""
+
+from repro import (
+    CostBasedStrategy,
+    DistributedQuery,
+    ExecutionContext,
+    NetworkModel,
+    Placement,
+    Site,
+    cached_tpch,
+    col,
+    scan,
+)
+from repro.distributed.network import MBPS
+
+
+def build_plan(catalog):
+    """A selective local PART filter joined with remote PARTSUPP."""
+    return (
+        scan(catalog, "part")
+        .filter(col("p_size").le(5))
+        .join(scan(catalog, "partsupp"), on=[("p_partkey", "ps_partkey")])
+        .build()
+    )
+
+
+def main():
+    catalog = cached_tpch(scale_factor=0.01)
+    placement = Placement([Site("warehouse-db", ["partsupp"])])
+
+    for mbps in (100, 10):
+        network = NetworkModel(default_bandwidth=mbps * MBPS)
+        print("\n=== %d Mbps link to warehouse-db ===" % mbps)
+        print("%-18s %12s %14s %14s" % (
+            "strategy", "time (vs)", "bytes fetched", "filter bytes",
+        ))
+        for label, strategy in (
+            ("baseline", None),
+            ("cost-based AIP", CostBasedStrategy(poll_interval=0.01)),
+        ):
+            dq = DistributedQuery(build_plan(catalog), placement, network)
+            ctx = ExecutionContext(catalog, strategy=strategy)
+            result = dq.execute(ctx)
+            m = result.metrics
+            print("%-18s %12.4f %14d %14d" % (
+                label, m.clock, m.network_bytes, m.aip_bytes_shipped,
+            ))
+
+    print(
+        "\nThe shipped Bloom filter costs a few hundred bytes and saves"
+        "\nmost of the PARTSUPP transfer — the slower the link, the"
+        "\nbigger the win."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,151 @@
+"""The paper's running example (Figure 1): a multi-block query with two
+aggregate subqueries correlated on PARTKEY, plus the paper's Examples
+3.1 and 3.2 — what AIP does under *different completion orders*.
+
+The query (paper Example 2.1): parts that are available for much less
+than retail price, but whose stock on hand is low relative to sales::
+
+    SELECT DISTINCT p_partkey FROM part p, partsupp ps1,
+      (SELECT ps_partkey AS partkey, SUM(ps_availqty) AS avail
+       FROM partsupp ps2 GROUP BY ps_partkey) avail,
+      (SELECT l_partkey AS partkey, SUM(l_quantity) AS numsold
+       FROM lineitem l WHERE l_receiptdate > DATE GROUP BY l_partkey) sold
+    WHERE p_partkey = ps_partkey AND p_partkey = avail.partkey
+      AND p_partkey = sold.partkey AND avail < K * numsold
+      AND 2 * ps_supplycost < p_retailprice
+
+(The availability threshold is rescaled — ``K`` below — because our
+small generated instance has the standard TPC-H availqty domain but far
+fewer lineitems per part than a 1 GB instance; the paper's literal
+``10 * avail < numsold`` is unsatisfiable at toy scale.)
+
+Example 3.1 (paper): if the *left* (parent) subtree completes first,
+its distinct-PARTKEY state filters both subquery inputs.
+Example 3.2: if the *sold* aggregation completes first, its Bloom
+filter prunes the parent's scans and the other aggregation's input.
+We emulate both orders by varying per-source streaming rates.
+
+Run with::
+
+    python examples/nested_subquery_aip.py
+"""
+
+from repro import (
+    AggregateSpec,
+    ArrivalModel,
+    CostBasedStrategy,
+    ExecutionContext,
+    FeedForwardStrategy,
+    SUM,
+    apply_magic,
+    cached_tpch,
+    col,
+    execute_plan,
+    lit,
+    scan,
+)
+from repro.plan.builder import PlanBuilder
+
+RECEIPT_CUTOFF = "1998-10-15"  # recent sales only (the paper uses a recent cutoff too)
+AVAIL_FACTOR = 1000  # K: avail < K * numsold
+
+
+def build_plan(catalog, magic: bool = False):
+    parent = (
+        scan(catalog, "part")
+        .join(
+            scan(catalog, "partsupp", prefix="ps1_"),
+            on=[("p_partkey", "ps1_ps_partkey")],
+            residual=(lit(2) * col("ps1_ps_supplycost")).lt(
+                col("p_retailprice")
+            ),
+        )
+        .build()
+    )
+
+    avail_input = scan(catalog, "partsupp", prefix="ps2_").build()
+    sold_input = (
+        scan(catalog, "lineitem")
+        .filter(col("l_receiptdate").gt(RECEIPT_CUTOFF))
+        .build()
+    )
+    if magic:
+        avail_input = apply_magic(
+            avail_input, parent, on=[("ps2_ps_partkey", "p_partkey")]
+        )
+        sold_input = apply_magic(
+            sold_input, parent, on=[("l_partkey", "p_partkey")]
+        )
+
+    avail = PlanBuilder(avail_input).group_by(
+        ["ps2_ps_partkey"],
+        [AggregateSpec(SUM, col("ps2_ps_availqty"), "avail")],
+    )
+    sold = PlanBuilder(sold_input).group_by(
+        ["l_partkey"],
+        [AggregateSpec(SUM, col("l_quantity"), "numsold")],
+    )
+    right = avail.join(
+        sold,
+        on=[("ps2_ps_partkey", "l_partkey")],
+        residual=col("avail").lt(lit(AVAIL_FACTOR) * col("numsold")),
+    )
+    return (
+        PlanBuilder(parent)
+        .join(right, on=[("p_partkey", "ps2_ps_partkey")])
+        .project(["p_partkey"])
+        .distinct()
+        .build()
+    )
+
+
+SCENARIOS = {
+    # Example 3.1: parent-side sources stream fast, LINEITEM trails.
+    "parent first (Ex. 3.1)": {"part": 1e-7, "partsupp": 1e-7,
+                               "lineitem": 2e-6},
+    # Example 3.2: LINEITEM streams fast, parent sources trail.
+    "sold first (Ex. 3.2)": {"part": 2e-6, "partsupp": 2e-6,
+                             "lineitem": 1e-7},
+}
+
+
+def make_resolver(rates):
+    def resolver(node):
+        rate = rates.get(node.table_name)
+        return ArrivalModel.streaming(per_tuple=rate) if rate else None
+    return resolver
+
+
+def main():
+    catalog = cached_tpch(scale_factor=0.01)
+    for scenario, rates in SCENARIOS.items():
+        print("\n=== %s ===" % scenario)
+        print("%-18s %6s %11s %11s %8s %5s" % (
+            "strategy", "rows", "time (vs)", "state (MB)", "pruned", "sets",
+        ))
+        reference = None
+        for label, strategy, magic in (
+            ("baseline", None, False),
+            ("magic sets", None, True),
+            ("feed-forward AIP", FeedForwardStrategy(), False),
+            ("cost-based AIP", CostBasedStrategy(), False),
+        ):
+            plan = build_plan(catalog, magic=magic)
+            result = execute_plan(
+                plan,
+                ExecutionContext(catalog, strategy=strategy),
+                arrival_resolver=make_resolver(rates),
+            )
+            m = result.metrics
+            print("%-18s %6d %11.4f %11.4f %8d %5d" % (
+                label, len(result), m.clock, m.peak_state_bytes / 1e6,
+                m.total_pruned, m.aip_sets_created,
+            ))
+            rows = frozenset(result.rows)
+            reference = rows if reference is None else reference
+            assert rows == reference, "strategies must agree on results"
+    print("\nAll strategies returned identical results in every scenario.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""Quickstart: build a query against generated TPC-H data and run it
+under the baseline push engine and under Feed-Forward AIP.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import (
+    ExecutionContext,
+    FeedForwardStrategy,
+    cached_tpch,
+    col,
+    execute_plan,
+    scan,
+)
+
+
+def build_plan(catalog):
+    """Parts available below half retail price, with their suppliers."""
+    suppliers = scan(catalog, "supplier").join(
+        scan(catalog, "nation"), on=[("s_nationkey", "n_nationkey")]
+    )
+    return (
+        scan(catalog, "part")
+        .filter(col("p_type").like("%TIN"))
+        .filter(col("p_size").le(5))
+        .join(
+            scan(catalog, "partsupp"),
+            on=[("p_partkey", "ps_partkey")],
+            residual=(col("ps_supplycost") * 2).lt(col("p_retailprice")),
+        )
+        .join(suppliers, on=[("ps_suppkey", "s_suppkey")])
+        .project(["p_partkey", "p_name", "s_name", "n_name", "ps_supplycost"])
+        .build()
+    )
+
+
+def main():
+    catalog = cached_tpch(scale_factor=0.01)
+    print("Generated TPC-H at scale factor 0.01:")
+    for name in catalog.table_names():
+        print("  %-10s %7d rows" % (name, len(catalog.table(name))))
+
+    print("\nRunning the query under two strategies...\n")
+    for label, strategy in (
+        ("baseline", None),
+        ("feed-forward AIP", FeedForwardStrategy()),
+    ):
+        plan = build_plan(catalog)
+        ctx = ExecutionContext(catalog, strategy=strategy)
+        result = execute_plan(plan, ctx)
+        m = result.metrics
+        print("%-18s %5d rows  virtual time %.4fs  peak state %.3f MB  "
+              "tuples pruned %d"
+              % (label, len(result), m.clock,
+                 m.peak_state_bytes / 1e6, m.total_pruned))
+
+    print("\nFirst few result rows:")
+    plan = build_plan(catalog)
+    result = execute_plan(plan, ExecutionContext(catalog))
+    for row in result.sorted_rows()[:5]:
+        print("  ", row)
+
+
+if __name__ == "__main__":
+    main()

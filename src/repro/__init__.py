@@ -1,0 +1,72 @@
+"""repro — a reproduction of "Sideways Information Passing for
+Push-Style Query Processing" (Ives & Taylor, ICDE 2008).
+
+The package implements, from scratch, everything the paper's system
+needs: a TPC-H data generator with Zipf skew, a deterministic
+virtual-time push engine built on pipelined (symmetric) hash joins and
+hash aggregation, a Tukwila-style optimizer layer (cardinality
+estimation from keys/FKs, cost model, source-predicate graph), the
+pipelined magic-sets baseline, the two Adaptive Information Passing
+algorithms (greedy Feed-Forward and the Cost-Based AIP Manager with
+distributed filter shipping), the full Table I workload, and a harness
+that regenerates every figure of the evaluation section.
+
+Quickstart::
+
+    from repro import (
+        cached_tpch, scan, col, ExecutionContext, execute_plan,
+        FeedForwardStrategy,
+    )
+
+    catalog = cached_tpch(scale_factor=0.01)
+    plan = (
+        scan(catalog, "part").filter(col("p_size").eq(1))
+        .join(scan(catalog, "partsupp"), on=[("p_partkey", "ps_partkey")])
+        .build()
+    )
+    result = execute_plan(
+        plan, ExecutionContext(catalog, strategy=FeedForwardStrategy())
+    )
+    print(len(result), result.metrics.summary())
+"""
+
+from repro.data.catalog import Catalog
+from repro.data.tpch import TpchConfig, cached_tpch, generate_tpch
+from repro.expr.aggregates import AVG, COUNT, MAX, MIN, SUM, AggregateSpec
+from repro.expr.expressions import And, Func, Like, Not, Or, col, lit
+from repro.plan.builder import PlanBuilder, scan
+from repro.plan.validate import validate_plan
+from repro.exec.arrival import ArrivalModel
+from repro.exec.context import ExecutionContext, ExecutionStrategy
+from repro.exec.costs import CostModel
+from repro.exec.engine import QueryResult, execute_plan
+from repro.aip.feedforward import FeedForwardStrategy
+from repro.aip.manager import CostBasedStrategy
+from repro.optimizer.magic import apply_magic, magic_filter_set
+from repro.distributed.coordinator import DistributedQuery
+from repro.distributed.network import NetworkModel
+from repro.distributed.site import Placement, Site
+from repro.harness.runner import run_workload_query
+from repro.harness.concurrent import CompositeStrategy, run_concurrent
+from repro.optimizer.explain import explain
+from repro.optimizer.planner import ConjunctiveQuery, plan_query
+from repro.sql import parse as parse_sql, sql_to_plan
+from repro.workloads.registry import QUERIES, get_query
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Catalog", "TpchConfig", "cached_tpch", "generate_tpch",
+    "AggregateSpec", "SUM", "MIN", "MAX", "AVG", "COUNT",
+    "col", "lit", "And", "Or", "Not", "Like", "Func",
+    "PlanBuilder", "scan", "validate_plan",
+    "ArrivalModel", "ExecutionContext", "ExecutionStrategy", "CostModel",
+    "QueryResult", "execute_plan",
+    "FeedForwardStrategy", "CostBasedStrategy",
+    "apply_magic", "magic_filter_set",
+    "DistributedQuery", "NetworkModel", "Placement", "Site",
+    "run_workload_query", "QUERIES", "get_query",
+    "run_concurrent", "CompositeStrategy",
+    "explain", "ConjunctiveQuery", "plan_query",
+    "parse_sql", "sql_to_plan",
+]

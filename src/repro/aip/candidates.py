@@ -1,0 +1,105 @@
+"""AIPCANDIDATES (Figure 3 of the paper).
+
+Precomputes, from the query plan and its conjunctive predicates:
+
+* ``Sources[A]`` — the stateful ``(operator, port)`` pairs whose
+  buffered state can yield an AIP set over attribute ``A`` ("the source
+  nodes are the children of (i.e. inputs to) state-producing operators,
+  whose results are stored within the operators");
+* ``InterestedIn[A]`` — the parties whose input can be filtered by a
+  set over ``A``: any party carrying an attribute transitively equated
+  to ``A`` (``EQ``), restricted for group-bys to their grouping keys
+  (filtering a group-by input on a non-key attribute could change
+  surviving groups' aggregates).
+
+Scans are included among the interested parties: injecting at a scan
+prunes earliest, and remote scans are where distributed AIP ships
+filters.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from repro.exec.operators.base import Operator
+from repro.exec.operators.groupby import PGroupBy
+from repro.exec.operators.scan import PScan
+from repro.exec.translate import PhysicalPlan
+from repro.optimizer.predicate_graph import SourcePredicateGraph
+
+Party = Tuple[int, int]
+
+
+class CandidateIndex:
+    """Output of AIPCANDIDATES, plus lookup helpers."""
+
+    def __init__(self):
+        #: attr -> parties whose state can produce a set over attr
+        self.sources: Dict[str, Set[Party]] = {}
+        #: eq-class root -> interested parties
+        self.interested: Dict[str, Set[Party]] = {}
+        #: (party, eq-root) -> the attribute that party is filterable on
+        self.party_attr: Dict[Tuple[Party, str], str] = {}
+        #: party -> attrs its state can summarise
+        self.producible: Dict[Party, List[str]] = {}
+
+    def interested_in(self, graph: SourcePredicateGraph, attr: str) -> Set[Party]:
+        root = graph.eq.find(attr)
+        return set(self.interested.get(root, ()))
+
+    def attr_at(self, graph: SourcePredicateGraph, party: Party,
+                attr: str) -> str:
+        """The attribute name by which ``party`` participates in
+        ``attr``'s equivalence class."""
+        root = graph.eq.find(attr)
+        return self.party_attr.get((party, root))
+
+
+def _filterable_attrs(op: Operator, port: int) -> List[str]:
+    if isinstance(op, PScan):
+        return list(op.out_schema.names)
+    if isinstance(op, PGroupBy):
+        return list(op.keys)
+    return list(op.input_schemas[port].names)
+
+
+def _producible_attrs(op: Operator, port: int) -> List[str]:
+    """Attributes recoverable from the operator's buffered state."""
+    if isinstance(op, PGroupBy):
+        return list(op.keys) + [s.output_name for s in op._specs]
+    return list(op.input_schemas[port].names)
+
+
+def aip_candidates(
+    plan: PhysicalPlan, graph: SourcePredicateGraph
+) -> CandidateIndex:
+    """Compute candidate AIP set producers and users for a plan."""
+    index = CandidateIndex()
+
+    for op in plan.sink.walk():
+        if isinstance(op, PScan):
+            party = (op.op_id, 0)
+            for attr in _filterable_attrs(op, 0):
+                if graph.equated_elsewhere(attr):
+                    root = graph.eq.find(attr)
+                    index.interested.setdefault(root, set()).add(party)
+                    index.party_attr[(party, root)] = attr
+            continue
+        if not op.stateful:
+            continue
+        for port in range(op.n_inputs):
+            party = (op.op_id, port)
+            producible = []
+            for attr in _producible_attrs(op, port):
+                if graph.equated_elsewhere(attr):
+                    index.sources.setdefault(attr, set()).add(party)
+                    producible.append(attr)
+            if producible:
+                index.producible[party] = producible
+            for attr in _filterable_attrs(op, port):
+                if graph.equated_elsewhere(attr):
+                    root = graph.eq.find(attr)
+                    index.interested.setdefault(root, set()).add(party)
+                    index.party_attr[(party, root)] = attr
+
+    return index

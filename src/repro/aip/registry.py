@@ -1,0 +1,135 @@
+"""The AIP Registry (Section IV-A).
+
+The registry is the central rendezvous of the Feed-Forward algorithm:
+
+* stateful operators register **candidate** AIP sets for the attributes
+  they produce, and **interest** in equivalence classes of attributes
+  they could be filtered on;
+* candidates without interested parties are eliminated before execution;
+* for each connected component of the source-predicate graph the
+  registry keeps a **vector of completed AIP sets**;
+* publishing a completed set appends it to the class vector (merging by
+  bitwise intersection when geometries allow);
+* interest is reference-counted: when an operator's input completes it
+  "decrements its interest in all the AIP sets it could have used", and
+  producers whose class has no interest left discard their working sets.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.aip.sets import AIPSet, AIPSetSpec
+from repro.optimizer.predicate_graph import SourcePredicateGraph
+
+#: A registered party: ``(node_id, port)``.
+Party = Tuple[int, int]
+
+
+class AIPRegistry:
+    """Tracks candidate sets, interest counts and completed-set vectors."""
+
+    def __init__(self, graph: SourcePredicateGraph):
+        self.graph = graph
+        #: eq-class root -> parties interested in filters of this class
+        self._interest: Dict[str, Set[Party]] = {}
+        #: eq-class root -> producing parties that registered candidates
+        self._producers: Dict[str, Set[Party]] = {}
+        #: eq-class root -> vector of completed AIP sets
+        self._vectors: Dict[str, List[AIPSet]] = {}
+        #: eq-class root -> shared geometry spec
+        self._specs: Dict[str, AIPSetSpec] = {}
+        #: callbacks fired when a set is published:
+        #: ``fn(eq_root, aip_set, replaced_previous)``
+        self._subscribers: List[Callable[[str, AIPSet, bool], None]] = []
+
+    # -- setup ------------------------------------------------------------
+
+    def root_of(self, attr: str) -> str:
+        return self.graph.eq.find(attr)
+
+    def set_spec(self, eq_root: str, spec: AIPSetSpec) -> None:
+        self._specs[eq_root] = spec
+
+    def spec_for(self, attr: str) -> Optional[AIPSetSpec]:
+        return self._specs.get(self.root_of(attr))
+
+    def register_candidate(self, attr: str, party: Party) -> None:
+        """A stateful operator announces it can produce a set for ``attr``."""
+        self._producers.setdefault(self.root_of(attr), set()).add(party)
+
+    def register_interest(self, attr: str, party: Party) -> None:
+        """An operator announces it could use filters over ``attr``."""
+        self._interest.setdefault(self.root_of(attr), set()).add(party)
+
+    def eliminate_unwanted_candidates(self) -> Set[str]:
+        """Drop candidate classes nobody is interested in; returns the
+        roots that survive.  ("Any potential AIP sets without interested
+        parties are then eliminated.")"""
+        surviving = set()
+        for root, producers in list(self._producers.items()):
+            interested = self._interest.get(root, set())
+            # Useful iff some party other than the producer itself could
+            # consume a filter of this class.
+            if any(q != p for q in interested for p in producers):
+                surviving.add(root)
+            else:
+                del self._producers[root]
+        for root in surviving:
+            self._vectors.setdefault(root, [])
+        return surviving
+
+    def is_wanted(self, attr: str) -> bool:
+        return self.root_of(attr) in self._producers
+
+    # -- execution-time flow ----------------------------------------------
+
+    def subscribe(
+        self, callback: Callable[[str, AIPSet, bool], None]
+    ) -> None:
+        self._subscribers.append(callback)
+
+    def publish(self, aip_set: AIPSet) -> None:
+        """Append a completed set to its class vector and notify.
+
+        Compatible Bloom filters merge by bitwise intersection, in which
+        case subscribers are told the new set *replaces* the previous
+        vector entry (so injected filters should be swapped, not added).
+        """
+        root = self.root_of(aip_set.attr)
+        aip_set.complete = True
+        vector = self._vectors.setdefault(root, [])
+        replaced = False
+        if vector:
+            merged = vector[-1].try_intersect(aip_set)
+            if merged is not None:
+                vector[-1] = merged
+                aip_set = merged
+                replaced = True
+        if not replaced:
+            vector.append(aip_set)
+        for callback in self._subscribers:
+            callback(root, aip_set, replaced)
+
+    def vector(self, attr: str) -> List[AIPSet]:
+        return list(self._vectors.get(self.root_of(attr), ()))
+
+    def drop_interest(self, party: Party) -> Set[str]:
+        """Remove ``party`` from every class it was interested in;
+        returns the roots whose interest dropped to zero."""
+        emptied = set()
+        for root, parties in self._interest.items():
+            if party in parties:
+                parties.discard(party)
+                if not parties:
+                    emptied.add(root)
+        return emptied
+
+    def has_interest(self, attr: str) -> bool:
+        return bool(self._interest.get(self.root_of(attr)))
+
+    def interested_parties(self, attr: str) -> Set[Party]:
+        return set(self._interest.get(self.root_of(attr), ()))
+
+    def producers_of(self, attr: str) -> Set[Party]:
+        return set(self._producers.get(self.root_of(attr), ()))

@@ -1,0 +1,174 @@
+"""Command-line interface.
+
+Usage (``python -m repro ...``)::
+
+    python -m repro list
+    python -m repro tables --scale 0.01
+    python -m repro run Q1A --strategy feedforward --scale 0.01
+    python -m repro run Q2A --strategy all --delayed
+    python -m repro explain Q3A --scale 0.01
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.data.tpch import cached_tpch
+from repro.harness.runner import run_workload_query
+from repro.harness.strategies import STRATEGIES
+from repro.optimizer.explain import explain
+from repro.workloads.registry import QUERIES, get_query
+
+
+def _cmd_list(args) -> int:
+    print("%-6s %-28s %-8s %-6s %s" % (
+        "id", "title", "family", "skew", "notes",
+    ))
+    for qid in sorted(QUERIES):
+        query = QUERIES[qid]
+        notes = []
+        if query.is_distributed:
+            notes.append("remote:%s" % ",".join(query.remote_tables))
+        if query.has_magic:
+            notes.append("magic")
+        print("%-6s %-28s %-8s %-6g %s" % (
+            qid, query.title, query.family, query.skew, " ".join(notes),
+        ))
+    return 0
+
+
+def _cmd_tables(args) -> int:
+    catalog = cached_tpch(scale_factor=args.scale)
+    print("TPC-H at scale factor %g:" % args.scale)
+    total = 0
+    for name in catalog.table_names():
+        table = catalog.table(name)
+        total += len(table)
+        print("  %-10s %9d rows  %10d bytes (est.)"
+              % (name, len(table), table.byte_size()))
+    print("  %-10s %9d rows" % ("total", total))
+    return 0
+
+
+def _cmd_run(args) -> int:
+    strategies = (
+        list(STRATEGIES) if args.strategy == "all" else [args.strategy]
+    )
+    query = get_query(args.qid)
+    if not query.has_magic and "magic" in strategies:
+        strategies = [s for s in strategies if s != "magic"]
+    print("%s — %s (scale %g%s)" % (
+        query.qid, query.title, args.scale,
+        ", delayed %s" % query.delayed_table if args.delayed else "",
+    ))
+    print("%-14s %8s %12s %12s %9s %7s" % (
+        "strategy", "rows", "time (vs)", "state (MB)", "pruned", "sets",
+    ))
+    for strategy in strategies:
+        record = run_workload_query(
+            args.qid, strategy,
+            scale_factor=args.scale, delayed=args.delayed,
+        )
+        s = record.summary
+        print("%-14s %8d %12.4f %12.4f %9d %7d" % (
+            strategy, s["result_rows"], s["virtual_seconds"],
+            s["peak_state_mb"], s["tuples_pruned"], s["aip_sets_created"],
+        ))
+    return 0
+
+
+def _cmd_sql(args) -> int:
+    from repro.exec.context import ExecutionContext
+    from repro.exec.engine import execute_plan
+    from repro.sql import sql_to_plan
+
+    catalog = cached_tpch(scale_factor=args.scale)
+    plan = sql_to_plan(catalog, args.query)
+    if args.explain:
+        print(explain(plan, catalog))
+        return 0
+    from repro.harness.strategies import make_strategy
+    ctx = ExecutionContext(catalog, strategy=make_strategy(args.strategy))
+    result = execute_plan(plan, ctx)
+    for row in result.sorted_rows()[: args.limit]:
+        print("  ".join(str(v) for v in row))
+    m = result.metrics
+    print("-- %d rows; %.4f virtual s; %.3f MB peak state; %d pruned"
+          % (len(result), m.clock, m.peak_state_bytes / 1e6, m.total_pruned))
+    return 0
+
+
+def _cmd_explain(args) -> int:
+    query = get_query(args.qid)
+    catalog = cached_tpch(scale_factor=args.scale, skew=query.skew)
+    plan = (
+        query.build_magic(catalog) if args.magic
+        else query.build_baseline(catalog)
+    )
+    print(explain(plan, catalog))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Sideways Information Passing reproduction CLI",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list Table I workload queries")
+
+    p_tables = sub.add_parser("tables", help="show generated table sizes")
+    p_tables.add_argument("--scale", type=float, default=0.01)
+
+    p_run = sub.add_parser("run", help="run one workload query")
+    p_run.add_argument("qid", help="query id, e.g. Q1A")
+    p_run.add_argument(
+        "--strategy", default="all",
+        choices=list(STRATEGIES) + ["all"],
+    )
+    p_run.add_argument("--scale", type=float, default=0.01)
+    p_run.add_argument("--delayed", action="store_true",
+                       help="delay the query's large input (Section VI-B)")
+
+    p_explain = sub.add_parser("explain", help="show a plan with estimates")
+    p_explain.add_argument("qid")
+    p_explain.add_argument("--scale", type=float, default=0.01)
+    p_explain.add_argument("--magic", action="store_true",
+                           help="explain the magic-sets plan")
+
+    p_sql = sub.add_parser("sql", help="run a SQL query over generated data")
+    p_sql.add_argument("query", help="SQL text (Table I dialect)")
+    p_sql.add_argument("--scale", type=float, default=0.01)
+    p_sql.add_argument(
+        "--strategy", default="baseline",
+        choices=["baseline", "feedforward", "costbased"],
+    )
+    p_sql.add_argument("--limit", type=int, default=20,
+                       help="max rows to print")
+    p_sql.add_argument("--explain", action="store_true",
+                       help="show the bound plan instead of running")
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "list": _cmd_list,
+        "tables": _cmd_tables,
+        "run": _cmd_run,
+        "explain": _cmd_explain,
+        "sql": _cmd_sql,
+    }
+    try:
+        return handlers[args.command](args)
+    except KeyError as exc:  # unknown query id from get_query
+        print("error: %s" % exc, file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

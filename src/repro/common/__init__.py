@@ -1,0 +1,20 @@
+"""Shared infrastructure: deterministic randomness and error types."""
+
+from repro.common.errors import (
+    ReproError,
+    PlanError,
+    SchemaError,
+    ExecutionError,
+    OptimizerError,
+)
+from repro.common.rng import DeterministicRng, ZipfSampler
+
+__all__ = [
+    "ReproError",
+    "PlanError",
+    "SchemaError",
+    "ExecutionError",
+    "OptimizerError",
+    "DeterministicRng",
+    "ZipfSampler",
+]

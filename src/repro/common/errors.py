@@ -1,0 +1,30 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised intentionally by the library derives from
+:class:`ReproError`, so callers can catch library failures without
+accidentally swallowing programming errors such as ``TypeError``.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SchemaError(ReproError):
+    """A schema is malformed or an attribute reference cannot be resolved."""
+
+
+class PlanError(ReproError):
+    """A logical or physical query plan is structurally invalid."""
+
+
+class ExecutionError(ReproError):
+    """The push engine encountered an unrecoverable runtime condition."""
+
+
+class OptimizerError(ReproError):
+    """Statistics or cost estimation was asked something unanswerable."""
+
+
+class NetworkError(ReproError):
+    """The simulated network layer was used incorrectly."""

@@ -1,0 +1,35 @@
+"""Process-stable hashing.
+
+Python randomises ``hash()`` for ``str``/``bytes`` per process
+(PYTHONHASHSEED), which would make generated data, Bloom filter bit
+patterns and therefore benchmark metrics vary run to run.  Everything
+that must be reproducible hashes through this module instead.
+
+Numeric types are already hash-stable in CPython; only strings (and
+tuples containing them) need translation.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Hashable
+
+
+def stable_key(value: Hashable) -> Hashable:
+    """Map a value to an equal-semantics key whose ``hash()`` is stable
+    across processes.  Distinct strings map to distinct-ish CRC32 keys;
+    collisions only cost summary precision, never correctness."""
+    if isinstance(value, str):
+        return zlib.crc32(value.encode("utf-8"))
+    if isinstance(value, bytes):
+        return zlib.crc32(value)
+    if isinstance(value, tuple):
+        return tuple(stable_key(v) for v in value)
+    return value
+
+
+def stable_label_seed(seed: int, label: str) -> int:
+    """Derive a child seed from ``(seed, label)`` deterministically."""
+    mixed = zlib.crc32(label.encode("utf-8"), seed & 0xFFFFFFFF)
+    # Spread beyond 32 bits so distinct labels land far apart.
+    return (mixed * 0x9E3779B97F4A7C15) & 0x7FFFFFFFFFFFFFFF

@@ -1,0 +1,20 @@
+"""Data substrate: schemas, in-memory tables, catalog, TPC-H generator."""
+
+from repro.data.schema import Attribute, Schema, INT, FLOAT, STR, DATE
+from repro.data.table import Table
+from repro.data.catalog import Catalog, TableStats
+from repro.data.tpch import TpchConfig, generate_tpch
+
+__all__ = [
+    "Attribute",
+    "Schema",
+    "INT",
+    "FLOAT",
+    "STR",
+    "DATE",
+    "Table",
+    "Catalog",
+    "TableStats",
+    "TpchConfig",
+    "generate_tpch",
+]

@@ -1,0 +1,62 @@
+"""In-memory relations.
+
+The push engine streams tuples from :class:`Table` objects; in the
+paper's terms a table is what a remote data source would serve.  Rows
+are plain tuples aligned with the table's schema.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Sequence, Tuple
+
+from repro.common.errors import SchemaError
+from repro.data.schema import Schema
+
+Row = Tuple
+
+
+class Table:
+    """A named relation with a schema and materialised rows."""
+
+    __slots__ = ("name", "schema", "rows")
+
+    def __init__(self, name: str, schema: Schema, rows: Iterable[Row] = ()):
+        self.name = name
+        self.schema = schema
+        self.rows: List[Row] = list(rows)
+        width = len(schema)
+        for row in self.rows:
+            if len(row) != width:
+                raise SchemaError(
+                    "row width %d does not match schema width %d in table %r"
+                    % (len(row), width, name)
+                )
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self.rows)
+
+    def column(self, name: str) -> List:
+        """Materialise one column by attribute name."""
+        idx = self.schema.index_of(name)
+        return [row[idx] for row in self.rows]
+
+    def select(self, predicate) -> "Table":
+        """A new table containing rows for which ``predicate(row)`` holds."""
+        return Table(self.name, self.schema, [r for r in self.rows if predicate(r)])
+
+    def project(self, names: Sequence[str]) -> "Table":
+        idxs = [self.schema.index_of(n) for n in names]
+        rows = [tuple(row[i] for i in idxs) for row in self.rows]
+        return Table(self.name, self.schema.project(names), rows)
+
+    def renamed(self, mapping) -> "Table":
+        return Table(self.name, self.schema.renamed(mapping), self.rows)
+
+    def byte_size(self) -> int:
+        return len(self.rows) * self.schema.row_byte_size()
+
+    def __repr__(self) -> str:
+        return "Table(%r, %d rows)" % (self.name, len(self.rows))

@@ -1,0 +1,81 @@
+"""TPC-H value domains.
+
+These mirror the domains the paper's Table I predicates select over:
+``p_type like '%TIN'``, ``p_container = 'MED CAN'``, ``p_brand =
+'Brand#34'``, ``r_name = 'AFRICA'``, ``r_name = 'MIDDLE EAST'``,
+``n_name = 'FRANCE'``, and so on.  Keeping the real TPC-H vocabularies
+preserves the selectivities those predicates imply (e.g. ``%TIN``
+matches one fifth of part types, ``p_size = 1`` matches 2%).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+REGIONS: List[str] = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"]
+
+#: 25 TPC-H nations with their region index.
+NATIONS: List[tuple] = [
+    ("ALGERIA", 0), ("ARGENTINA", 1), ("BRAZIL", 1), ("CANADA", 1),
+    ("EGYPT", 4), ("ETHIOPIA", 0), ("FRANCE", 3), ("GERMANY", 3),
+    ("INDIA", 2), ("INDONESIA", 2), ("IRAN", 4), ("IRAQ", 4),
+    ("JAPAN", 2), ("JORDAN", 4), ("KENYA", 0), ("MOROCCO", 0),
+    ("MOZAMBIQUE", 0), ("PERU", 1), ("CHINA", 2), ("ROMANIA", 3),
+    ("SAUDI ARABIA", 4), ("VIETNAM", 2), ("RUSSIA", 3),
+    ("UNITED KINGDOM", 3), ("UNITED STATES", 1),
+]
+
+TYPE_SYLLABLE_1 = ["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"]
+TYPE_SYLLABLE_2 = ["ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"]
+TYPE_SYLLABLE_3 = ["TIN", "NICKEL", "BRASS", "STEEL", "COPPER"]
+
+CONTAINER_SYLLABLE_1 = ["SM", "MED", "LG", "JUMBO", "WRAP"]
+CONTAINER_SYLLABLE_2 = ["CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM"]
+
+#: Part-name colour vocabulary; Q5A's ``p_name like '%black%'`` keys on this.
+PART_COLOURS = [
+    "almond", "antique", "aquamarine", "azure", "beige", "bisque", "black",
+    "blanched", "blue", "blush", "brown", "burlywood", "burnished", "chartreuse",
+    "chiffon", "chocolate", "coral", "cornflower", "cornsilk", "cream", "cyan",
+    "dark", "deep", "dim", "dodger", "drab", "firebrick", "floral", "forest",
+    "frosted", "gainsboro", "ghost", "goldenrod", "green", "grey", "honeydew",
+    "hot", "indian", "ivory", "khaki", "lace", "lavender", "lawn", "lemon",
+    "light", "lime", "linen", "magenta", "maroon", "medium", "metallic",
+    "midnight", "mint", "misty", "moccasin", "navajo", "navy", "olive", "orange",
+    "orchid", "pale", "papaya", "peach", "peru", "pink", "plum", "powder",
+    "puff", "purple", "red", "rose", "rosy", "royal", "saddle", "salmon",
+    "sandy", "seashell", "sienna", "sky", "slate", "smoke", "snow", "spring",
+    "steel", "tan", "thistle", "tomato", "turquoise", "violet", "wheat",
+    "white", "yellow",
+]
+
+ORDER_PRIORITIES = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"]
+SHIP_MODES = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"]
+MARKET_SEGMENTS = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"]
+
+
+def part_type(i1: int, i2: int, i3: int) -> str:
+    """Compose a part type string such as ``STANDARD ANODIZED TIN``."""
+    return "%s %s %s" % (
+        TYPE_SYLLABLE_1[i1 % len(TYPE_SYLLABLE_1)],
+        TYPE_SYLLABLE_2[i2 % len(TYPE_SYLLABLE_2)],
+        TYPE_SYLLABLE_3[i3 % len(TYPE_SYLLABLE_3)],
+    )
+
+
+def container(i1: int, i2: int) -> str:
+    """Compose a container string such as ``MED CAN``."""
+    return "%s %s" % (
+        CONTAINER_SYLLABLE_1[i1 % len(CONTAINER_SYLLABLE_1)],
+        CONTAINER_SYLLABLE_2[i2 % len(CONTAINER_SYLLABLE_2)],
+    )
+
+
+def brand(m: int, n: int) -> str:
+    """Compose a brand string such as ``Brand#34`` (digits 1-5 each)."""
+    return "Brand#%d%d" % (1 + m % 5, 1 + n % 5)
+
+
+def part_name(rng) -> str:
+    """A part name: five space-separated colour words (TPC-H style)."""
+    return " ".join(rng.choice(PART_COLOURS) for _ in range(5))

@@ -1,0 +1,13 @@
+"""Distributed query simulation (Section V-B / VI-C of the paper).
+
+The paper's distributed experiments run Tukwila instances on several
+nodes: the "master" runs the AIP Manager and the global plan; remote
+sites serve relations over (simulated here) Ethernet; AIP filters are
+shipped to remote sites to cut transfer volume — an adaptive Bloomjoin.
+"""
+
+from repro.distributed.network import NetworkModel
+from repro.distributed.site import Site, Placement
+from repro.distributed.coordinator import DistributedQuery
+
+__all__ = ["NetworkModel", "Site", "Placement", "DistributedQuery"]

@@ -1,0 +1,59 @@
+"""Sites and table placement."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set
+
+from repro.common.errors import NetworkError
+
+MASTER = "master"
+
+
+class Site:
+    """A named query node holding some relations."""
+
+    __slots__ = ("name", "tables")
+
+    def __init__(self, name: str, tables: Iterable[str] = ()):
+        if not name:
+            raise NetworkError("site needs a name")
+        self.name = name
+        self.tables: Set[str] = set(tables)
+
+    def __repr__(self) -> str:
+        return "Site(%r, tables=%s)" % (self.name, sorted(self.tables))
+
+
+class Placement:
+    """Maps tables to the site that owns them; everything else is local
+    to the master node."""
+
+    def __init__(self, sites: Iterable[Site] = ()):
+        self._site_of: Dict[str, str] = {}
+        self._sites: Dict[str, Site] = {}
+        for site in sites:
+            self.add_site(site)
+
+    def add_site(self, site: Site) -> None:
+        if site.name == MASTER:
+            raise NetworkError("the master site is implicit")
+        if site.name in self._sites:
+            raise NetworkError("duplicate site %r" % site.name)
+        self._sites[site.name] = site
+        for table in site.tables:
+            if table in self._site_of:
+                raise NetworkError(
+                    "table %r is already placed at %r"
+                    % (table, self._site_of[table])
+                )
+            self._site_of[table] = site.name
+
+    def site_of(self, table: str) -> Optional[str]:
+        """Owning site name, or None when the table is master-local."""
+        return self._site_of.get(table)
+
+    def remote_tables(self) -> List[str]:
+        return sorted(self._site_of)
+
+    def sites(self) -> List[Site]:
+        return [self._sites[name] for name in sorted(self._sites)]

@@ -1,0 +1,18 @@
+"""Push-style execution engine with a deterministic virtual clock."""
+
+from repro.exec.costs import CostModel
+from repro.exec.metrics import Metrics
+from repro.exec.context import ExecutionContext, ExecutionStrategy
+from repro.exec.arrival import ArrivalModel
+from repro.exec.engine import Engine, QueryResult, execute_plan
+
+__all__ = [
+    "CostModel",
+    "Metrics",
+    "ExecutionContext",
+    "ExecutionStrategy",
+    "ArrivalModel",
+    "Engine",
+    "QueryResult",
+    "execute_plan",
+]

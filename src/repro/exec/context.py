@@ -1,0 +1,91 @@
+"""Execution context and the strategy hook interface.
+
+The context bundles everything one query execution needs: the catalog,
+the cost model, the metric store, engine options, and the *strategy* —
+the pluggable object through which sideways information passing is
+implemented.  The baseline strategy does nothing; the Feed-Forward and
+Cost-Based AIP strategies (``repro.aip``) and the magic-sets baseline
+use these hooks to observe execution and inject semijoin filters.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional, Tuple
+
+from repro.data.catalog import Catalog
+from repro.exec.costs import CostModel
+from repro.exec.metrics import Metrics
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.exec.operators.base import Operator
+
+Row = Tuple
+
+
+class ExecutionStrategy:
+    """Observer/controller hooks invoked by the engine and operators.
+
+    The default implementation is the paper's **Baseline**: normal push
+    processing with no information passing.  Subclasses override the
+    hooks they need; all hooks are optional.
+    """
+
+    def attach(self, ctx: "ExecutionContext", plan) -> None:
+        """Called once after physical translation, before execution.
+
+        ``plan`` is the :class:`~repro.exec.translate.PhysicalPlan`,
+        giving access to every operator and scan in the query.
+        """
+
+    def on_query_start(self) -> None:
+        """Called when the engine starts consuming sources."""
+
+    def after_tuple(self, op: "Operator", input_idx: int, row: Row) -> None:
+        """Called after a stateful operator accepted and processed a
+        tuple (i.e. the tuple passed all injected filters)."""
+
+    def on_input_finished(self, op: "Operator", input_idx: int) -> None:
+        """Called when one input of a stateful operator has completed;
+        the operator's buffered state for that input is now the full
+        result of the corresponding subexpression."""
+
+    def on_query_end(self) -> None:
+        """Called after all sources and operators have finished."""
+
+    def describe(self) -> str:
+        return "baseline"
+
+
+class ExecutionContext:
+    """Shared, mutable state for one query execution."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        cost_model: Optional[CostModel] = None,
+        strategy: Optional[ExecutionStrategy] = None,
+        short_circuit: bool = True,
+        trace: bool = False,
+    ):
+        self.catalog = catalog
+        self.cost_model = cost_model or CostModel()
+        self.metrics = Metrics()
+        self.strategy = strategy or ExecutionStrategy()
+        #: Pipelined-hash-join optimisation from Section VI-A: when one
+        #: join input completes, the other side stops buffering.  The
+        #: Q2C magic-sets anomaly depends on this; ablation benches turn
+        #: it off.
+        self.short_circuit = short_circuit
+        self.trace = trace
+        self._trace_log = []
+
+    def charge(self, seconds: float) -> None:
+        self.metrics.charge(seconds)
+
+    def log(self, message: str) -> None:
+        if self.trace:
+            self._trace_log.append("[%10.6f] %s" % (self.metrics.clock, message))
+
+    @property
+    def trace_log(self):
+        return list(self._trace_log)

@@ -1,0 +1,99 @@
+"""Execution metrics.
+
+Tracks exactly the quantities the paper's figures report — running time
+(our virtual clock) and intermediate state (peak buffered bytes across
+all stateful operators and AIP sets) — plus the cardinality counters
+Tukwila exposes to its optimizer ("All query operators are supplemented
+with cardinality counters", Section V-A) and AIP-specific counters used
+in the experiment write-ups.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+
+class OperatorCounters:
+    """Per-operator tuple counters."""
+
+    __slots__ = ("tuples_in", "tuples_out", "tuples_pruned")
+
+    def __init__(self):
+        self.tuples_in = 0
+        self.tuples_out = 0
+        self.tuples_pruned = 0
+
+
+class Metrics:
+    """Mutable metric store owned by one query execution."""
+
+    def __init__(self):
+        self.clock: float = 0.0
+        self.idle_time: float = 0.0
+        self.cpu_time: float = 0.0
+        self._state_bytes: Dict[int, int] = {}
+        self.peak_state_bytes: int = 0
+        self.operators: Dict[int, OperatorCounters] = {}
+        self.aip_sets_created: int = 0
+        self.aip_sets_declined: int = 0
+        self.aip_bytes_shipped: int = 0
+        self.network_bytes: int = 0
+        self.result_rows: int = 0
+
+    # -- time ----------------------------------------------------------
+
+    def charge(self, seconds: float) -> None:
+        """Advance the clock by CPU work."""
+        self.clock += seconds
+        self.cpu_time += seconds
+
+    def wait_until(self, when: float) -> None:
+        """Advance the clock to an arrival time, recording idleness."""
+        if when > self.clock:
+            self.idle_time += when - self.clock
+            self.clock = when
+
+    # -- state accounting ------------------------------------------------
+
+    def adjust_state(self, owner_id: int, delta: int) -> None:
+        """Add ``delta`` bytes to an owner's buffered state."""
+        current = self._state_bytes.get(owner_id, 0) + delta
+        self._state_bytes[owner_id] = current
+        total = self.total_state_bytes
+        if total > self.peak_state_bytes:
+            self.peak_state_bytes = total
+
+    @property
+    def total_state_bytes(self) -> int:
+        return sum(self._state_bytes.values())
+
+    def state_bytes_of(self, owner_id: int) -> int:
+        return self._state_bytes.get(owner_id, 0)
+
+    # -- counters --------------------------------------------------------
+
+    def counters(self, op_id: int) -> OperatorCounters:
+        counter = self.operators.get(op_id)
+        if counter is None:
+            counter = OperatorCounters()
+            self.operators[op_id] = counter
+        return counter
+
+    @property
+    def total_pruned(self) -> int:
+        return sum(c.tuples_pruned for c in self.operators.values())
+
+    def summary(self) -> Dict[str, float]:
+        """Flat dictionary used by the benchmark harness reports."""
+        return {
+            "virtual_seconds": self.clock,
+            "cpu_seconds": self.cpu_time,
+            "idle_seconds": self.idle_time,
+            "peak_state_mb": self.peak_state_bytes / 1e6,
+            "tuples_pruned": self.total_pruned,
+            "aip_sets_created": self.aip_sets_created,
+            "aip_sets_declined": self.aip_sets_declined,
+            "aip_bytes_shipped": self.aip_bytes_shipped,
+            "network_bytes": self.network_bytes,
+            "result_rows": self.result_rows,
+        }

@@ -1,0 +1,15 @@
+"""Physical push operators."""
+
+from repro.exec.operators.base import InjectedFilter, Operator
+from repro.exec.operators.scan import PScan
+from repro.exec.operators.filter import PFilter
+from repro.exec.operators.project import PProject
+from repro.exec.operators.hashjoin import PHashJoin
+from repro.exec.operators.groupby import PGroupBy
+from repro.exec.operators.distinct import PDistinct
+from repro.exec.operators.output import POutput
+
+__all__ = [
+    "Operator", "InjectedFilter", "PScan", "PFilter", "PProject",
+    "PHashJoin", "PGroupBy", "PDistinct", "POutput",
+]

@@ -1,0 +1,209 @@
+"""Physical operator base class.
+
+Operators form a tree mirroring the logical plan.  Data flows *up*:
+children call ``parent.push(row, port)`` and, at end of stream,
+``parent.finish(port)``.  The engine only ever drives scans; everything
+else reacts.
+
+Two AIP-specific mechanisms live here because the paper implements
+them inside the query operators (Section V-B):
+
+* **injected semijoin filters** — "we extended our join and group-by
+  implementations to support registration of new semijoin operators on
+  the fly; these semijoins are called when a tuple is received and
+  before it is processed internally by the operator";
+* **state exposure** — "all stateful operators employ standardized
+  data structures ... for preserving intermediate state, which they
+  expose to the execution engine for use in AIP"
+  (:meth:`Operator.state_values`, :meth:`Operator.stored_count`).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Tuple
+
+from repro.common.errors import ExecutionError
+from repro.data.schema import Schema
+from repro.exec.context import ExecutionContext
+
+Row = Tuple
+
+
+class InjectedFilter:
+    """A semijoin filter registered on one operator input port."""
+
+    __slots__ = ("key_index", "attr_name", "summary", "label", "pruned", "probed")
+
+    def __init__(self, key_index: int, attr_name: str, summary, label: str):
+        self.key_index = key_index
+        self.attr_name = attr_name
+        self.summary = summary
+        self.label = label
+        self.pruned = 0
+        self.probed = 0
+
+    def passes(self, row: Row) -> bool:
+        self.probed += 1
+        if row[self.key_index] in self.summary:
+            return True
+        self.pruned += 1
+        return False
+
+
+class Operator:
+    """Base class for all physical operators."""
+
+    #: Number of input ports (overridden by joins).
+    n_inputs = 1
+    #: Whether this operator buffers state usable for AIP.
+    stateful = False
+
+    def __init__(
+        self,
+        ctx: ExecutionContext,
+        op_id: int,
+        out_schema: Schema,
+        input_schemas: List[Schema],
+        name: str,
+    ):
+        self.ctx = ctx
+        self.op_id = op_id
+        self.out_schema = out_schema
+        self.input_schemas = input_schemas
+        self.name = name
+        #: Consumers: ``(operator, port)`` pairs.  Plans are usually
+        #: trees (one consumer), but shared subexpressions — e.g. the
+        #: outer query feeding both the final join and a magic filter
+        #: set — give an operator several parents.
+        self.parents: List[Tuple["Operator", int]] = []
+        self.children: List[Optional["Operator"]] = [None] * self.n_inputs
+        # Scans (n_inputs == 0) still accept engine-side filters on a
+        # virtual port 0 — AIP semijoins are injected "after X is read".
+        self._filters: List[List[InjectedFilter]] = [
+            [] for _ in range(max(1, self.n_inputs))
+        ]
+        self._input_done: List[bool] = [False] * self.n_inputs
+        self._output_done = False
+
+    # -- wiring ---------------------------------------------------------
+
+    def connect_child(self, child: "Operator", port: int) -> None:
+        if not 0 <= port < self.n_inputs:
+            raise ExecutionError(
+                "operator %s has no input port %d" % (self.name, port)
+            )
+        self.children[port] = child
+        child.parents.append((self, port))
+
+    def walk(self) -> Iterable["Operator"]:
+        """All operators in the DAG rooted here, each exactly once."""
+        seen = set()
+        stack: List["Operator"] = [self]
+        while stack:
+            op = stack.pop()
+            if op.op_id in seen:
+                continue
+            seen.add(op.op_id)
+            yield op
+            for child in op.children:
+                if child is not None:
+                    stack.append(child)
+
+    # -- filter registration (AIP injection point) ----------------------
+
+    def register_filter(
+        self, port: int, attr_name: str, summary, label: str = ""
+    ) -> InjectedFilter:
+        """Install a semijoin filter on ``port``; arriving tuples whose
+        ``attr_name`` value is rejected by ``summary`` are discarded
+        before the operator processes them."""
+        schema = self.input_schemas[port] if self.input_schemas else self.out_schema
+        f = InjectedFilter(schema.index_of(attr_name), attr_name, summary, label)
+        self._filters[port].append(f)
+        self.ctx.log(
+            "filter %s injected on %s port %d (%s)"
+            % (label or "<anon>", self.name, port, attr_name)
+        )
+        return f
+
+    def filters_on(self, port: int) -> List[InjectedFilter]:
+        return list(self._filters[port])
+
+    def replace_filter(
+        self, port: int, old: InjectedFilter, new: InjectedFilter
+    ) -> None:
+        """Swap a weaker filter for a strictly stronger one (Section
+        IV-B: an existing filter over the same key may be directly
+        replaced)."""
+        filters = self._filters[port]
+        filters[filters.index(old)] = new
+
+    def passes_filters(self, row: Row, port: int) -> bool:
+        """Probe all injected filters; charges probe cost per filter."""
+        filters = self._filters[port]
+        if not filters:
+            return True
+        cost = self.ctx.cost_model.semijoin_probe
+        counters = self.ctx.metrics.counters(self.op_id)
+        for f in filters:
+            self.ctx.charge(cost)
+            if not f.passes(row):
+                counters.tuples_pruned += 1
+                return False
+        return True
+
+    # -- dataflow --------------------------------------------------------
+
+    def push(self, row: Row, port: int = 0) -> None:
+        raise NotImplementedError
+
+    def finish(self, port: int = 0) -> None:
+        raise NotImplementedError
+
+    def emit(self, row: Row) -> None:
+        self.ctx.metrics.counters(self.op_id).tuples_out += 1
+        for parent, port in self.parents:
+            parent.push(row, port)
+
+    def finish_output(self) -> None:
+        if self._output_done:
+            return
+        self._output_done = True
+        self.ctx.log("%s output complete" % self.name)
+        for parent, port in self.parents:
+            parent.finish(port)
+
+    def _mark_input_done(self, port: int) -> None:
+        if self._input_done[port]:
+            raise ExecutionError(
+                "input %d of %s finished twice" % (port, self.name)
+            )
+        self._input_done[port] = True
+
+    def input_done(self, port: int) -> bool:
+        return self._input_done[port]
+
+    @property
+    def all_inputs_done(self) -> bool:
+        return all(self._input_done)
+
+    # -- state exposure ---------------------------------------------------
+
+    def state_values(self, port: int, attr_name: str) -> Iterable:
+        """Iterate the buffered values of ``attr_name`` on ``port``."""
+        raise ExecutionError("%s holds no state" % self.name)
+
+    def stored_count(self, port: int) -> int:
+        """Number of state rows buffered for ``port``."""
+        return 0
+
+    def state_complete(self, port: int) -> bool:
+        """True when the buffered state for ``port`` contains the FULL
+        result of the corresponding subexpression.  AIP sets may only be
+        built from complete state — a partial summary would produce
+        false negatives and wrong query results.  Short-circuited join
+        sides and semijoin probe buffers are *not* complete."""
+        return False
+
+    def __repr__(self) -> str:
+        return "%s(#%d)" % (self.name, self.op_id)

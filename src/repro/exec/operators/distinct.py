@@ -1,0 +1,63 @@
+"""Duplicate elimination.
+
+Pipelined: the first occurrence of a row is forwarded immediately, so a
+distinct does not block, but it buffers every distinct row seen — state
+the paper explicitly calls out as an AIP source (Example 3.1 builds a
+hash set "from the state in the distinct operator").
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+from repro.data.schema import Schema
+from repro.exec.context import ExecutionContext
+from repro.exec.operators.base import Operator, Row
+
+
+class PDistinct(Operator):
+    """Hash-set based duplicate elimination over full rows."""
+
+    stateful = True
+
+    def __init__(self, ctx: ExecutionContext, op_id: int, schema: Schema):
+        super().__init__(ctx, op_id, schema, [schema], "Distinct")
+        self._seen: Set[Row] = set()
+        self._row_bytes = schema.row_byte_size()
+
+    def push(self, row: Row, port: int = 0) -> None:
+        cm = self.ctx.cost_model
+        self.ctx.metrics.counters(self.op_id).tuples_in += 1
+        self.ctx.charge(cm.tuple_base + cm.hash_probe)
+        if not self.passes_filters(row, 0):
+            return
+        if row in self._seen:
+            return
+        self.ctx.charge(cm.hash_insert)
+        self._seen.add(row)
+        self.ctx.metrics.adjust_state(self.op_id, self._row_bytes)
+        self.ctx.strategy.after_tuple(self, 0, row)
+        self.emit(row)
+
+    def finish(self, port: int = 0) -> None:
+        self._mark_input_done(port)
+        self.ctx.strategy.on_input_finished(self, 0)
+        if self._seen:
+            self.ctx.metrics.adjust_state(
+                self.op_id, -len(self._seen) * self._row_bytes
+            )
+            self._seen.clear()
+        self.finish_output()
+
+    # -- state exposure ----------------------------------------------------
+
+    def state_values(self, port: int, attr_name: str):
+        idx = self.input_schemas[0].index_of(attr_name)
+        for row in self._seen:
+            yield row[idx]
+
+    def stored_count(self, port: int) -> int:
+        return len(self._seen)
+
+    def state_complete(self, port: int) -> bool:
+        return self._input_done[0]

@@ -1,0 +1,36 @@
+"""Selection operator."""
+
+from __future__ import annotations
+
+from repro.data.schema import Schema
+from repro.exec.context import ExecutionContext
+from repro.exec.operators.base import Operator, Row
+from repro.expr.compiler import compile_predicate
+from repro.expr.expressions import Expr
+
+
+class PFilter(Operator):
+    """Pipelined selection: forwards rows satisfying a predicate."""
+
+    def __init__(
+        self,
+        ctx: ExecutionContext,
+        op_id: int,
+        schema: Schema,
+        predicate: Expr,
+    ):
+        super().__init__(ctx, op_id, schema, [schema], "Filter")
+        self._predicate = compile_predicate(predicate, schema)
+
+    def push(self, row: Row, port: int = 0) -> None:
+        cm = self.ctx.cost_model
+        self.ctx.metrics.counters(self.op_id).tuples_in += 1
+        self.ctx.charge(cm.tuple_base + cm.predicate_eval)
+        if not self.passes_filters(row, 0):
+            return
+        if self._predicate(row):
+            self.emit(row)
+
+    def finish(self, port: int = 0) -> None:
+        self._mark_input_done(port)
+        self.finish_output()

@@ -1,0 +1,124 @@
+"""Hash-based aggregation.
+
+Group-by is the blocking, stateful operator that motivates much of the
+paper: its hash state is both an obstacle (nothing flows until the
+input completes) and an opportunity (once complete, the group keys are
+a perfect AIP set — Example 3.2 builds a Bloom filter from "the state
+in the aggregation operator").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.data.schema import Schema
+from repro.exec.context import ExecutionContext
+from repro.exec.operators.base import Operator, Row
+from repro.expr.aggregates import AggregateSpec
+from repro.expr.compiler import compile_expr
+
+
+class PGroupBy(Operator):
+    """Hash aggregation over zero or more key columns."""
+
+    stateful = True
+
+    def __init__(
+        self,
+        ctx: ExecutionContext,
+        op_id: int,
+        in_schema: Schema,
+        out_schema: Schema,
+        keys: Sequence[str],
+        aggregates: Sequence[AggregateSpec],
+    ):
+        super().__init__(ctx, op_id, out_schema, [in_schema], "GroupBy")
+        self._key_indices = tuple(in_schema.index_of(k) for k in keys)
+        self._specs = tuple(aggregates)
+        self._agg_fns = tuple(
+            compile_expr(s.input, in_schema) if s.input is not None else None
+            for s in aggregates
+        )
+        #: group key -> (key values tuple, [accumulators])
+        self._groups: Dict = {}
+        self.keys = tuple(keys)
+        self._group_bytes = (
+            16 + 8 * len(self._key_indices)
+            + sum(s.make_accumulator().byte_size() for s in aggregates)
+        )
+
+    def _key_of(self, row: Row):
+        indices = self._key_indices
+        if len(indices) == 1:
+            return row[indices[0]]
+        return tuple(row[i] for i in indices)
+
+    def push(self, row: Row, port: int = 0) -> None:
+        cm = self.ctx.cost_model
+        self.ctx.metrics.counters(self.op_id).tuples_in += 1
+        self.ctx.charge(cm.tuple_base)
+        if not self.passes_filters(row, 0):
+            return
+
+        key = self._key_of(row)
+        self.ctx.charge(cm.hash_probe)
+        group = self._groups.get(key)
+        if group is None:
+            accumulators = [s.make_accumulator() for s in self._specs]
+            key_values = tuple(row[i] for i in self._key_indices)
+            group = (key_values, accumulators)
+            self._groups[key] = group
+            self.ctx.charge(cm.hash_insert)
+            self.ctx.metrics.adjust_state(self.op_id, self._group_bytes)
+        for fn, acc in zip(self._agg_fns, group[1]):
+            self.ctx.charge(cm.agg_update)
+            acc.add(fn(row) if fn is not None else None)
+
+        self.ctx.strategy.after_tuple(self, 0, row)
+
+    def finish(self, port: int = 0) -> None:
+        self._mark_input_done(port)
+        self.ctx.strategy.on_input_finished(self, 0)
+        cm = self.ctx.cost_model
+        if not self._key_indices and not self._groups:
+            # SQL semantics: a keyless aggregate over an empty input
+            # still produces one row (SUM -> 0-or-None per accumulator).
+            self.ctx.charge(cm.output_build)
+            self.emit(tuple(
+                s.make_accumulator().result() for s in self._specs
+            ))
+        for key_values, accumulators in self._groups.values():
+            self.ctx.charge(cm.output_build)
+            self.emit(key_values + tuple(a.result() for a in accumulators))
+        self._release_state()
+        self.finish_output()
+
+    def _release_state(self) -> None:
+        if self._groups:
+            self.ctx.metrics.adjust_state(
+                self.op_id, -len(self._groups) * self._group_bytes
+            )
+            self._groups.clear()
+
+    # -- state exposure ----------------------------------------------------
+
+    def state_values(self, port: int, attr_name: str):
+        """Values of a key or aggregate output attribute across the
+        buffered groups.  Aggregate outputs become available as AIP set
+        material once the input completes (e.g. the set of per-part MIN
+        supply costs, which can prune a parent's PARTSUPP rows)."""
+        if attr_name in self.keys:
+            pos = self.keys.index(attr_name)
+            for key_values, _ in self._groups.values():
+                yield key_values[pos]
+            return
+        agg_names = [s.output_name for s in self._specs]
+        pos = agg_names.index(attr_name)
+        for _, accumulators in self._groups.values():
+            yield accumulators[pos].result()
+
+    def stored_count(self, port: int) -> int:
+        return len(self._groups)
+
+    def state_complete(self, port: int) -> bool:
+        return self._input_done[0]

@@ -1,0 +1,147 @@
+"""Pipelined (symmetric) hash join.
+
+This is the workhorse of push-style query processing (the paper builds
+on Tukwila's pipelined hash join [10], [11]).  Both inputs are hashed;
+a tuple arriving on either side probes the opposite table, emits any
+matches, and is inserted into its own side's table so that future
+arrivals from the opposite side can find it.
+
+Two behaviours from the paper are implemented here:
+
+* **short-circuiting** (Section VI-A, the Q2C discussion): "if one of
+  the join inputs completes, the other input 'short-circuits' and stops
+  buffering input that will not be needed later."  When an input
+  finishes, the opposite side's hash table is released and no longer
+  appended to — nothing will ever probe it again.
+* **AIP state exposure**: a finished input's hash table *is* the
+  materialised result of that subexpression, which both AIP algorithms
+  turn into filters (``state_values``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.data.schema import Schema
+from repro.exec.context import ExecutionContext
+from repro.exec.operators.base import Operator, Row
+from repro.expr.compiler import compile_predicate
+from repro.expr.expressions import Expr
+
+
+class PHashJoin(Operator):
+    """Symmetric hash join over one or more equi-join key pairs."""
+
+    n_inputs = 2
+    stateful = True
+
+    def __init__(
+        self,
+        ctx: ExecutionContext,
+        op_id: int,
+        left_schema: Schema,
+        right_schema: Schema,
+        left_keys: List[str],
+        right_keys: List[str],
+        residual: Optional[Expr] = None,
+    ):
+        out_schema = left_schema.concat(right_schema)
+        super().__init__(
+            ctx, op_id, out_schema, [left_schema, right_schema], "HashJoin"
+        )
+        self._key_indices = (
+            tuple(left_schema.index_of(k) for k in left_keys),
+            tuple(right_schema.index_of(k) for k in right_keys),
+        )
+        self._tables: Tuple[Dict, Dict] = ({}, {})
+        self._row_bytes = (
+            left_schema.row_byte_size(),
+            right_schema.row_byte_size(),
+        )
+        self._buffering = [True, True]
+        self._residual = (
+            compile_predicate(residual, out_schema)
+            if residual is not None
+            else None
+        )
+        self.left_keys = tuple(left_keys)
+        self.right_keys = tuple(right_keys)
+
+    def _key_of(self, row: Row, port: int):
+        indices = self._key_indices[port]
+        if len(indices) == 1:
+            return row[indices[0]]
+        return tuple(row[i] for i in indices)
+
+    def push(self, row: Row, port: int = 0) -> None:
+        cm = self.ctx.cost_model
+        metrics = self.ctx.metrics
+        metrics.counters(self.op_id).tuples_in += 1
+        self.ctx.charge(cm.tuple_base)
+        if not self.passes_filters(row, port):
+            return
+
+        other = 1 - port
+        key = self._key_of(row, port)
+
+        # Probe the opposite table.
+        self.ctx.charge(cm.hash_probe)
+        matches = self._tables[other].get(key)
+        if matches:
+            for match in matches:
+                # Port 0 rows sit left in the output schema.
+                combined = row + match if port == 0 else match + row
+                if self._residual is not None:
+                    self.ctx.charge(cm.predicate_eval)
+                    if not self._residual(combined):
+                        continue
+                self.ctx.charge(cm.output_build)
+                self.emit(combined)
+
+        # Insert into this side's table, unless the opposite input has
+        # already completed (short-circuit: nothing will probe us).
+        if self._buffering[port]:
+            self.ctx.charge(cm.hash_insert)
+            self._tables[port].setdefault(key, []).append(row)
+            metrics.adjust_state(self.op_id, self._row_bytes[port])
+
+        self.ctx.strategy.after_tuple(self, port, row)
+
+    def finish(self, port: int = 0) -> None:
+        self._mark_input_done(port)
+        other = 1 - port
+        if self.ctx.short_circuit and not self._input_done[other]:
+            # Release the opposite side's buffered rows; future arrivals
+            # on `other` keep probing table[port] but are not stored.
+            self._release_table(other)
+            self._buffering[other] = False
+        self.ctx.strategy.on_input_finished(self, port)
+        if self.all_inputs_done:
+            self._release_table(0)
+            self._release_table(1)
+            self.finish_output()
+
+    def _release_table(self, port: int) -> None:
+        stored = sum(len(rows) for rows in self._tables[port].values())
+        if stored:
+            self.ctx.metrics.adjust_state(
+                self.op_id, -stored * self._row_bytes[port]
+            )
+        self._tables[port].clear()
+
+    # -- state exposure ----------------------------------------------------
+
+    def state_values(self, port: int, attr_name: str):
+        idx = self.input_schemas[port].index_of(attr_name)
+        for rows in self._tables[port].values():
+            for row in rows:
+                yield row[idx]
+
+    def stored_count(self, port: int) -> int:
+        return sum(len(rows) for rows in self._tables[port].values())
+
+    def state_complete(self, port: int) -> bool:
+        # Complete iff the port finished while still buffering: if the
+        # opposite input completed first, short-circuiting stopped this
+        # side's inserts and its table is partial.
+        return self._input_done[port] and self._buffering[port]

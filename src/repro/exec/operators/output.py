@@ -1,0 +1,28 @@
+"""Result sink."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.data.schema import Schema
+from repro.exec.context import ExecutionContext
+from repro.exec.operators.base import Operator, Row
+
+
+class POutput(Operator):
+    """Collects final result rows at the plan root."""
+
+    def __init__(self, ctx: ExecutionContext, op_id: int, schema: Schema):
+        super().__init__(ctx, op_id, schema, [schema], "Output")
+        self.rows: List[Row] = []
+        self.finished = False
+
+    def push(self, row: Row, port: int = 0) -> None:
+        self.ctx.metrics.counters(self.op_id).tuples_in += 1
+        self.ctx.charge(self.ctx.cost_model.tuple_base)
+        self.rows.append(row)
+        self.ctx.metrics.result_rows += 1
+
+    def finish(self, port: int = 0) -> None:
+        self._mark_input_done(port)
+        self.finished = True

@@ -1,0 +1,38 @@
+"""Projection operator."""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from repro.data.schema import Schema
+from repro.exec.context import ExecutionContext
+from repro.exec.operators.base import Operator, Row
+from repro.expr.compiler import compile_expr
+from repro.expr.expressions import Expr
+
+
+class PProject(Operator):
+    """Pipelined projection: computes output columns per input row."""
+
+    def __init__(
+        self,
+        ctx: ExecutionContext,
+        op_id: int,
+        in_schema: Schema,
+        out_schema: Schema,
+        outputs: Sequence[Tuple[str, Expr]],
+    ):
+        super().__init__(ctx, op_id, out_schema, [in_schema], "Project")
+        self._fns = [compile_expr(expr, in_schema) for _, expr in outputs]
+
+    def push(self, row: Row, port: int = 0) -> None:
+        cm = self.ctx.cost_model
+        self.ctx.metrics.counters(self.op_id).tuples_in += 1
+        self.ctx.charge(cm.tuple_base + cm.output_build)
+        if not self.passes_filters(row, 0):
+            return
+        self.emit(tuple(fn(row) for fn in self._fns))
+
+    def finish(self, port: int = 0) -> None:
+        self._mark_input_done(port)
+        self.finish_output()

@@ -1,0 +1,99 @@
+"""Table scans.
+
+A scan owns its rows and an :class:`~repro.exec.arrival.ArrivalModel`
+that says when each row becomes available.  The engine drives scans via
+:meth:`advance`; everything downstream is reactive.
+
+Scans also host *source-side filters* for the distributed experiments:
+a shipped AIP set is installed into the arrival model so that rejected
+rows stop consuming simulated link bandwidth (the adaptive Bloomjoin of
+Section V-B / VI-C).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.data.schema import Schema
+from repro.exec.arrival import ArrivalModel, SourceFilter
+from repro.exec.context import ExecutionContext
+from repro.exec.operators.base import Operator, Row
+
+
+class PScan(Operator):
+    """Physical scan over materialised rows with timed availability."""
+
+    n_inputs = 0
+
+    def __init__(
+        self,
+        ctx: ExecutionContext,
+        op_id: int,
+        out_schema: Schema,
+        rows: List[Row],
+        arrival: Optional[ArrivalModel] = None,
+        table_name: str = "",
+        site: Optional[str] = None,
+    ):
+        super().__init__(ctx, op_id, out_schema, [], "Scan(%s)" % table_name)
+        self.rows = rows
+        self.arrival = arrival or ArrivalModel.immediate()
+        self.table_name = table_name
+        self.site = site
+        self._cursor = 0
+        self._pending: Optional[Tuple[float, Row]] = None
+        self.exhausted = False
+
+    # -- engine interface -------------------------------------------------
+
+    def prime(self) -> Optional[float]:
+        """Compute the first pending tuple; returns its arrival time."""
+        return self._advance_cursor()
+
+    def advance(self) -> Optional[float]:
+        """Move to the next pending tuple; returns its arrival time."""
+        return self._advance_cursor()
+
+    def _advance_cursor(self) -> Optional[float]:
+        found = self.arrival.next_arrival(self.rows, self._cursor)
+        if found is None:
+            self._pending = None
+            self.exhausted = True
+            return None
+        next_cursor, when, row = found
+        self._cursor = next_cursor
+        self._pending = (when, row)
+        return when
+
+    def emit_pending(self) -> None:
+        """Push the pending tuple into the consumer chain."""
+        assert self._pending is not None, "no pending tuple"
+        _, row = self._pending
+        self._pending = None
+        counters = self.ctx.metrics.counters(self.op_id)
+        counters.tuples_in += 1
+        self.ctx.charge(self.ctx.cost_model.scan_read)
+        if not self.passes_filters(row, 0):
+            return
+        self.emit(row)
+
+    # -- source-side filters (distributed AIP) ----------------------------
+
+    def install_source_filter(
+        self, attr_name: str, summary, activation_time: float
+    ) -> SourceFilter:
+        key_index = self.out_schema.index_of(attr_name)
+        self.ctx.log(
+            "source filter on %s.%s active from t=%g"
+            % (self.table_name, attr_name, activation_time)
+        )
+        return self.arrival.install_filter(key_index, summary, activation_time)
+
+    # -- dataflow ----------------------------------------------------------
+
+    def push(self, row: Row, port: int = 0) -> None:
+        raise AssertionError("scans have no inputs")
+
+    def finish(self, port: int = 0) -> None:
+        """Called by the engine when the source is exhausted."""
+        self.finish_output()

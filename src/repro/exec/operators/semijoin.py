@@ -1,0 +1,140 @@
+"""Pipelined semijoin.
+
+Emits each probe-side row at most once, as soon as its key is known to
+exist on the source side:
+
+* probe row arrives, key already in the source table → emit now;
+* probe row arrives, key unknown → buffer it (the matching source row
+  may still be in flight);
+* source row arrives with a new key → flush any probe rows buffered
+  under that key;
+* source input finishes → buffered probe rows can never match; drop
+  them and release their state.
+
+The probe buffer never holds a row whose key has already been seen on
+the source side, so state stays bounded by the unmatched prefix.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from repro.data.schema import Schema
+from repro.exec.context import ExecutionContext
+from repro.exec.operators.base import Operator, Row
+
+PROBE = 0
+SOURCE = 1
+
+
+class PSemiJoin(Operator):
+    """Physical pipelined semijoin (probe on port 0, source on port 1)."""
+
+    n_inputs = 2
+    stateful = True
+
+    def __init__(
+        self,
+        ctx: ExecutionContext,
+        op_id: int,
+        probe_schema: Schema,
+        source_schema: Schema,
+        probe_keys: List[str],
+        source_keys: List[str],
+    ):
+        super().__init__(
+            ctx, op_id, probe_schema, [probe_schema, source_schema], "SemiJoin"
+        )
+        self._probe_idx = tuple(probe_schema.index_of(k) for k in probe_keys)
+        self._source_idx = tuple(source_schema.index_of(k) for k in source_keys)
+        self._source_keys: Set = set()
+        self._pending: Dict[object, List[Row]] = {}
+        self._probe_row_bytes = probe_schema.row_byte_size()
+        self._key_bytes = 8 * len(source_keys)
+
+    def _key(self, row: Row, indices) -> object:
+        if len(indices) == 1:
+            return row[indices[0]]
+        return tuple(row[i] for i in indices)
+
+    def push(self, row: Row, port: int = 0) -> None:
+        cm = self.ctx.cost_model
+        metrics = self.ctx.metrics
+        metrics.counters(self.op_id).tuples_in += 1
+        self.ctx.charge(cm.tuple_base)
+        if not self.passes_filters(row, port):
+            return
+
+        if port == PROBE:
+            key = self._key(row, self._probe_idx)
+            self.ctx.charge(cm.hash_probe)
+            if key in self._source_keys:
+                self.emit(row)
+            elif not self._input_done[SOURCE]:
+                self.ctx.charge(cm.hash_insert)
+                self._pending.setdefault(key, []).append(row)
+                metrics.adjust_state(self.op_id, self._probe_row_bytes)
+            # Source already complete and key absent: row can never match.
+        else:
+            key = self._key(row, self._source_idx)
+            self.ctx.charge(cm.hash_probe)
+            if key in self._source_keys:
+                return  # duplicate source key carries no new information
+            self.ctx.charge(cm.hash_insert)
+            self._source_keys.add(key)
+            metrics.adjust_state(self.op_id, self._key_bytes)
+            waiting = self._pending.pop(key, None)
+            if waiting:
+                metrics.adjust_state(
+                    self.op_id, -len(waiting) * self._probe_row_bytes
+                )
+                for pending_row in waiting:
+                    self.ctx.charge(cm.output_build)
+                    self.emit(pending_row)
+        self.ctx.strategy.after_tuple(self, port, row)
+
+    def finish(self, port: int = 0) -> None:
+        self._mark_input_done(port)
+        metrics = self.ctx.metrics
+        if port == SOURCE and self._pending:
+            dropped = sum(len(rows) for rows in self._pending.values())
+            metrics.adjust_state(
+                self.op_id, -dropped * self._probe_row_bytes
+            )
+            self._pending.clear()
+        self.ctx.strategy.on_input_finished(self, port)
+        if self.all_inputs_done:
+            if self._source_keys:
+                metrics.adjust_state(
+                    self.op_id, -len(self._source_keys) * self._key_bytes
+                )
+                self._source_keys.clear()
+            self.finish_output()
+
+    # -- state exposure ----------------------------------------------------
+
+    def state_values(self, port: int, attr_name: str):
+        if port == SOURCE:
+            # Single-key semijoins store raw values; composite keys as tuples.
+            name_list = [
+                self.input_schemas[SOURCE].names[i] for i in self._source_idx
+            ]
+            pos = name_list.index(attr_name)
+            for key in self._source_keys:
+                yield key if len(self._source_idx) == 1 else key[pos]
+        else:
+            idx = self.input_schemas[PROBE].index_of(attr_name)
+            for rows in self._pending.values():
+                for row in rows:
+                    yield row[idx]
+
+    def stored_count(self, port: int) -> int:
+        if port == SOURCE:
+            return len(self._source_keys)
+        return sum(len(rows) for rows in self._pending.values())
+
+    def state_complete(self, port: int) -> bool:
+        # The probe buffer only ever holds *unmatched* rows — never a
+        # complete subexpression.  The source key set is complete once
+        # the source input finishes.
+        return port == SOURCE and self._input_done[SOURCE]

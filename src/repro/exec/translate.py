@@ -1,0 +1,151 @@
+"""Logical → physical plan translation.
+
+Each logical node maps to one physical operator (keeping the logical
+``node_id``, which is how the AIP layer addresses running operators).
+A result sink is appended above the root.
+
+Arrival models are resolved per scan: explicit overrides first, then
+site-based remote models (a scan marked with a site is fetched over the
+simulated network), then local streaming.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.common.errors import PlanError
+from repro.exec.arrival import ArrivalModel
+from repro.exec.context import ExecutionContext
+from repro.exec.operators.base import Operator
+from repro.exec.operators.distinct import PDistinct
+from repro.exec.operators.filter import PFilter
+from repro.exec.operators.groupby import PGroupBy
+from repro.exec.operators.hashjoin import PHashJoin
+from repro.exec.operators.output import POutput
+from repro.exec.operators.project import PProject
+from repro.exec.operators.scan import PScan
+from repro.exec.operators.semijoin import PSemiJoin
+from repro.plan.logical import (
+    Distinct, Filter, GroupBy, Join, LogicalNode, Project, Scan, SemiJoin,
+    fresh_node_id,
+)
+
+#: Resolves the arrival model for a scan node; return None to fall back
+#: to the default resolution.
+ArrivalResolver = Callable[[Scan], Optional[ArrivalModel]]
+
+
+class PhysicalPlan:
+    """The translated operator tree plus lookup structures."""
+
+    def __init__(
+        self,
+        sink: POutput,
+        scans: List[PScan],
+        by_node_id: Dict[int, Operator],
+        logical_root: LogicalNode,
+    ):
+        self.sink = sink
+        self.scans = scans
+        self.by_node_id = by_node_id
+        self.logical_root = logical_root
+
+    def operator_for(self, node_id: int) -> Operator:
+        try:
+            return self.by_node_id[node_id]
+        except KeyError:
+            raise PlanError("no physical operator for node #%d" % node_id)
+
+
+def default_arrival(ctx: ExecutionContext, node: Scan) -> ArrivalModel:
+    """Remote scans pay link latency/bandwidth; local scans stream."""
+    if node.site is not None:
+        row_bytes = node.schema.row_byte_size()
+        return ArrivalModel.remote(
+            bandwidth=ctx.cost_model.network_bandwidth,
+            row_bytes=row_bytes,
+            latency=ctx.cost_model.network_latency,
+        )
+    return ArrivalModel.streaming()
+
+
+def translate(
+    root: LogicalNode,
+    ctx: ExecutionContext,
+    arrival_resolver: Optional[ArrivalResolver] = None,
+) -> PhysicalPlan:
+    """Build the physical operator tree for ``root``."""
+    scans: List[PScan] = []
+    by_node_id: Dict[int, Operator] = {}
+
+    def build(node: LogicalNode) -> Operator:
+        # Shared subexpressions (DAG plans) translate to one physical
+        # operator with several parents.
+        existing = by_node_id.get(node.node_id)
+        if existing is not None:
+            return existing
+        if isinstance(node, Scan):
+            table = ctx.catalog.table(node.table_name)
+            arrival = None
+            if arrival_resolver is not None:
+                arrival = arrival_resolver(node)
+            if arrival is None:
+                arrival = default_arrival(ctx, node)
+            op = PScan(
+                ctx, node.node_id, node.schema, table.rows,
+                arrival=arrival, table_name=node.table_name, site=node.site,
+            )
+            scans.append(op)
+        elif isinstance(node, Filter):
+            child = build(node.child)
+            op = PFilter(ctx, node.node_id, node.schema, node.predicate)
+            op.connect_child(child, 0)
+        elif isinstance(node, Project):
+            child = build(node.child)
+            op = PProject(
+                ctx, node.node_id, node.child.schema, node.schema, node.outputs
+            )
+            op.connect_child(child, 0)
+        elif isinstance(node, Join):
+            left = build(node.left)
+            right = build(node.right)
+            op = PHashJoin(
+                ctx, node.node_id,
+                node.left.schema, node.right.schema,
+                list(node.left_keys), list(node.right_keys),
+                residual=node.residual,
+            )
+            op.connect_child(left, 0)
+            op.connect_child(right, 1)
+        elif isinstance(node, SemiJoin):
+            probe = build(node.probe)
+            source = build(node.source)
+            op = PSemiJoin(
+                ctx, node.node_id,
+                node.probe.schema, node.source.schema,
+                list(node.probe_keys), list(node.source_keys),
+            )
+            op.connect_child(probe, 0)
+            op.connect_child(source, 1)
+        elif isinstance(node, GroupBy):
+            child = build(node.child)
+            op = PGroupBy(
+                ctx, node.node_id, node.child.schema, node.schema,
+                list(node.keys), list(node.aggregates),
+            )
+            op.connect_child(child, 0)
+        elif isinstance(node, Distinct):
+            child = build(node.child)
+            op = PDistinct(ctx, node.node_id, node.schema)
+            op.connect_child(child, 0)
+        else:
+            raise PlanError("cannot translate node %r" % node)
+        op.logical = node  # back-reference used by the AIP layer
+        by_node_id[node.node_id] = op
+        return op
+
+    top = build(root)
+    sink = POutput(ctx, fresh_node_id(), top.out_schema)
+    sink.connect_child(top, 0)
+    sink.logical = None
+    return PhysicalPlan(sink, scans, by_node_id, root)

@@ -1,0 +1,25 @@
+"""Scalar expression language and aggregate specifications."""
+
+from repro.expr.expressions import (
+    Expr,
+    Col,
+    Lit,
+    Arith,
+    Cmp,
+    And,
+    Or,
+    Not,
+    Like,
+    Func,
+    col,
+    lit,
+)
+from repro.expr.aggregates import AggregateSpec, SUM, MIN, MAX, AVG, COUNT
+from repro.expr.compiler import compile_expr, compile_predicate
+
+__all__ = [
+    "Expr", "Col", "Lit", "Arith", "Cmp", "And", "Or", "Not", "Like", "Func",
+    "col", "lit",
+    "AggregateSpec", "SUM", "MIN", "MAX", "AVG", "COUNT",
+    "compile_expr", "compile_predicate",
+]

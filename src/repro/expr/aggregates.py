@@ -1,0 +1,157 @@
+"""Aggregate function specifications and accumulators.
+
+Hash-based group-by (one of the paper's two stateful operator kinds)
+maintains, per group key, one accumulator per aggregate.  The Table I
+workload needs SUM, MIN and AVG; COUNT and MAX complete the usual set.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Tuple
+
+from repro.common.errors import PlanError
+from repro.data.schema import FLOAT, INT, Schema
+from repro.expr.expressions import Expr
+
+SUM = "sum"
+MIN = "min"
+MAX = "max"
+AVG = "avg"
+COUNT = "count"
+
+_VALID = frozenset({SUM, MIN, MAX, AVG, COUNT})
+
+
+class AggregateSpec:
+    """One aggregate column: ``func(input) AS output_name``.
+
+    ``input`` may be None only for COUNT (i.e. ``COUNT(*)``).
+    """
+
+    __slots__ = ("func", "input", "output_name")
+
+    def __init__(self, func: str, input: Optional[Expr], output_name: str):
+        if func not in _VALID:
+            raise PlanError("unknown aggregate function %r" % func)
+        if input is None and func != COUNT:
+            raise PlanError("%s requires an input expression" % func)
+        if not output_name:
+            raise PlanError("aggregate needs an output name")
+        self.func = func
+        self.input = input
+        self.output_name = output_name
+
+    def result_type(self, schema: Schema) -> str:
+        if self.func == COUNT:
+            return INT
+        if self.func == AVG:
+            return FLOAT
+        assert self.input is not None
+        return self.input.result_type(schema)
+
+    def make_accumulator(self) -> "Accumulator":
+        return _ACCUMULATORS[self.func]()
+
+    def __repr__(self) -> str:
+        return "AggregateSpec(%s, %r, as=%r)" % (
+            self.func, self.input, self.output_name,
+        )
+
+
+class Accumulator:
+    """Incremental aggregate state; one instance per (group, aggregate)."""
+
+    __slots__ = ()
+
+    def add(self, value) -> None:
+        raise NotImplementedError
+
+    def result(self):
+        raise NotImplementedError
+
+    def byte_size(self) -> int:
+        """State footprint; COUNT/SUM/MIN/MAX hold one value, AVG two."""
+        return 16
+
+
+class _SumAcc(Accumulator):
+    __slots__ = ("total",)
+
+    def __init__(self):
+        self.total = 0
+
+    def add(self, value) -> None:
+        self.total += value
+
+    def result(self):
+        return self.total
+
+
+class _CountAcc(Accumulator):
+    __slots__ = ("count",)
+
+    def __init__(self):
+        self.count = 0
+
+    def add(self, value) -> None:
+        self.count += 1
+
+    def result(self):
+        return self.count
+
+
+class _MinAcc(Accumulator):
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = None
+
+    def add(self, value) -> None:
+        if self.value is None or value < self.value:
+            self.value = value
+
+    def result(self):
+        return self.value
+
+
+class _MaxAcc(Accumulator):
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = None
+
+    def add(self, value) -> None:
+        if self.value is None or value > self.value:
+            self.value = value
+
+    def result(self):
+        return self.value
+
+
+class _AvgAcc(Accumulator):
+    __slots__ = ("total", "count")
+
+    def __init__(self):
+        self.total = 0.0
+        self.count = 0
+
+    def add(self, value) -> None:
+        self.total += value
+        self.count += 1
+
+    def result(self):
+        if self.count == 0:
+            return None
+        return self.total / self.count
+
+    def byte_size(self) -> int:
+        return 24
+
+
+_ACCUMULATORS = {
+    SUM: _SumAcc,
+    COUNT: _CountAcc,
+    MIN: _MinAcc,
+    MAX: _MaxAcc,
+    AVG: _AvgAcc,
+}

@@ -1,0 +1,333 @@
+"""Scalar expression AST.
+
+Expressions appear in filters, join residual predicates, projections
+and aggregate inputs.  The AST is deliberately small — the workload
+queries of the paper's Table I need columns, literals, arithmetic,
+comparisons, boolean connectives, SQL ``LIKE`` and a ``year()``
+function — but each node knows the columns it references, which the
+source-predicate graph (Section IV-A) and the magic-sets rewriter use
+for correlation analysis.
+
+Evaluation goes through :mod:`repro.expr.compiler`, which binds column
+references to row positions once per operator rather than per tuple.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, List, Optional, Sequence, Tuple, Union
+
+from repro.common.errors import PlanError
+from repro.data.schema import DATE, FLOAT, INT, STR, Schema
+
+#: Comparison operators supported by :class:`Cmp`.
+CMP_OPS = ("=", "!=", "<", "<=", ">", ">=")
+#: Arithmetic operators supported by :class:`Arith`.
+ARITH_OPS = ("+", "-", "*", "/")
+
+
+class Expr:
+    """Base class for all scalar expressions."""
+
+    def columns(self) -> FrozenSet[str]:
+        """Names of all columns referenced anywhere in the expression."""
+        raise NotImplementedError
+
+    def result_type(self, schema: Schema) -> str:
+        """Static type of the expression's value over ``schema``."""
+        raise NotImplementedError
+
+    # Operator sugar so workload definitions read like SQL fragments.
+    def __add__(self, other) -> "Arith":
+        return Arith("+", self, _wrap(other))
+
+    def __sub__(self, other) -> "Arith":
+        return Arith("-", self, _wrap(other))
+
+    def __mul__(self, other) -> "Arith":
+        return Arith("*", self, _wrap(other))
+
+    def __truediv__(self, other) -> "Arith":
+        return Arith("/", self, _wrap(other))
+
+    def eq(self, other) -> "Cmp":
+        return Cmp("=", self, _wrap(other))
+
+    def ne(self, other) -> "Cmp":
+        return Cmp("!=", self, _wrap(other))
+
+    def lt(self, other) -> "Cmp":
+        return Cmp("<", self, _wrap(other))
+
+    def le(self, other) -> "Cmp":
+        return Cmp("<=", self, _wrap(other))
+
+    def gt(self, other) -> "Cmp":
+        return Cmp(">", self, _wrap(other))
+
+    def ge(self, other) -> "Cmp":
+        return Cmp(">=", self, _wrap(other))
+
+    def like(self, pattern: str) -> "Like":
+        return Like(self, pattern)
+
+
+def _wrap(value: Union["Expr", int, float, str]) -> "Expr":
+    return value if isinstance(value, Expr) else Lit(value)
+
+
+class Col(Expr):
+    """Reference to a named column."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        if not name:
+            raise PlanError("column reference must have a name")
+        self.name = name
+
+    def columns(self) -> FrozenSet[str]:
+        return frozenset((self.name,))
+
+    def result_type(self, schema: Schema) -> str:
+        return schema.attribute(self.name).type
+
+    def __repr__(self) -> str:
+        return "Col(%r)" % self.name
+
+
+class Lit(Expr):
+    """Constant literal."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Union[int, float, str]):
+        self.value = value
+
+    def columns(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def result_type(self, schema: Schema) -> str:
+        if isinstance(self.value, bool):
+            return INT
+        if isinstance(self.value, int):
+            return INT
+        if isinstance(self.value, float):
+            return FLOAT
+        if isinstance(self.value, str):
+            return STR
+        raise PlanError("unsupported literal %r" % (self.value,))
+
+    def __repr__(self) -> str:
+        return "Lit(%r)" % (self.value,)
+
+
+class Arith(Expr):
+    """Binary arithmetic."""
+
+    __slots__ = ("op", "left", "right")
+
+    def __init__(self, op: str, left: Expr, right: Expr):
+        if op not in ARITH_OPS:
+            raise PlanError("unknown arithmetic operator %r" % op)
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def columns(self) -> FrozenSet[str]:
+        return self.left.columns() | self.right.columns()
+
+    def result_type(self, schema: Schema) -> str:
+        lt = self.left.result_type(schema)
+        rt = self.right.result_type(schema)
+        if self.op == "/":
+            return FLOAT
+        return FLOAT if FLOAT in (lt, rt) else INT
+
+    def __repr__(self) -> str:
+        return "(%r %s %r)" % (self.left, self.op, self.right)
+
+
+class Cmp(Expr):
+    """Binary comparison; evaluates to a boolean."""
+
+    __slots__ = ("op", "left", "right")
+
+    def __init__(self, op: str, left: Expr, right: Expr):
+        if op not in CMP_OPS:
+            raise PlanError("unknown comparison operator %r" % op)
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def columns(self) -> FrozenSet[str]:
+        return self.left.columns() | self.right.columns()
+
+    def result_type(self, schema: Schema) -> str:
+        return INT
+
+    def is_column_equality(self) -> Optional[Tuple[str, str]]:
+        """If this is ``col = col``, the two column names, else None.
+
+        These are the correlation predicates AIP keys on (Section III-C
+        limits the implementation to equality conditions).
+        """
+        if (
+            self.op == "="
+            and isinstance(self.left, Col)
+            and isinstance(self.right, Col)
+        ):
+            return (self.left.name, self.right.name)
+        return None
+
+    def __repr__(self) -> str:
+        return "(%r %s %r)" % (self.left, self.op, self.right)
+
+
+class And(Expr):
+    """Conjunction of one or more boolean expressions."""
+
+    __slots__ = ("terms",)
+
+    def __init__(self, *terms: Expr):
+        if not terms:
+            raise PlanError("And requires at least one term")
+        self.terms: Tuple[Expr, ...] = tuple(terms)
+
+    def columns(self) -> FrozenSet[str]:
+        out: FrozenSet[str] = frozenset()
+        for t in self.terms:
+            out |= t.columns()
+        return out
+
+    def result_type(self, schema: Schema) -> str:
+        return INT
+
+    def conjuncts(self) -> List[Expr]:
+        """Flatten nested conjunctions into a conjunct list."""
+        out: List[Expr] = []
+        for t in self.terms:
+            if isinstance(t, And):
+                out.extend(t.conjuncts())
+            else:
+                out.append(t)
+        return out
+
+    def __repr__(self) -> str:
+        return "And(%s)" % ", ".join(repr(t) for t in self.terms)
+
+
+class Or(Expr):
+    """Disjunction of one or more boolean expressions."""
+
+    __slots__ = ("terms",)
+
+    def __init__(self, *terms: Expr):
+        if not terms:
+            raise PlanError("Or requires at least one term")
+        self.terms: Tuple[Expr, ...] = tuple(terms)
+
+    def columns(self) -> FrozenSet[str]:
+        out: FrozenSet[str] = frozenset()
+        for t in self.terms:
+            out |= t.columns()
+        return out
+
+    def result_type(self, schema: Schema) -> str:
+        return INT
+
+    def __repr__(self) -> str:
+        return "Or(%s)" % ", ".join(repr(t) for t in self.terms)
+
+
+class Not(Expr):
+    """Boolean negation."""
+
+    __slots__ = ("term",)
+
+    def __init__(self, term: Expr):
+        self.term = term
+
+    def columns(self) -> FrozenSet[str]:
+        return self.term.columns()
+
+    def result_type(self, schema: Schema) -> str:
+        return INT
+
+    def __repr__(self) -> str:
+        return "Not(%r)" % self.term
+
+
+class Like(Expr):
+    """SQL ``LIKE`` with ``%`` (any run) and ``_`` (any char) wildcards."""
+
+    __slots__ = ("term", "pattern")
+
+    def __init__(self, term: Expr, pattern: str):
+        self.term = term
+        self.pattern = pattern
+
+    def columns(self) -> FrozenSet[str]:
+        return self.term.columns()
+
+    def result_type(self, schema: Schema) -> str:
+        return INT
+
+    def __repr__(self) -> str:
+        return "Like(%r, %r)" % (self.term, self.pattern)
+
+
+#: Scalar functions available to :class:`Func`.
+_FUNCTIONS = {
+    "year": lambda s: int(s[:4]),   # ISO date string -> year
+    "abs": abs,
+    "round2": lambda x: round(x, 2),
+}
+
+_FUNCTION_TYPES = {"year": INT, "abs": FLOAT, "round2": FLOAT}
+
+
+class Func(Expr):
+    """Call of a named scalar function over argument expressions."""
+
+    __slots__ = ("name", "args")
+
+    def __init__(self, name: str, *args: Expr):
+        if name not in _FUNCTIONS:
+            raise PlanError("unknown function %r" % name)
+        self.name = name
+        self.args: Tuple[Expr, ...] = tuple(args)
+
+    @property
+    def fn(self):
+        return _FUNCTIONS[self.name]
+
+    def columns(self) -> FrozenSet[str]:
+        out: FrozenSet[str] = frozenset()
+        for a in self.args:
+            out |= a.columns()
+        return out
+
+    def result_type(self, schema: Schema) -> str:
+        return _FUNCTION_TYPES[self.name]
+
+    def __repr__(self) -> str:
+        return "Func(%r, %s)" % (self.name, ", ".join(repr(a) for a in self.args))
+
+
+def col(name: str) -> Col:
+    """Shorthand constructor for a column reference."""
+    return Col(name)
+
+
+def lit(value: Union[int, float, str]) -> Lit:
+    """Shorthand constructor for a literal."""
+    return Lit(value)
+
+
+def conjuncts_of(expr: Optional[Expr]) -> List[Expr]:
+    """Flatten an optional predicate into a list of conjuncts."""
+    if expr is None:
+        return []
+    if isinstance(expr, And):
+        return expr.conjuncts()
+    return [expr]

@@ -1,0 +1,14 @@
+"""Benchmark harness: run Table I queries under the four strategies the
+paper compares and render per-figure tables."""
+
+from repro.harness.strategies import STRATEGIES, make_strategy
+from repro.harness.runner import RunRecord, run_workload_query
+from repro.harness.report import FigureTable
+
+__all__ = [
+    "STRATEGIES",
+    "make_strategy",
+    "RunRecord",
+    "run_workload_query",
+    "FigureTable",
+]

@@ -1,0 +1,92 @@
+"""Export figure tables to CSV / Markdown / JSON.
+
+The benchmark session prints text tables; downstream users regenerating
+the paper's figures usually want machine-readable output to feed a
+plotting pipeline.  All formats carry the same (query x strategy) grid.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Dict
+
+from repro.harness.report import FigureTable
+
+
+def to_csv(table: FigureTable) -> str:
+    """RFC-4180 CSV; first column is the query id."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(["query"] + list(table.strategies))
+    for qid in table.queries:
+        row = [qid]
+        for strategy in table.strategies:
+            value = table.value(qid, strategy)
+            row.append("" if value is None else "%.6f" % value)
+        writer.writerow(row)
+    return buffer.getvalue()
+
+
+def to_markdown(table: FigureTable) -> str:
+    """GitHub-flavoured Markdown table with a caption line."""
+    lines = [
+        "**%s** (%s, %s)" % (table.title, table.metric, table.unit),
+        "",
+        "| query | " + " | ".join(table.strategies) + " |",
+        "|" + "---|" * (len(table.strategies) + 1),
+    ]
+    for qid in table.queries:
+        cells = []
+        for strategy in table.strategies:
+            value = table.value(qid, strategy)
+            cells.append("–" if value is None else "%.4f" % value)
+        lines.append("| %s | %s |" % (qid, " | ".join(cells)))
+    return "\n".join(lines)
+
+
+def to_json(table: FigureTable) -> str:
+    """JSON object: metadata plus a cells mapping."""
+    payload = {
+        "title": table.title,
+        "metric": table.metric,
+        "unit": table.unit,
+        "queries": table.queries,
+        "strategies": table.strategies,
+        "cells": {
+            qid: {
+                strategy: table.value(qid, strategy)
+                for strategy in table.strategies
+                if table.value(qid, strategy) is not None
+            }
+            for qid in table.queries
+        },
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def export_all(
+    tables: Dict[str, FigureTable], directory: str, fmt: str = "csv"
+) -> Dict[str, str]:
+    """Write every table to ``directory``; returns {key: path}.
+
+    ``fmt`` is one of ``csv``, ``md``, ``json``.
+    """
+    import os
+
+    renderers = {"csv": to_csv, "md": to_markdown, "json": to_json}
+    try:
+        render = renderers[fmt]
+    except KeyError:
+        raise ValueError(
+            "unknown format %r; expected one of %s" % (fmt, sorted(renderers))
+        ) from None
+    os.makedirs(directory, exist_ok=True)
+    written = {}
+    for key, table in tables.items():
+        path = os.path.join(directory, "%s.%s" % (key, fmt))
+        with open(path, "w") as handle:
+            handle.write(render(table))
+        written[key] = path
+    return written

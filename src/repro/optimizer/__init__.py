@@ -1,0 +1,18 @@
+"""Optimizer services: statistics, cost estimation, predicate analysis,
+and the magic-sets rewriting baseline."""
+
+from repro.optimizer.predicate_graph import SourcePredicateGraph, UnionFind
+from repro.optimizer.estimator import CardinalityEstimator, Estimate, Observation
+from repro.optimizer.cost import PlanCoster
+from repro.optimizer.magic import apply_magic, magic_filter_set
+
+__all__ = [
+    "SourcePredicateGraph",
+    "UnionFind",
+    "CardinalityEstimator",
+    "Estimate",
+    "Observation",
+    "PlanCoster",
+    "apply_magic",
+    "magic_filter_set",
+]

@@ -1,0 +1,52 @@
+"""EXPLAIN: render a plan with the optimizer's estimates.
+
+Mirrors what Tukwila exposes to its operators — cardinality estimates
+and costs — in a human-readable tree, so plan shapes and estimate
+quality can be inspected without running anything.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.data.catalog import Catalog
+from repro.exec.costs import CostModel
+from repro.optimizer.cost import PlanCoster
+from repro.optimizer.estimator import CardinalityEstimator
+from repro.plan.logical import LogicalNode
+
+
+def explain(
+    plan: LogicalNode,
+    catalog: Catalog,
+    cost_model: Optional[CostModel] = None,
+) -> str:
+    """Multi-line rendering: one row per operator with estimates."""
+    estimator = CardinalityEstimator(catalog)
+    coster = PlanCoster(catalog, cost_model, estimator)
+    lines: List[str] = [
+        "%-64s %12s %12s" % ("operator", "est. rows", "est. cost (s)"),
+        "-" * 90,
+    ]
+
+    def visit(node: LogicalNode, depth: int, seen) -> None:
+        label = "  " * depth + node._label()
+        if node.node_id in seen:
+            lines.append("%-64s %12s %12s" % (label + " (shared)", "", ""))
+            return
+        seen.add(node.node_id)
+        est = estimator.estimate(node)
+        cost = coster.local_cost(node)
+        lines.append(
+            "%-64s %12.1f %12.6f" % (label[:64], est.rows, cost)
+        )
+        for child in node.children:
+            visit(child, depth + 1, seen)
+
+    visit(plan, 0, set())
+    lines.append("-" * 90)
+    lines.append(
+        "total estimated cost: %.6f virtual seconds"
+        % coster.total_cost(plan)
+    )
+    return "\n".join(lines)

@@ -1,0 +1,70 @@
+"""Magic-sets rewriting (the paper's comparison baseline).
+
+Following the paper's Section VI setup: "we extended Tukwila to perform
+magic sets rewritings using the approach of [18] (Seshadri et al.,
+SIGMOD 1996).  We adopt [18]'s heuristics in pruning the optimizer
+search space: (1) the filter set is computed from the entire outer
+query, and (2) the filter set contains the largest number of attributes
+that can be joined.  Our implementation performs full pipelining when
+computing the filter set: the filter set is computed simultaneously
+with the main query and the subquery."
+
+Mechanically the rewriting:
+
+1. takes the *entire outer query* plan (shared, not recomputed — the
+   plan becomes a DAG and the push engine executes shared operators
+   once);
+2. projects it to the correlation attributes and removes duplicates:
+   that is the **magic (filter) set**;
+3. semijoins the subquery's input with the filter set before the
+   subquery's aggregation.
+
+Everything is pipelined: the filter set streams into the semijoin's
+source port while the subquery's input streams into the probe port.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.common.errors import PlanError
+from repro.expr.expressions import Col
+from repro.plan.logical import Distinct, LogicalNode, Project, SemiJoin
+
+
+def magic_filter_set(
+    outer: LogicalNode, key_attrs: Sequence[str]
+) -> LogicalNode:
+    """``DISTINCT π_keys(outer)`` — the magic set of [18].
+
+    ``outer`` is shared with the rest of the plan (DAG), matching the
+    paper's fully pipelined filter-set computation.
+    """
+    if not key_attrs:
+        raise PlanError("magic set needs at least one key attribute")
+    for attr in key_attrs:
+        if attr not in outer.schema:
+            raise PlanError(
+                "magic key %r is not produced by the outer query" % attr
+            )
+    projected = Project(outer, [(a, Col(a)) for a in key_attrs])
+    return Distinct(projected)
+
+
+def apply_magic(
+    sub_input: LogicalNode,
+    outer: LogicalNode,
+    on: Sequence[Tuple[str, str]],
+) -> LogicalNode:
+    """Filter ``sub_input`` by the magic set of ``outer``.
+
+    ``on`` maps subquery attributes to outer-query attributes:
+    ``[(sub_attr, outer_attr), ...]``.  Per heuristic (2) of [18], pass
+    every joinable correlation attribute.
+    """
+    if not on:
+        raise PlanError("magic rewriting needs correlation attributes")
+    sub_keys: List[str] = [s for s, _ in on]
+    outer_keys: List[str] = [o for _, o in on]
+    filter_set = magic_filter_set(outer, outer_keys)
+    return SemiJoin(sub_input, filter_set, sub_keys, outer_keys)

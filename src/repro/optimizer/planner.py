@@ -1,0 +1,189 @@
+"""Greedy bushy join-order planning.
+
+The paper's Tukwila optimizer "chooses maximally pipelined plans,
+emphasizing the pipelined hash join, hash-based aggregation, and bushy
+plans" with "a top-down search strategy similar to Volcano's".  The
+workload queries in this repository hand-specify their plan shapes (as
+the paper's figures do); this module provides the optimizer service for
+*new* queries: given a conjunctive query — relations plus a predicate
+list — it builds a bushy plan greedily, at each step joining the pair
+of components with the smallest estimated output.
+
+The greedy strategy is a standard stand-in for full plan-space search;
+it produces bushy (not only linear) trees because any two components
+may be combined, which is the property push-style AIP depends on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.common.errors import PlanError
+from repro.data.catalog import Catalog
+from repro.expr.expressions import And, Cmp, Expr, conjuncts_of
+from repro.optimizer.estimator import CardinalityEstimator
+from repro.plan.logical import Filter, Join, LogicalNode, Scan
+
+
+class ConjunctiveQuery:
+    """A select-project-join query in declarative form.
+
+    ``relations`` maps an alias to a table name; every attribute of the
+    relation is exposed as ``alias_column`` when the alias differs from
+    the table name (otherwise bare column names are used).
+    ``predicates`` is a list of boolean expressions over those names.
+    """
+
+    def __init__(
+        self,
+        relations: Sequence[Tuple[str, str]],
+        predicates: Sequence[Expr] = (),
+    ):
+        if not relations:
+            raise PlanError("a query needs at least one relation")
+        seen = set()
+        for alias, _table in relations:
+            if alias in seen:
+                raise PlanError("duplicate relation alias %r" % alias)
+            seen.add(alias)
+        self.relations = list(relations)
+        self.predicates = list(predicates)
+
+
+class _Component:
+    """A connected sub-plan under construction."""
+
+    __slots__ = ("node", "columns")
+
+    def __init__(self, node: LogicalNode):
+        self.node = node
+        self.columns: Set[str] = set(node.schema.names)
+
+
+def plan_query(
+    catalog: Catalog,
+    query: ConjunctiveQuery,
+    estimator: Optional[CardinalityEstimator] = None,
+) -> LogicalNode:
+    """Build a bushy plan for ``query`` greedily by estimated size."""
+    estimator = estimator or CardinalityEstimator(catalog)
+
+    conjuncts: List[Expr] = []
+    for predicate in query.predicates:
+        conjuncts.extend(conjuncts_of(predicate))
+
+    components = [
+        _Component(_leaf(catalog, alias, table))
+        for alias, table in query.relations
+    ]
+
+    # Attach single-component predicates as filters immediately.
+    conjuncts = _apply_local_filters(components, conjuncts)
+
+    while len(components) > 1:
+        best = _best_pair(components, conjuncts, estimator)
+        if best is None:
+            raise PlanError(
+                "query is not connected by equi-join predicates; "
+                "cross products are not planned"
+            )
+        i, j, join_pairs, used = best
+        left, right = components[i], components[j]
+        left_keys = [l for l, _ in join_pairs]
+        right_keys = [r for _, r in join_pairs]
+        joined = Join(left.node, right.node, left_keys, right_keys)
+        remaining = [c for c in conjuncts if c not in used]
+
+        merged = _Component(joined)
+        components = [
+            c for k, c in enumerate(components) if k not in (i, j)
+        ]
+        components.append(merged)
+        # Predicates now covered by the merged component become filters.
+        conjuncts = _apply_local_filters(components, remaining)
+
+    root = components[0].node
+    if conjuncts:
+        raise PlanError(
+            "predicates reference columns not produced by any relation: %r"
+            % conjuncts
+        )
+    return root
+
+
+def _leaf(catalog: Catalog, alias: str, table: str) -> LogicalNode:
+    schema = catalog.table(table).schema
+    renames = None
+    if alias != table:
+        renames = {name: "%s_%s" % (alias, name) for name in schema.names}
+    return Scan(table, schema, renames=renames)
+
+
+def _apply_local_filters(
+    components: List[_Component], conjuncts: List[Expr]
+) -> List[Expr]:
+    """Turn conjuncts fully covered by one component into filters;
+    return the conjuncts still pending."""
+    pending: List[Expr] = []
+    for conjunct in conjuncts:
+        columns = conjunct.columns()
+        owner = None
+        for component in components:
+            if columns <= component.columns:
+                owner = component
+                break
+        if owner is None:
+            pending.append(conjunct)
+            continue
+        # Column-equality conjuncts spanning... within one component are
+        # ordinary filters too (self-correlations).
+        owner.node = Filter(owner.node, conjunct)
+    return pending
+
+
+def _best_pair(
+    components: List[_Component],
+    conjuncts: List[Expr],
+    estimator: CardinalityEstimator,
+):
+    """The pair of components connected by at least one column equality
+    whose join has the smallest estimated output."""
+    best = None
+    best_rows = None
+    for i in range(len(components)):
+        for j in range(i + 1, len(components)):
+            pairs, used = _connecting_equalities(
+                components[i], components[j], conjuncts
+            )
+            if not pairs:
+                continue
+            trial = Join(
+                components[i].node, components[j].node,
+                [l for l, _ in pairs], [r for _, r in pairs],
+            )
+            rows = estimator.estimate(trial).rows
+            if best_rows is None or rows < best_rows:
+                best = (i, j, pairs, used)
+                best_rows = rows
+    return best
+
+
+def _connecting_equalities(
+    a: _Component, b: _Component, conjuncts: List[Expr]
+) -> Tuple[List[Tuple[str, str]], List[Expr]]:
+    pairs: List[Tuple[str, str]] = []
+    used: List[Expr] = []
+    for conjunct in conjuncts:
+        if not isinstance(conjunct, Cmp):
+            continue
+        equality = conjunct.is_column_equality()
+        if equality is None:
+            continue
+        x, y = equality
+        if x in a.columns and y in b.columns:
+            pairs.append((x, y))
+            used.append(conjunct)
+        elif y in a.columns and x in b.columns:
+            pairs.append((y, x))
+            used.append(conjunct)
+    return pairs, used

@@ -1,0 +1,18 @@
+"""Logical query plans: bushy trees of scans, filters, joins, group-bys."""
+
+from repro.plan.logical import (
+    LogicalNode,
+    Scan,
+    Filter,
+    Project,
+    Join,
+    GroupBy,
+    Distinct,
+)
+from repro.plan.builder import PlanBuilder, scan
+from repro.plan.validate import validate_plan
+
+__all__ = [
+    "LogicalNode", "Scan", "Filter", "Project", "Join", "GroupBy", "Distinct",
+    "PlanBuilder", "scan", "validate_plan",
+]

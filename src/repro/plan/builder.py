@@ -1,0 +1,109 @@
+"""Fluent construction of bushy logical plans.
+
+The workload queries (Table I of the paper) are written against this
+API; it reads approximately like the relational algebra in the paper's
+Figure 1::
+
+    avail = (
+        scan(catalog, "partsupp", prefix="ps2_")
+        .group_by(["ps2_ps_partkey"],
+                  [AggregateSpec(SUM, col("ps2_ps_availqty"), "avail")])
+    )
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple, Union
+
+from repro.common.errors import PlanError
+from repro.data.catalog import Catalog
+from repro.expr.aggregates import AggregateSpec
+from repro.expr.expressions import Col, Expr
+from repro.plan.logical import (
+    Distinct, Filter, GroupBy, Join, LogicalNode, Project, Scan, SemiJoin,
+)
+
+
+class PlanBuilder:
+    """Wraps a logical node and offers chainable operator constructors."""
+
+    __slots__ = ("node",)
+
+    def __init__(self, node: LogicalNode):
+        self.node = node
+
+    def filter(self, predicate: Expr) -> "PlanBuilder":
+        return PlanBuilder(Filter(self.node, predicate))
+
+    def project(
+        self, outputs: Sequence[Union[str, Tuple[str, Expr]]]
+    ) -> "PlanBuilder":
+        """Project to named columns; strings are passthroughs."""
+        normalised = []
+        for out in outputs:
+            if isinstance(out, str):
+                normalised.append((out, Col(out)))
+            else:
+                normalised.append(out)
+        return PlanBuilder(Project(self.node, normalised))
+
+    def join(
+        self,
+        other: Union["PlanBuilder", LogicalNode],
+        on: Sequence[Tuple[str, str]],
+        residual: Optional[Expr] = None,
+    ) -> "PlanBuilder":
+        """Equi-join with ``on`` = [(left_col, right_col), ...]."""
+        right = other.node if isinstance(other, PlanBuilder) else other
+        if not on:
+            raise PlanError("join requires at least one key pair")
+        left_keys = [l for l, _ in on]
+        right_keys = [r for _, r in on]
+        return PlanBuilder(
+            Join(self.node, right, left_keys, right_keys, residual)
+        )
+
+    def semijoin(
+        self,
+        source: Union["PlanBuilder", LogicalNode],
+        on: Sequence[Tuple[str, str]],
+    ) -> "PlanBuilder":
+        """Keep rows whose keys appear in ``source``;
+        ``on`` = [(probe_col, source_col), ...]."""
+        src = source.node if isinstance(source, PlanBuilder) else source
+        if not on:
+            raise PlanError("semijoin requires at least one key pair")
+        probe_keys = [p for p, _ in on]
+        source_keys = [s for _, s in on]
+        return PlanBuilder(SemiJoin(self.node, src, probe_keys, source_keys))
+
+    def group_by(
+        self, keys: Sequence[str], aggregates: Sequence[AggregateSpec]
+    ) -> "PlanBuilder":
+        return PlanBuilder(GroupBy(self.node, keys, aggregates))
+
+    def distinct(self) -> "PlanBuilder":
+        return PlanBuilder(Distinct(self.node))
+
+    def build(self) -> LogicalNode:
+        return self.node
+
+
+def scan(
+    catalog: Catalog,
+    table_name: str,
+    renames: Optional[Dict[str, str]] = None,
+    prefix: Optional[str] = None,
+    site: Optional[str] = None,
+) -> PlanBuilder:
+    """Start a plan from a base-table scan.
+
+    ``prefix`` renames *every* column with a prefix (a table alias);
+    ``renames`` renames selected columns.  They may not be combined.
+    """
+    if prefix is not None and renames is not None:
+        raise PlanError("use either prefix or renames, not both")
+    schema = catalog.table(table_name).schema
+    if prefix is not None:
+        renames = {name: prefix + name for name in schema.names}
+    return PlanBuilder(Scan(table_name, schema, renames=renames, site=site))

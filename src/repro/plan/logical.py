@@ -1,0 +1,369 @@
+"""Logical plan nodes.
+
+Plans are *bushy* operator trees — the paper stresses that push-style
+engines join intermediate results with intermediate results, which is
+what creates the sideways-information-passing opportunities a linear
+plan lacks.  Nodes are immutable after construction; each carries its
+output schema and, where derivable, the base-table origin of every
+output column (``column_origins``), which both the optimizer's
+selectivity estimation and the AIP candidate analysis rely on.
+
+Every node gets a process-unique ``node_id``, used by the AIP Registry
+and Manager to address operators in a running plan.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.common.errors import PlanError, SchemaError
+from repro.data.schema import Schema
+from repro.expr.aggregates import AggregateSpec
+from repro.expr.expressions import Expr
+
+_NODE_IDS = itertools.count(1)
+
+
+def fresh_node_id() -> int:
+    """Allocate a node id outside plan construction (e.g. for physical
+    operators that have no logical counterpart, such as result sinks)."""
+    return next(_NODE_IDS)
+
+#: Maps an output column name to its base ``(table, column)`` when the
+#: value flows through unchanged from a scan.
+Origins = Dict[str, Tuple[str, str]]
+
+
+class LogicalNode:
+    """Base class for logical plan operators."""
+
+    def __init__(self, children: Sequence["LogicalNode"], schema: Schema,
+                 column_origins: Origins):
+        self.node_id: int = next(_NODE_IDS)
+        self.children: Tuple["LogicalNode", ...] = tuple(children)
+        self.schema = schema
+        self.column_origins = dict(column_origins)
+
+    @property
+    def is_stateful(self) -> bool:
+        """Joins and group-bys buffer state usable as AIP sets."""
+        return False
+
+    def walk(self) -> Iterator["LogicalNode"]:
+        """Every node in the DAG rooted here, each exactly once.
+
+        Plans are usually trees, but shared subexpressions (the magic
+        sets rewriting shares the outer query between the final join
+        and the filter-set computation) make them DAGs.
+        """
+        seen = set()
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            if node.node_id in seen:
+                continue
+            seen.add(node.node_id)
+            yield node
+            stack.extend(node.children)
+
+    def find(self, node_id: int) -> Optional["LogicalNode"]:
+        for node in self.walk():
+            if node.node_id == node_id:
+                return node
+        return None
+
+    def describe(self, indent: int = 0) -> str:
+        """Multi-line, indented rendering of the subtree."""
+        lines = ["  " * indent + self._label()]
+        for child in self.children:
+            lines.append(child.describe(indent + 1))
+        return "\n".join(lines)
+
+    def _label(self) -> str:
+        return type(self).__name__
+
+    def __repr__(self) -> str:
+        return "%s(id=%d)" % (type(self).__name__, self.node_id)
+
+
+class Scan(LogicalNode):
+    """Stream a base table, optionally renaming attributes.
+
+    Renaming serves table aliases: the paper's running example scans
+    PARTSUPP twice (PS1, PS2), and the Q2 variants scan LINEITEM twice.
+    ``site`` marks which simulated site owns the data (None = local);
+    the distributed experiments place PARTSUPP remotely.
+    """
+
+    def __init__(
+        self,
+        table_name: str,
+        schema: Schema,
+        renames: Optional[Dict[str, str]] = None,
+        site: Optional[str] = None,
+    ):
+        renames = dict(renames or {})
+        out_schema = schema.renamed(renames) if renames else schema
+        origins: Origins = {}
+        for attr in schema:
+            out_name = renames.get(attr.name, attr.name)
+            origins[out_name] = (table_name, attr.name)
+        super().__init__((), out_schema, origins)
+        self.table_name = table_name
+        self.renames = renames
+        self.site = site
+
+    def _label(self) -> str:
+        alias = " renames=%s" % self.renames if self.renames else ""
+        site = " @%s" % self.site if self.site else ""
+        return "Scan(%s%s%s) #%d" % (self.table_name, alias, site, self.node_id)
+
+
+class Filter(LogicalNode):
+    """Select rows satisfying a predicate."""
+
+    def __init__(self, child: LogicalNode, predicate: Expr):
+        missing = predicate.columns() - set(child.schema.names)
+        if missing:
+            raise PlanError(
+                "filter references columns %s absent from input %s"
+                % (sorted(missing), child.schema.names)
+            )
+        super().__init__((child,), child.schema, child.column_origins)
+        self.predicate = predicate
+
+    @property
+    def child(self) -> LogicalNode:
+        return self.children[0]
+
+    def _label(self) -> str:
+        return "Filter(%r) #%d" % (self.predicate, self.node_id)
+
+
+class Project(LogicalNode):
+    """Compute output columns ``name := expr`` from the input.
+
+    Plain column passthroughs keep their base-table origin; computed
+    columns do not (their distinct counts are estimated, not traced).
+    """
+
+    def __init__(self, child: LogicalNode, outputs: Sequence[Tuple[str, Expr]]):
+        if not outputs:
+            raise PlanError("projection must produce at least one column")
+        from repro.data.schema import Attribute
+        from repro.expr.expressions import Col
+
+        attrs = []
+        origins: Origins = {}
+        for name, expr in outputs:
+            missing = expr.columns() - set(child.schema.names)
+            if missing:
+                raise PlanError(
+                    "projection of %r references missing columns %s"
+                    % (name, sorted(missing))
+                )
+            attrs.append(Attribute(name, expr.result_type(child.schema)))
+            if isinstance(expr, Col) and expr.name in child.column_origins:
+                origins[name] = child.column_origins[expr.name]
+        super().__init__((child,), Schema(attrs), origins)
+        self.outputs: Tuple[Tuple[str, Expr], ...] = tuple(outputs)
+
+    @property
+    def child(self) -> LogicalNode:
+        return self.children[0]
+
+    def _label(self) -> str:
+        return "Project(%s) #%d" % (
+            ", ".join(name for name, _ in self.outputs), self.node_id,
+        )
+
+
+class Join(LogicalNode):
+    """Pipelined (symmetric) hash equi-join with optional residual.
+
+    ``left_keys[i]`` is matched with ``right_keys[i]``; ``residual`` is
+    any extra predicate evaluated over the concatenated row after a hash
+    match (this is where Table I conditions like
+    ``2 * ps_supplycost < p_retailprice`` live when they span inputs).
+    """
+
+    def __init__(
+        self,
+        left: LogicalNode,
+        right: LogicalNode,
+        left_keys: Sequence[str],
+        right_keys: Sequence[str],
+        residual: Optional[Expr] = None,
+    ):
+        if len(left_keys) != len(right_keys) or not left_keys:
+            raise PlanError("join needs equal, non-empty key lists")
+        for k in left_keys:
+            if k not in left.schema:
+                raise PlanError("join key %r missing from left input" % k)
+        for k in right_keys:
+            if k not in right.schema:
+                raise PlanError("join key %r missing from right input" % k)
+        overlap = set(left.schema.names) & set(right.schema.names)
+        if overlap:
+            raise PlanError(
+                "join inputs share column names %s; rename at scan time"
+                % sorted(overlap)
+            )
+        schema = left.schema.concat(right.schema)
+        if residual is not None:
+            missing = residual.columns() - set(schema.names)
+            if missing:
+                raise PlanError(
+                    "join residual references missing columns %s"
+                    % sorted(missing)
+                )
+        origins: Origins = {}
+        origins.update(left.column_origins)
+        origins.update(right.column_origins)
+        super().__init__((left, right), schema, origins)
+        self.left_keys: Tuple[str, ...] = tuple(left_keys)
+        self.right_keys: Tuple[str, ...] = tuple(right_keys)
+        self.residual = residual
+
+    @property
+    def left(self) -> LogicalNode:
+        return self.children[0]
+
+    @property
+    def right(self) -> LogicalNode:
+        return self.children[1]
+
+    @property
+    def is_stateful(self) -> bool:
+        return True
+
+    def key_pairs(self) -> List[Tuple[str, str]]:
+        return list(zip(self.left_keys, self.right_keys))
+
+    def _label(self) -> str:
+        pairs = ", ".join("%s=%s" % p for p in self.key_pairs())
+        res = " residual=%r" % self.residual if self.residual is not None else ""
+        return "Join(%s%s) #%d" % (pairs, res, self.node_id)
+
+
+class GroupBy(LogicalNode):
+    """Hash aggregation: blocking, stateful.
+
+    Output schema is the key columns followed by aggregate columns.
+    """
+
+    def __init__(
+        self,
+        child: LogicalNode,
+        keys: Sequence[str],
+        aggregates: Sequence[AggregateSpec],
+    ):
+        if not aggregates and not keys:
+            raise PlanError("group-by needs keys or aggregates")
+        from repro.data.schema import Attribute
+
+        attrs = []
+        origins: Origins = {}
+        for k in keys:
+            if k not in child.schema:
+                raise PlanError("group-by key %r missing from input" % k)
+            attrs.append(child.schema.attribute(k))
+            if k in child.column_origins:
+                origins[k] = child.column_origins[k]
+        seen = {a.name for a in attrs}
+        for spec in aggregates:
+            if spec.input is not None:
+                missing = spec.input.columns() - set(child.schema.names)
+                if missing:
+                    raise PlanError(
+                        "aggregate %r references missing columns %s"
+                        % (spec.output_name, sorted(missing))
+                    )
+            if spec.output_name in seen:
+                raise PlanError("duplicate output column %r" % spec.output_name)
+            seen.add(spec.output_name)
+            attrs.append(Attribute(spec.output_name, spec.result_type(child.schema)))
+        super().__init__((child,), Schema(attrs), origins)
+        self.keys: Tuple[str, ...] = tuple(keys)
+        self.aggregates: Tuple[AggregateSpec, ...] = tuple(aggregates)
+
+    @property
+    def child(self) -> LogicalNode:
+        return self.children[0]
+
+    @property
+    def is_stateful(self) -> bool:
+        return True
+
+    def _label(self) -> str:
+        aggs = ", ".join(
+            "%s(%s)" % (s.func, s.output_name) for s in self.aggregates
+        )
+        return "GroupBy(keys=%s; %s) #%d" % (list(self.keys), aggs, self.node_id)
+
+
+class SemiJoin(LogicalNode):
+    """Emit probe-side rows having a key match in the source side.
+
+    Output schema is the probe side's schema only — the source exists
+    purely as a filter.  This is the building block of the magic-sets
+    baseline ("the subquery performs a logical semijoin ... between the
+    subquery and the magic set", Section II) and of explicit Bloomjoin-
+    style plans.
+    """
+
+    def __init__(
+        self,
+        probe: LogicalNode,
+        source: LogicalNode,
+        probe_keys: Sequence[str],
+        source_keys: Sequence[str],
+    ):
+        if len(probe_keys) != len(source_keys) or not probe_keys:
+            raise PlanError("semijoin needs equal, non-empty key lists")
+        for k in probe_keys:
+            if k not in probe.schema:
+                raise PlanError("semijoin key %r missing from probe input" % k)
+        for k in source_keys:
+            if k not in source.schema:
+                raise PlanError("semijoin key %r missing from source input" % k)
+        super().__init__((probe, source), probe.schema, probe.column_origins)
+        self.probe_keys: Tuple[str, ...] = tuple(probe_keys)
+        self.source_keys: Tuple[str, ...] = tuple(source_keys)
+
+    @property
+    def probe(self) -> LogicalNode:
+        return self.children[0]
+
+    @property
+    def source(self) -> LogicalNode:
+        return self.children[1]
+
+    @property
+    def is_stateful(self) -> bool:
+        return True
+
+    def _label(self) -> str:
+        pairs = ", ".join(
+            "%s=%s" % p for p in zip(self.probe_keys, self.source_keys)
+        )
+        return "SemiJoin(%s) #%d" % (pairs, self.node_id)
+
+
+class Distinct(LogicalNode):
+    """Duplicate elimination over full rows; stateful (hash set of rows)."""
+
+    def __init__(self, child: LogicalNode):
+        super().__init__((child,), child.schema, child.column_origins)
+
+    @property
+    def child(self) -> LogicalNode:
+        return self.children[0]
+
+    @property
+    def is_stateful(self) -> bool:
+        return True
+
+    def _label(self) -> str:
+        return "Distinct #%d" % self.node_id

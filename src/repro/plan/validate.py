@@ -1,0 +1,112 @@
+"""Structural validation of logical plans.
+
+Most invariants are enforced at node construction; :func:`validate_plan`
+re-checks the whole plan (useful after rewrites such as magic sets) and
+verifies global properties construction cannot check locally: plans may
+be DAGs (shared subexpressions are how the magic-sets rewriting shares
+the outer query) but must be acyclic.
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+from repro.common.errors import PlanError
+from repro.data.catalog import Catalog
+from repro.plan.logical import (
+    Distinct, Filter, GroupBy, Join, LogicalNode, Project, Scan, SemiJoin,
+)
+
+
+def validate_plan(root: LogicalNode, catalog: Catalog = None) -> None:
+    """Raise :class:`PlanError` if the plan is malformed.
+
+    With a catalog, scans are additionally checked against registered
+    tables and their schemas.
+    """
+    _check_acyclic(root)
+    for node in root.walk():
+        _validate_node(node, catalog)
+
+
+def _check_acyclic(root: LogicalNode) -> None:
+    """DFS cycle detection over the plan DAG."""
+    WHITE, GREY, BLACK = 0, 1, 2
+    colour = {}
+
+    def visit(node: LogicalNode) -> None:
+        state = colour.get(node.node_id, WHITE)
+        if state == GREY:
+            raise PlanError("plan contains a cycle through node #%d" % node.node_id)
+        if state == BLACK:
+            return
+        colour[node.node_id] = GREY
+        for child in node.children:
+            visit(child)
+        colour[node.node_id] = BLACK
+
+    visit(root)
+
+
+def _validate_node(node: LogicalNode, catalog) -> None:
+    if isinstance(node, Scan):
+        if catalog is not None:
+            if not catalog.has_table(node.table_name):
+                raise PlanError("scan of unknown table %r" % node.table_name)
+            base = catalog.table(node.table_name).schema
+            expected = base.renamed(node.renames) if node.renames else base
+            if expected != node.schema:
+                raise PlanError(
+                    "scan schema for %r does not match catalog" % node.table_name
+                )
+        return
+
+    if isinstance(node, Filter):
+        missing = node.predicate.columns() - set(node.child.schema.names)
+        if missing:
+            raise PlanError("filter references %s" % sorted(missing))
+        return
+
+    if isinstance(node, Project):
+        for name, expr in node.outputs:
+            missing = expr.columns() - set(node.child.schema.names)
+            if missing:
+                raise PlanError(
+                    "projection %r references %s" % (name, sorted(missing))
+                )
+        return
+
+    if isinstance(node, Join):
+        for k in node.left_keys:
+            if k not in node.left.schema:
+                raise PlanError("join key %r missing from left input" % k)
+        for k in node.right_keys:
+            if k not in node.right.schema:
+                raise PlanError("join key %r missing from right input" % k)
+        overlap = set(node.left.schema.names) & set(node.right.schema.names)
+        if overlap:
+            raise PlanError(
+                "join inputs share column names %s; rename at scan time"
+                % sorted(overlap)
+            )
+        return
+
+    if isinstance(node, SemiJoin):
+        for k in node.probe_keys:
+            if k not in node.probe.schema:
+                raise PlanError("semijoin key %r missing from probe input" % k)
+        for k in node.source_keys:
+            if k not in node.source.schema:
+                raise PlanError("semijoin key %r missing from source input" % k)
+        return
+
+    if isinstance(node, GroupBy):
+        for k in node.keys:
+            if k not in node.child.schema:
+                raise PlanError("group-by key %r missing from input" % k)
+        return
+
+    if isinstance(node, Distinct):
+        return
+
+    raise PlanError("unknown plan node type %s" % type(node).__name__)

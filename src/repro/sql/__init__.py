@@ -1,0 +1,26 @@
+"""A SQL front end for the mini-dialect the paper's Table I uses.
+
+Supported grammar (case-insensitive keywords)::
+
+    SELECT [DISTINCT] item [, item]*
+    FROM table [alias] [, table [alias]]*
+    [WHERE conjunct [AND conjunct]*]
+    [GROUP BY column [, column]*]
+
+    item     := expr [AS name]
+    expr     := arithmetic over columns, literals, year(expr),
+                sum/min/max/avg/count(expr) (aggregate contexts)
+    conjunct := expr cmp expr | expr LIKE 'pattern'
+              | expr cmp (scalar subquery)
+
+Correlated scalar subqueries — the shape TPC-H Q2/Q17 use — are
+*decorrelated* at binding time into the paper's Figure 1 plan shape: a
+grouped aggregate over the subquery's join tree, keyed by the
+correlation columns, joined back to the outer query with the original
+comparison as the join residual.
+"""
+
+from repro.sql.parser import parse
+from repro.sql.binder import sql_to_plan
+
+__all__ = ["parse", "sql_to_plan"]

@@ -1,0 +1,164 @@
+"""SQL abstract syntax (source-level, pre-binding).
+
+Distinct from :mod:`repro.expr.expressions`, which is the *bound*
+expression language over plan schemas: SQL references may be
+``alias.column`` or bare columns that need resolution, and aggregate
+calls and scalar subqueries only make sense before decorrelation.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple, Union
+
+
+class SqlExpr:
+    """Base class for source expressions."""
+
+
+class ColumnRef(SqlExpr):
+    """``column`` or ``alias.column``."""
+
+    __slots__ = ("qualifier", "name")
+
+    def __init__(self, name: str, qualifier: Optional[str] = None):
+        self.name = name
+        self.qualifier = qualifier
+
+    def __repr__(self) -> str:
+        if self.qualifier:
+            return "ColumnRef(%s.%s)" % (self.qualifier, self.name)
+        return "ColumnRef(%s)" % self.name
+
+
+class Literal(SqlExpr):
+    __slots__ = ("value",)
+
+    def __init__(self, value: Union[int, float, str]):
+        self.value = value
+
+    def __repr__(self) -> str:
+        return "Literal(%r)" % (self.value,)
+
+
+class BinaryOp(SqlExpr):
+    """Arithmetic: + - * /."""
+
+    __slots__ = ("op", "left", "right")
+
+    def __init__(self, op: str, left: SqlExpr, right: SqlExpr):
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def __repr__(self) -> str:
+        return "(%r %s %r)" % (self.left, self.op, self.right)
+
+
+class FuncCall(SqlExpr):
+    """Scalar function call (``year(...)``)."""
+
+    __slots__ = ("name", "args")
+
+    def __init__(self, name: str, args: Sequence[SqlExpr]):
+        self.name = name
+        self.args = list(args)
+
+    def __repr__(self) -> str:
+        return "FuncCall(%s, %r)" % (self.name, self.args)
+
+
+class AggCall(SqlExpr):
+    """Aggregate call: sum/min/max/avg/count."""
+
+    __slots__ = ("func", "arg")
+
+    def __init__(self, func: str, arg: Optional[SqlExpr]):
+        self.func = func
+        self.arg = arg  # None for count(*)
+
+    def __repr__(self) -> str:
+        return "AggCall(%s, %r)" % (self.func, self.arg)
+
+
+class Comparison(SqlExpr):
+    """``expr cmp expr`` with cmp in = != < <= > >=."""
+
+    __slots__ = ("op", "left", "right")
+
+    def __init__(self, op: str, left: SqlExpr, right: SqlExpr):
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def __repr__(self) -> str:
+        return "Comparison(%r %s %r)" % (self.left, self.op, self.right)
+
+
+class LikePredicate(SqlExpr):
+    __slots__ = ("term", "pattern")
+
+    def __init__(self, term: SqlExpr, pattern: str):
+        self.term = term
+        self.pattern = pattern
+
+    def __repr__(self) -> str:
+        return "Like(%r, %r)" % (self.term, self.pattern)
+
+
+class Subquery(SqlExpr):
+    """A parenthesised scalar SELECT used inside a comparison."""
+
+    __slots__ = ("query",)
+
+    def __init__(self, query: "SelectStatement"):
+        self.query = query
+
+    def __repr__(self) -> str:
+        return "Subquery(%r)" % (self.query,)
+
+
+class SelectItem:
+    __slots__ = ("expr", "alias")
+
+    def __init__(self, expr: SqlExpr, alias: Optional[str] = None):
+        self.expr = expr
+        self.alias = alias
+
+    def __repr__(self) -> str:
+        return "SelectItem(%r as %s)" % (self.expr, self.alias)
+
+
+class TableRef:
+    __slots__ = ("table", "alias")
+
+    def __init__(self, table: str, alias: Optional[str] = None):
+        self.table = table
+        self.alias = alias or table
+
+    def __repr__(self) -> str:
+        return "TableRef(%s as %s)" % (self.table, self.alias)
+
+
+class SelectStatement:
+    """One SELECT block."""
+
+    __slots__ = ("items", "tables", "where", "group_by", "distinct")
+
+    def __init__(
+        self,
+        items: Sequence[SelectItem],
+        tables: Sequence[TableRef],
+        where: Sequence[SqlExpr] = (),
+        group_by: Sequence[SqlExpr] = (),
+        distinct: bool = False,
+    ):
+        self.items = list(items)
+        self.tables = list(tables)
+        self.where = list(where)  # implicit conjunction
+        self.group_by = list(group_by)
+        self.distinct = distinct
+
+    def __repr__(self) -> str:
+        return "SelectStatement(%d items, %d tables, %d conjuncts)" % (
+            len(self.items), len(self.tables), len(self.where),
+        )

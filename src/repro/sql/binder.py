@@ -1,0 +1,461 @@
+"""Bind SQL to logical plans, decorrelating scalar subqueries.
+
+The binder turns a parsed :class:`SelectStatement` into the bushy plan
+shape the paper's Figure 1 shows:
+
+1. resolve column references against the FROM relations (inner scope
+   first, then the outer scope — an outer hit is a *correlation*);
+2. plan the outer block's joins greedily (``repro.optimizer.planner``);
+3. every ``expr cmp (SELECT agg ...)`` conjunct becomes: a grouped
+   aggregate over the subquery's join tree keyed by its correlation
+   columns, joined back to the outer tree on those columns, with the
+   comparison as the join residual;
+4. GROUP BY / aggregates / DISTINCT / projection go on top.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.common.errors import PlanError
+from repro.data.catalog import Catalog
+from repro.expr import expressions as bound
+from repro.expr.aggregates import AggregateSpec
+from repro.optimizer.planner import ConjunctiveQuery, plan_query
+from repro.plan.logical import Distinct, GroupBy, Join, LogicalNode, Project
+from repro.sql import ast
+from repro.sql.parser import parse
+
+
+class _Scope:
+    """Name resolution for one SELECT block."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        tables: Sequence[ast.TableRef],
+        parent: Optional["_Scope"] = None,
+        forced_prefix: Optional[str] = None,
+    ):
+        self.catalog = catalog
+        self.parent = parent
+        #: (alias, table) pairs as the planner wants them.
+        self.relations: List[Tuple[str, str]] = []
+        #: bare column name -> resolved (prefixed) name
+        self._by_column: Dict[str, List[str]] = {}
+        #: alias -> {column -> resolved name}
+        self._by_alias: Dict[str, Dict[str, str]] = {}
+
+        taken = set()
+        scope = parent
+        while scope is not None:
+            taken.update(alias for alias, _ in scope.relations)
+            scope = scope.parent
+
+        for ref in tables:
+            alias = ref.alias
+            if forced_prefix and alias in taken:
+                alias = "%s%s" % (forced_prefix, alias)
+            if alias in taken or alias in self._by_alias:
+                raise PlanError("relation alias %r is ambiguous" % alias)
+            taken.add(alias)
+            self.relations.append((alias, ref.table))
+            schema = catalog.table(ref.table).schema
+            columns = {}
+            for name in schema.names:
+                resolved = name if alias == ref.table else "%s_%s" % (alias, name)
+                columns[name] = resolved
+                self._by_column.setdefault(name, []).append(resolved)
+            self._by_alias[ref.alias] = columns
+            if alias != ref.alias:
+                self._by_alias[alias] = columns
+
+    def resolve(self, ref: ast.ColumnRef) -> Tuple[str, bool]:
+        """Resolve to ``(name, is_outer)``; inner scope wins."""
+        local = self._resolve_local(ref)
+        if local is not None:
+            return local, False
+        if self.parent is not None:
+            name, _ = self.parent.resolve(ref)
+            return name, True
+        raise PlanError("cannot resolve column %r" % (ref,))
+
+    def _resolve_local(self, ref: ast.ColumnRef) -> Optional[str]:
+        if ref.qualifier is not None:
+            columns = self._by_alias.get(ref.qualifier)
+            if columns is None:
+                return None
+            name = columns.get(ref.name)
+            if name is None:
+                raise PlanError(
+                    "no column %r in relation %r" % (ref.name, ref.qualifier)
+                )
+            return name
+        candidates = self._by_column.get(ref.name, [])
+        if len(candidates) > 1:
+            raise PlanError("ambiguous column %r" % ref.name)
+        return candidates[0] if candidates else None
+
+
+class _Binder:
+    def __init__(self, catalog: Catalog):
+        self.catalog = catalog
+        self._subquery_counter = 0
+
+    # -- expressions -----------------------------------------------------------
+
+    def bind_expr(self, expr: ast.SqlExpr, scope: _Scope) -> bound.Expr:
+        """Bind a scalar (non-aggregate) expression; correlation (outer)
+        references are allowed and resolve to outer names."""
+        if isinstance(expr, ast.ColumnRef):
+            name, _ = scope.resolve(expr)
+            return bound.Col(name)
+        if isinstance(expr, ast.Literal):
+            return bound.Lit(expr.value)
+        if isinstance(expr, ast.BinaryOp):
+            return bound.Arith(
+                expr.op,
+                self.bind_expr(expr.left, scope),
+                self.bind_expr(expr.right, scope),
+            )
+        if isinstance(expr, ast.FuncCall):
+            return bound.Func(
+                expr.name, *(self.bind_expr(a, scope) for a in expr.args)
+            )
+        if isinstance(expr, ast.Comparison):
+            return bound.Cmp(
+                expr.op,
+                self.bind_expr(expr.left, scope),
+                self.bind_expr(expr.right, scope),
+            )
+        if isinstance(expr, ast.LikePredicate):
+            return bound.Like(self.bind_expr(expr.term, scope), expr.pattern)
+        if isinstance(expr, ast.AggCall):
+            raise PlanError("aggregate used outside an aggregate context")
+        if isinstance(expr, ast.Subquery):
+            raise PlanError(
+                "subqueries are only supported as 'expr cmp (select ...)'"
+            )
+        raise PlanError("cannot bind %r" % (expr,))
+
+    def _split_aggregate(self, expr: ast.SqlExpr):
+        """Find the single AggCall inside ``expr``; return it and the
+        expression with the call replaced by a placeholder column."""
+        found: List[ast.AggCall] = []
+
+        def rewrite(node: ast.SqlExpr) -> ast.SqlExpr:
+            if isinstance(node, ast.AggCall):
+                found.append(node)
+                return ast.ColumnRef("__agg_placeholder")
+            if isinstance(node, ast.BinaryOp):
+                return ast.BinaryOp(
+                    node.op, rewrite(node.left), rewrite(node.right)
+                )
+            if isinstance(node, ast.FuncCall):
+                return ast.FuncCall(node.name, [rewrite(a) for a in node.args])
+            return node
+
+        rewritten = rewrite(expr)
+        if len(found) != 1:
+            raise PlanError(
+                "expected exactly one aggregate call, found %d" % len(found)
+            )
+        return found[0], rewritten
+
+    # -- subquery decorrelation --------------------------------------------------
+
+    def _bind_scalar_subquery(
+        self,
+        outer_plan: LogicalNode,
+        outer_scope: _Scope,
+        outer_expr: ast.SqlExpr,
+        op: str,
+        subquery: ast.Subquery,
+    ) -> LogicalNode:
+        """Join ``outer_plan`` with the decorrelated subquery."""
+        self._subquery_counter += 1
+        tag = "sq%d" % self._subquery_counter
+        statement = subquery.query
+        if len(statement.items) != 1:
+            raise PlanError("scalar subquery must select exactly one value")
+        if statement.group_by or statement.distinct:
+            raise PlanError("scalar subqueries may not GROUP BY or DISTINCT")
+
+        scope = _Scope(
+            self.catalog, statement.tables,
+            parent=outer_scope, forced_prefix="%s_" % tag,
+        )
+
+        # Partition the subquery's conjuncts.
+        correlations: List[Tuple[str, str]] = []   # (outer col, inner col)
+        inner_conjuncts: List[bound.Expr] = []
+        for conjunct in statement.where:
+            correlation = self._as_correlation(conjunct, scope)
+            if correlation is not None:
+                correlations.append(correlation)
+                continue
+            inner_conjuncts.append(self.bind_expr(conjunct, scope))
+        if not correlations:
+            raise PlanError(
+                "uncorrelated scalar subqueries are not supported; "
+                "add an equality linking the subquery to the outer block"
+            )
+
+        inner_plan = plan_query(
+            self.catalog,
+            ConjunctiveQuery(scope.relations, inner_conjuncts),
+        )
+
+        # The single select item: agg(...) possibly wrapped in arithmetic.
+        agg_call, wrapper = self._split_aggregate(statement.items[0].expr)
+        agg_input = (
+            self.bind_expr(agg_call.arg, scope)
+            if agg_call.arg is not None else None
+        )
+        agg_name = "%s_agg" % tag
+        value_name = "%s_val" % tag
+        keys = [inner for _, inner in correlations]
+        grouped: LogicalNode = GroupBy(
+            inner_plan, keys, [AggregateSpec(agg_call.func, agg_input, agg_name)],
+        )
+
+        # Apply the wrapper arithmetic (e.g. 0.2 * avg(...)).
+        wrapper_bound = self._bind_placeholder_expr(wrapper, grouped, agg_name)
+        outputs = [(k, bound.Col(k)) for k in keys]
+        outputs.append((value_name, wrapper_bound))
+        projected = Project(grouped, outputs)
+
+        residual = bound.Cmp(
+            op, self.bind_expr(outer_expr, outer_scope), bound.Col(value_name)
+        )
+        return Join(
+            outer_plan, projected,
+            [outer for outer, _ in correlations], keys,
+            residual=residual,
+        )
+
+    def _bind_placeholder_expr(
+        self, expr: ast.SqlExpr, node: LogicalNode, agg_name: str
+    ) -> bound.Expr:
+        """Bind a rewritten select item whose aggregate became the
+        placeholder column, mapping it to the grouped output."""
+        if isinstance(expr, ast.ColumnRef):
+            if expr.name == "__agg_placeholder":
+                return bound.Col(agg_name)
+            raise PlanError(
+                "scalar subquery select may only combine the aggregate "
+                "with literals"
+            )
+        if isinstance(expr, ast.Literal):
+            return bound.Lit(expr.value)
+        if isinstance(expr, ast.BinaryOp):
+            return bound.Arith(
+                expr.op,
+                self._bind_placeholder_expr(expr.left, node, agg_name),
+                self._bind_placeholder_expr(expr.right, node, agg_name),
+            )
+        raise PlanError("unsupported scalar subquery select %r" % (expr,))
+
+    def _as_correlation(
+        self, conjunct: ast.SqlExpr, scope: _Scope
+    ) -> Optional[Tuple[str, str]]:
+        """``outer_col = inner_col`` (either order) -> (outer, inner)."""
+        if not isinstance(conjunct, ast.Comparison) or conjunct.op != "=":
+            return None
+        if not (
+            isinstance(conjunct.left, ast.ColumnRef)
+            and isinstance(conjunct.right, ast.ColumnRef)
+        ):
+            return None
+        left, left_outer = scope.resolve(conjunct.left)
+        right, right_outer = scope.resolve(conjunct.right)
+        if left_outer and not right_outer:
+            return (left, right)
+        if right_outer and not left_outer:
+            return (right, left)
+        return None
+
+    # -- top level -----------------------------------------------------------------
+
+    def bind(self, statement: ast.SelectStatement) -> LogicalNode:
+        scope = _Scope(self.catalog, statement.tables)
+
+        plain: List[bound.Expr] = []
+        subqueries = []
+        for conjunct in statement.where:
+            sub = self._extract_subquery_comparison(conjunct)
+            if sub is not None:
+                subqueries.append(sub)
+            else:
+                plain.append(self.bind_expr(conjunct, scope))
+
+        plan = plan_query(
+            self.catalog, ConjunctiveQuery(scope.relations, plain)
+        )
+        for outer_expr, op, subquery in subqueries:
+            plan = self._bind_scalar_subquery(
+                plan, scope, outer_expr, op, subquery
+            )
+
+        return self._bind_projection(statement, plan, scope)
+
+    @staticmethod
+    def _extract_subquery_comparison(conjunct: ast.SqlExpr):
+        if not isinstance(conjunct, ast.Comparison):
+            return None
+        if isinstance(conjunct.right, ast.Subquery):
+            return (conjunct.left, conjunct.op, conjunct.right)
+        if isinstance(conjunct.left, ast.Subquery):
+            flip = {"=": "=", "!=": "!=", "<": ">", "<=": ">=",
+                    ">": "<", ">=": "<="}
+            return (conjunct.right, flip[conjunct.op], conjunct.left)
+        return None
+
+    def _bind_projection(
+        self,
+        statement: ast.SelectStatement,
+        plan: LogicalNode,
+        scope: _Scope,
+    ) -> LogicalNode:
+        has_aggregates = any(
+            self._contains_aggregate(item.expr) for item in statement.items
+        )
+
+        if statement.group_by or has_aggregates:
+            result = self._bind_aggregation(statement, plan, scope)
+        else:
+            projected = []
+            for item in statement.items:
+                expr = self.bind_expr(item.expr, scope)
+                name = item.alias or _default_name(item.expr)
+                projected.append((name, expr))
+            result = Project(plan, projected)
+
+        if statement.distinct:
+            result = Distinct(result)
+        return result
+
+    def _bind_aggregation(
+        self,
+        statement: ast.SelectStatement,
+        plan: LogicalNode,
+        scope: _Scope,
+    ) -> LogicalNode:
+        """GROUP BY / aggregate binding.
+
+        Expression keys (``group by year(o_orderdate)`` — TPC-H Q9) are
+        computed in a pre-projection together with every column the
+        aggregate inputs need; plain column keys group directly.
+        """
+        # 1. Group keys: (key_name, canonical form, bound expr or None).
+        key_specs: List[Tuple[str, str, Optional[bound.Expr]]] = []
+        for i, group_expr in enumerate(statement.group_by):
+            canonical = self._canonical(group_expr, scope)
+            if isinstance(group_expr, ast.ColumnRef):
+                name, is_outer = scope.resolve(group_expr)
+                if is_outer:
+                    raise PlanError("GROUP BY cannot reference outer scope")
+                key_specs.append((name, canonical, None))
+            else:
+                key_specs.append(
+                    ("_gk%d" % i, canonical, self.bind_expr(group_expr, scope))
+                )
+
+        # 2. Aggregates and select outputs.
+        specs: List[AggregateSpec] = []
+        outputs: List[Tuple[str, Optional[ast.SqlExpr], str]] = []
+        for i, item in enumerate(statement.items):
+            if self._contains_aggregate(item.expr):
+                agg_call, wrapper = self._split_aggregate(item.expr)
+                agg_input = (
+                    self.bind_expr(agg_call.arg, scope)
+                    if agg_call.arg is not None else None
+                )
+                agg_name = "_out_agg%d" % i
+                specs.append(AggregateSpec(agg_call.func, agg_input, agg_name))
+                outputs.append((item.alias or agg_name, wrapper, agg_name))
+            else:
+                canonical = self._canonical(item.expr, scope)
+                key_name = next(
+                    (name for name, c, _ in key_specs if c == canonical), None
+                )
+                if key_name is None:
+                    raise PlanError(
+                        "non-aggregate select item %r must appear in "
+                        "GROUP BY" % (item.expr,)
+                    )
+                outputs.append((item.alias or key_name, None, key_name))
+
+        # 3. Pre-projection when any key is computed.
+        if any(bound_expr is not None for _, _, bound_expr in key_specs):
+            pre_outputs: List[Tuple[str, bound.Expr]] = []
+            key_names = set()
+            for name, _, bound_expr in key_specs:
+                key_names.add(name)
+                pre_outputs.append(
+                    (name, bound_expr if bound_expr is not None
+                     else bound.Col(name))
+                )
+            needed = set()
+            for spec in specs:
+                if spec.input is not None:
+                    needed |= spec.input.columns()
+            for column in sorted(needed - key_names):
+                pre_outputs.append((column, bound.Col(column)))
+            plan = Project(plan, pre_outputs)
+
+        grouped = GroupBy(plan, [name for name, _, _ in key_specs], specs)
+        projected = []
+        for out_name, wrapper, source in outputs:
+            if wrapper is None:
+                projected.append((out_name, bound.Col(source)))
+            else:
+                projected.append((
+                    out_name,
+                    self._bind_placeholder_expr(wrapper, grouped, source),
+                ))
+        return Project(grouped, projected)
+
+    def _canonical(self, expr: ast.SqlExpr, scope: _Scope) -> str:
+        """Structural key for matching select items against GROUP BY
+        expressions, with column references fully resolved."""
+        if isinstance(expr, ast.ColumnRef):
+            name, _ = scope.resolve(expr)
+            return "col:%s" % name
+        if isinstance(expr, ast.Literal):
+            return "lit:%r" % (expr.value,)
+        if isinstance(expr, ast.BinaryOp):
+            return "(%s %s %s)" % (
+                self._canonical(expr.left, scope), expr.op,
+                self._canonical(expr.right, scope),
+            )
+        if isinstance(expr, ast.FuncCall):
+            return "%s(%s)" % (
+                expr.name,
+                ",".join(self._canonical(a, scope) for a in expr.args),
+            )
+        raise PlanError("unsupported GROUP BY expression %r" % (expr,))
+
+    @staticmethod
+    def _contains_aggregate(expr: ast.SqlExpr) -> bool:
+        if isinstance(expr, ast.AggCall):
+            return True
+        if isinstance(expr, ast.BinaryOp):
+            return (
+                _Binder._contains_aggregate(expr.left)
+                or _Binder._contains_aggregate(expr.right)
+            )
+        if isinstance(expr, ast.FuncCall):
+            return any(_Binder._contains_aggregate(a) for a in expr.args)
+        return False
+
+
+def _default_name(expr: ast.SqlExpr) -> str:
+    if isinstance(expr, ast.ColumnRef):
+        return expr.name
+    return "expr"
+
+
+def sql_to_plan(catalog: Catalog, sql: str) -> LogicalNode:
+    """Parse and bind ``sql`` into an executable logical plan."""
+    return _Binder(catalog).bind(parse(sql))

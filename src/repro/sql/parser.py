@@ -1,0 +1,207 @@
+"""Recursive-descent parser for the Table I SQL dialect."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.sql.ast import (
+    AggCall, BinaryOp, ColumnRef, Comparison, FuncCall, LikePredicate,
+    Literal, SelectItem, SelectStatement, Subquery, TableRef,
+)
+from repro.sql.tokens import SqlSyntaxError, Token, tokenize
+
+_AGGREGATES = frozenset({"sum", "min", "max", "avg", "count"})
+_CMP_MAP = {"=": "=", "<>": "!=", "!=": "!=", "<": "<", "<=": "<=",
+            ">": ">", ">=": ">="}
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]):
+        self._tokens = tokens
+        self._pos = 0
+
+    # -- token helpers ------------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> Optional[Token]:
+        index = self._pos + offset
+        if index < len(self._tokens):
+            return self._tokens[index]
+        return None
+
+    def _next(self) -> Token:
+        token = self._peek()
+        if token is None:
+            raise SqlSyntaxError("unexpected end of input")
+        self._pos += 1
+        return token
+
+    def _accept(self, kind: str, value: Optional[str] = None) -> Optional[Token]:
+        token = self._peek()
+        if token is None or token.kind != kind:
+            return None
+        if value is not None and token.value != value:
+            return None
+        self._pos += 1
+        return token
+
+    def _expect(self, kind: str, value: Optional[str] = None) -> Token:
+        token = self._accept(kind, value)
+        if token is None:
+            got = self._peek()
+            raise SqlSyntaxError(
+                "expected %s%s, got %r"
+                % (kind, " %r" % value if value else "", got)
+            )
+        return token
+
+    def _at_keyword(self, *words: str) -> bool:
+        token = self._peek()
+        return (
+            token is not None
+            and token.kind == "KEYWORD"
+            and token.value in words
+        )
+
+    # -- grammar --------------------------------------------------------------
+
+    def parse_select(self) -> SelectStatement:
+        self._expect("KEYWORD", "select")
+        distinct = self._accept("KEYWORD", "distinct") is not None
+        items = [self._select_item()]
+        while self._accept("COMMA"):
+            items.append(self._select_item())
+
+        self._expect("KEYWORD", "from")
+        tables = [self._table_ref()]
+        while self._accept("COMMA"):
+            tables.append(self._table_ref())
+
+        where: List = []
+        if self._accept("KEYWORD", "where"):
+            where.append(self._predicate())
+            while self._accept("KEYWORD", "and"):
+                where.append(self._predicate())
+
+        group_by: List = []
+        if self._accept("KEYWORD", "group"):
+            self._expect("KEYWORD", "by")
+            group_by.append(self._expression())
+            while self._accept("COMMA"):
+                group_by.append(self._expression())
+
+        return SelectStatement(items, tables, where, group_by, distinct)
+
+    def _select_item(self) -> SelectItem:
+        expr = self._expression()
+        alias = None
+        if self._accept("KEYWORD", "as"):
+            alias = self._expect("NAME").value
+        return SelectItem(expr, alias)
+
+    def _table_ref(self) -> TableRef:
+        table = self._expect("NAME").value
+        alias_token = self._accept("NAME")
+        return TableRef(table, alias_token.value if alias_token else None)
+
+    def _column_ref(self) -> ColumnRef:
+        first = self._expect("NAME").value
+        if self._accept("DOT"):
+            return ColumnRef(self._expect("NAME").value, qualifier=first)
+        return ColumnRef(first)
+
+    # -- predicates ----------------------------------------------------------
+
+    def _predicate(self):
+        left = self._expression()
+        if self._accept("KEYWORD", "like"):
+            pattern = self._expect("STRING").value
+            return LikePredicate(left, pattern)
+        op_token = self._expect("OP")
+        op = _CMP_MAP.get(op_token.value)
+        if op is None:
+            raise SqlSyntaxError(
+                "expected comparison operator, got %r" % op_token.value
+            )
+        right = self._expression()
+        return Comparison(op, left, right)
+
+    # -- expressions (precedence: additive < multiplicative < primary) --------
+
+    def _expression(self):
+        left = self._term()
+        while True:
+            token = self._peek()
+            if token is not None and token.kind == "OP" and token.value in "+-":
+                self._next()
+                left = BinaryOp(token.value, left, self._term())
+            else:
+                return left
+
+    def _term(self):
+        left = self._primary()
+        while True:
+            token = self._peek()
+            if token is not None and token.kind == "OP" and token.value in "*/":
+                self._next()
+                left = BinaryOp(token.value, left, self._primary())
+            else:
+                return left
+
+    def _primary(self):
+        token = self._peek()
+        if token is None:
+            raise SqlSyntaxError("unexpected end of expression")
+
+        if token.kind == "NUMBER":
+            self._next()
+            value = float(token.value) if "." in token.value else int(token.value)
+            return Literal(value)
+
+        if token.kind == "STRING":
+            self._next()
+            return Literal(token.value)
+
+        if token.kind == "LPAREN":
+            self._next()
+            if self._at_keyword("select"):
+                inner = self.parse_select()
+                self._expect("RPAREN")
+                return Subquery(inner)
+            expr = self._expression()
+            self._expect("RPAREN")
+            return expr
+
+        if token.kind == "KEYWORD" and token.value in _AGGREGATES:
+            self._next()
+            self._expect("LPAREN")
+            if token.value == "count" and self._accept("OP", "*"):
+                self._expect("RPAREN")
+                return AggCall("count", None)
+            arg = self._expression()
+            self._expect("RPAREN")
+            return AggCall(token.value, arg)
+
+        if token.kind == "NAME":
+            # function call, qualified column, or bare column
+            nxt = self._peek(1)
+            if nxt is not None and nxt.kind == "LPAREN":
+                self._next()
+                self._next()
+                args = [self._expression()]
+                while self._accept("COMMA"):
+                    args.append(self._expression())
+                self._expect("RPAREN")
+                return FuncCall(token.value, args)
+            return self._column_ref()
+
+        raise SqlSyntaxError("unexpected token %r" % (token,))
+
+
+def parse(text: str) -> SelectStatement:
+    """Parse one SELECT statement."""
+    parser = _Parser(tokenize(text))
+    statement = parser.parse_select()
+    leftover = parser._peek()
+    if leftover is not None:
+        raise SqlSyntaxError("trailing input at %r" % (leftover,))
+    return statement

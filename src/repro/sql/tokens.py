@@ -1,0 +1,79 @@
+"""SQL tokenizer."""
+
+from __future__ import annotations
+
+import re
+from typing import Iterator, List, NamedTuple
+
+from repro.common.errors import ReproError
+
+
+class SqlSyntaxError(ReproError):
+    """Raised on malformed SQL text."""
+
+
+class Token(NamedTuple):
+    kind: str   # KEYWORD, NAME, NUMBER, STRING, OP, LPAREN, RPAREN, COMMA, STAR
+    value: str
+    position: int
+
+
+KEYWORDS = frozenset({
+    "select", "distinct", "from", "where", "and", "or", "not",
+    "group", "by", "as", "like", "sum", "min", "max", "avg", "count",
+})
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<string>'(?:[^']|'')*')
+  | (?P<number>\d+(?:\.\d+)?)
+  | (?P<name>[A-Za-z_][A-Za-z_0-9]*)
+  | (?P<op><=|>=|<>|!=|=|<|>|\+|-|\*|/)
+  | (?P<lparen>\()
+  | (?P<rparen>\))
+  | (?P<comma>,)
+  | (?P<dot>\.)
+    """,
+    re.VERBOSE,
+)
+
+
+def tokenize(text: str) -> List[Token]:
+    """Split SQL text into tokens; raises SqlSyntaxError on junk."""
+    tokens: List[Token] = []
+    pos = 0
+    n = len(text)
+    while pos < n:
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise SqlSyntaxError(
+                "unexpected character %r at position %d" % (text[pos], pos)
+            )
+        kind = match.lastgroup
+        value = match.group()
+        if kind == "ws":
+            pos = match.end()
+            continue
+        if kind == "string":
+            tokens.append(Token("STRING", value[1:-1].replace("''", "'"), pos))
+        elif kind == "number":
+            tokens.append(Token("NUMBER", value, pos))
+        elif kind == "name":
+            lowered = value.lower()
+            if lowered in KEYWORDS:
+                tokens.append(Token("KEYWORD", lowered, pos))
+            else:
+                tokens.append(Token("NAME", lowered, pos))
+        elif kind == "op":
+            tokens.append(Token("OP", value, pos))
+        elif kind == "lparen":
+            tokens.append(Token("LPAREN", value, pos))
+        elif kind == "rparen":
+            tokens.append(Token("RPAREN", value, pos))
+        elif kind == "comma":
+            tokens.append(Token("COMMA", value, pos))
+        elif kind == "dot":
+            tokens.append(Token("DOT", value, pos))
+        pos = match.end()
+    return tokens

@@ -1,0 +1,34 @@
+"""Common interface for AIP summary structures.
+
+An AIP set summarises the values of one key attribute of a completed
+subexpression.  Probes may return *false positives* (a value reported
+present that was never added) but must never return false negatives —
+the correctness argument in Section III-B of the paper depends on
+exactly this property: ``E_Pu ▷θ E_A`` returns a superset of the true
+semijoin ``E_Pu ⋉ E_A``.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Hashable
+
+
+class Summary(abc.ABC):
+    """Abstract superset-preserving membership summary."""
+
+    @abc.abstractmethod
+    def add(self, value: Hashable) -> None:
+        """Record a value as present."""
+
+    @abc.abstractmethod
+    def might_contain(self, value: Hashable) -> bool:
+        """True if ``value`` may have been added (no false negatives)."""
+
+    @abc.abstractmethod
+    def byte_size(self) -> int:
+        """Approximate memory footprint, for state accounting and for
+        the distributed cost model (filters are shipped by size)."""
+
+    def __contains__(self, value: Hashable) -> bool:
+        return self.might_contain(value)

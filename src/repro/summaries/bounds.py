@@ -1,0 +1,105 @@
+"""Order-based summaries for range-condition information passing.
+
+Section III-C of the paper: "Range conditions and complex disjunctive
+expressions are in principle simple to implement, but in practice they
+are expensive to evaluate because they may require more expensive
+summary structures."  The cheapest sound structure for a single
+inequality is a *bound*: if the completed side's values are known, a
+tuple on the other side can be discarded when the inequality cannot
+hold against **any** of them.
+
+For ``A < B`` (A still streaming, B complete) the filter keeps rows
+with ``A < max(B)``; for ``A > B`` rows with ``A > min(B)``; the
+non-strict variants analogously.  No false negatives: a discarded row
+fails the inequality against every possible partner.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.summaries.base import Summary
+
+_OPS = ("<", "<=", ">", ">=")
+
+
+class MinMaxSummary:
+    """Running minimum and maximum of a value stream."""
+
+    __slots__ = ("min", "max", "count")
+
+    def __init__(self):
+        self.min = None
+        self.max = None
+        self.count = 0
+
+    def add(self, value) -> None:
+        if value is None:
+            return
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        self.count += 1
+
+    @classmethod
+    def from_values(cls, values: Iterable) -> "MinMaxSummary":
+        s = cls()
+        for v in values:
+            s.add(v)
+        return s
+
+    def byte_size(self) -> int:
+        return 32
+
+    def __repr__(self) -> str:
+        return "MinMaxSummary(%r..%r, n=%d)" % (self.min, self.max, self.count)
+
+
+class BoundSummary(Summary):
+    """Membership = "the inequality ``value <op> bound`` can hold".
+
+    Built from a completed side's min/max; pluggable wherever a Bloom
+    filter goes (the engine's injected-filter mechanism only requires
+    ``might_contain``).
+    """
+
+    __slots__ = ("op", "bound")
+
+    def __init__(self, op: str, bound):
+        if op not in _OPS:
+            raise ValueError("unsupported bound operator %r" % op)
+        self.op = op
+        self.bound = bound
+
+    @classmethod
+    def for_predicate(cls, op: str, other_side: MinMaxSummary) -> Optional["BoundSummary"]:
+        """The filter for streaming values ``A`` under ``A <op> B`` when
+        the ``B`` side is summarised by ``other_side``.  Returns None
+        when the completed side was empty (nothing can ever match, but
+        emptiness is better handled by the equality filters)."""
+        if other_side.count == 0:
+            return None
+        if op in ("<", "<="):
+            return cls(op, other_side.max)
+        return cls(op, other_side.min)
+
+    def add(self, value) -> None:  # pragma: no cover - bounds are static
+        raise TypeError("BoundSummary is immutable")
+
+    def might_contain(self, value) -> bool:
+        if value is None:
+            return True
+        if self.op == "<":
+            return value < self.bound
+        if self.op == "<=":
+            return value <= self.bound
+        if self.op == ">":
+            return value > self.bound
+        return value >= self.bound
+
+    def byte_size(self) -> int:
+        return 16
+
+    def __repr__(self) -> str:
+        return "BoundSummary(x %s %r)" % (self.op, self.bound)

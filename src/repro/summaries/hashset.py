@@ -1,0 +1,88 @@
+"""Exact hash-set summaries with per-bucket discard.
+
+Section V of the paper: hash tables "have no false positives but take
+more memory and are more expensive to probe", and under memory pressure
+"with a hash-based AIP set one can discard portions, on a per-bucket
+basis: any probe tuple that corresponds to a discarded bucket will
+simply be passed through the filter".  Discarding therefore degrades
+precision (more false positives) but never introduces false negatives.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, List, Set
+
+from repro.summaries.base import Summary
+
+_VALUE_BYTES = 12  # rough per-entry cost: value + set overhead share
+
+
+class HashSetSummary(Summary):
+    """Values partitioned into hash buckets, each individually droppable."""
+
+    __slots__ = ("n_buckets", "_buckets", "_discarded", "n_added")
+
+    def __init__(self, n_buckets: int = 64):
+        if n_buckets < 1:
+            raise ValueError("need at least one bucket")
+        self.n_buckets = n_buckets
+        self._buckets: List[Set[Hashable]] = [set() for _ in range(n_buckets)]
+        self._discarded: List[bool] = [False] * n_buckets
+        self.n_added = 0
+
+    @classmethod
+    def from_values(
+        cls, values: Iterable[Hashable], n_buckets: int = 64
+    ) -> "HashSetSummary":
+        summary = cls(n_buckets)
+        for v in values:
+            summary.add(v)
+        return summary
+
+    def _bucket_of(self, value: Hashable) -> int:
+        from repro.common.hashing import stable_key
+
+        return hash(stable_key(value)) % self.n_buckets
+
+    def add(self, value: Hashable) -> None:
+        b = self._bucket_of(value)
+        if not self._discarded[b]:
+            self._buckets[b].add(value)
+        self.n_added += 1
+
+    def might_contain(self, value: Hashable) -> bool:
+        b = self._bucket_of(value)
+        if self._discarded[b]:
+            return True  # pass-through: never a false negative
+        return value in self._buckets[b]
+
+    def discard_bucket(self, bucket: int) -> int:
+        """Drop one bucket's contents; returns bytes reclaimed."""
+        if not 0 <= bucket < self.n_buckets:
+            raise IndexError("bucket %d out of range" % bucket)
+        reclaimed = len(self._buckets[bucket]) * _VALUE_BYTES
+        self._buckets[bucket] = set()
+        self._discarded[bucket] = True
+        return reclaimed
+
+    def shrink_to(self, max_bytes: int) -> None:
+        """Discard largest buckets until the footprint fits ``max_bytes``."""
+        while self.byte_size() > max_bytes:
+            sizes = [len(b) for b in self._buckets]
+            largest = max(range(self.n_buckets), key=sizes.__getitem__)
+            if sizes[largest] == 0:
+                break  # nothing left to reclaim
+            self.discard_bucket(largest)
+
+    @property
+    def discarded_buckets(self) -> int:
+        return sum(self._discarded)
+
+    def byte_size(self) -> int:
+        stored = sum(len(b) for b in self._buckets)
+        return 32 + self.n_buckets * 8 + stored * _VALUE_BYTES
+
+    def __repr__(self) -> str:
+        return "HashSetSummary(buckets=%d, added=%d, discarded=%d)" % (
+            self.n_buckets, self.n_added, self.discarded_buckets,
+        )

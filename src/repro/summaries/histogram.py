@@ -1,0 +1,96 @@
+"""Equi-width histogram summaries.
+
+Section III-C notes that range conditions "are in principle simple to
+implement, but in practice they are expensive to evaluate because they
+may require more expensive summary structures, such as histograms".
+We provide the structure so that range-correlated AIP can be exercised
+and ablated, even though — like the paper — the default AIP pipeline
+sticks to equality conditions and Bloom filters.
+"""
+
+from __future__ import annotations
+
+import math
+
+from typing import Iterable, List, Optional, Union
+
+from repro.summaries.base import Summary
+
+Number = Union[int, float]
+
+
+class HistogramSummary(Summary):
+    """Bucketised presence summary over a numeric domain.
+
+    Values outside the configured domain are clamped into the edge
+    buckets, preserving the no-false-negative guarantee.
+    """
+
+    __slots__ = ("lo", "hi", "n_buckets", "_counts", "n_added")
+
+    def __init__(self, lo: Number, hi: Number, n_buckets: int = 64):
+        if hi <= lo:
+            raise ValueError("histogram domain must satisfy lo < hi")
+        if n_buckets < 1:
+            raise ValueError("need at least one bucket")
+        self.lo = float(lo)
+        self.hi = float(hi)
+        self.n_buckets = n_buckets
+        self._counts: List[int] = [0] * n_buckets
+        self.n_added = 0
+
+    @classmethod
+    def from_values(
+        cls,
+        values: Iterable[Number],
+        lo: Optional[Number] = None,
+        hi: Optional[Number] = None,
+        n_buckets: int = 64,
+    ) -> "HistogramSummary":
+        materialised = list(values)
+        if not materialised and (lo is None or hi is None):
+            raise ValueError("cannot infer domain from empty values")
+        lo = min(materialised) if lo is None else lo
+        hi = max(materialised) if hi is None else hi
+        if hi <= lo:
+            # Widen a degenerate domain; the relative term keeps the
+            # widening representable at float magnitudes where lo + 1.0
+            # would round back to lo.
+            hi = lo + max(1.0, abs(float(lo)) * 1e-9)
+            if hi <= lo:
+                hi = math.nextafter(float(lo), math.inf)
+        hist = cls(lo, hi, n_buckets)
+        for v in materialised:
+            hist.add(v)
+        return hist
+
+    def _bucket_of(self, value: Number) -> int:
+        frac = (float(value) - self.lo) / (self.hi - self.lo)
+        bucket = int(frac * self.n_buckets)
+        return min(max(bucket, 0), self.n_buckets - 1)
+
+    def add(self, value: Number) -> None:
+        self._counts[self._bucket_of(value)] += 1
+        self.n_added += 1
+
+    def might_contain(self, value: Number) -> bool:
+        return self._counts[self._bucket_of(value)] > 0
+
+    def might_overlap(self, lo: Number, hi: Number) -> bool:
+        """True if any value in ``[lo, hi]`` may be present."""
+        if hi < lo:
+            return False
+        first = self._bucket_of(lo)
+        last = self._bucket_of(hi)
+        return any(self._counts[b] > 0 for b in range(first, last + 1))
+
+    def bucket_count(self, bucket: int) -> int:
+        return self._counts[bucket]
+
+    def byte_size(self) -> int:
+        return 32 + self.n_buckets * 8
+
+    def __repr__(self) -> str:
+        return "HistogramSummary([%g, %g], buckets=%d, added=%d)" % (
+            self.lo, self.hi, self.n_buckets, self.n_added,
+        )

@@ -1,0 +1,19 @@
+"""The paper's Table I workload: 18 query variants over TPC-H data."""
+
+from repro.workloads.base import WorkloadQuery
+from repro.workloads.registry import (
+    QUERIES,
+    FIG5_QUERIES,
+    FIG6_QUERIES,
+    FIG13_QUERIES,
+    get_query,
+)
+
+__all__ = [
+    "WorkloadQuery",
+    "QUERIES",
+    "FIG5_QUERIES",
+    "FIG6_QUERIES",
+    "FIG13_QUERIES",
+    "get_query",
+]

@@ -1,0 +1,130 @@
+"""The IBM decorrelation query [29] family: Q3A (normal), Q3B (skewed),
+Q3C (remote), Q3D (child weaker), Q3E (parent weaker).
+
+The SQL (Table I)::
+
+    select s_name, s_acctbal, s_address, s_phone, s_comment
+    from part, supplier, partsupp
+    where s_nation = 'FRANCE' and p_size = 15 and p_type = 'BRASS'
+      and p_partkey = ps_partkey and s_suppkey = ps_suppkey
+      and ps_supplycost =
+          (select min(ps_supplycost) from partsupp, supplier
+           where p_partkey = ps_partkey and s_suppkey = ps_suppkey
+             and s_nation = 'FRANCE')
+
+It "somewhat resembles TPC-H query 2 but has slightly fewer joins".
+Adaptations to the standard schema: ``s_nation`` resolves through a
+NATION join on ``n_name``, and ``p_type = 'BRASS'`` becomes
+``p_type like '%BRASS'`` (TPC-H types are three-word strings whose
+final syllable carries the material).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.data.catalog import Catalog
+from repro.expr.aggregates import MIN, AggregateSpec
+from repro.expr.expressions import And, Expr, col
+from repro.optimizer.magic import apply_magic
+from repro.plan.builder import PlanBuilder, scan
+from repro.plan.logical import LogicalNode
+
+OUTPUT_COLUMNS = ["s_name", "s_acctbal", "s_address", "s_phone", "s_comment"]
+
+
+def _french_suppliers(catalog: Catalog, nation_pred: Expr, prefix: str = ""):
+    nation = scan(catalog, "nation", prefix=prefix or None).filter(nation_pred)
+    return scan(catalog, "supplier", prefix=prefix or None).join(
+        nation, on=[(prefix + "s_nationkey", prefix + "n_nationkey")]
+    )
+
+
+def build_q3(
+    catalog: Catalog,
+    parent_part_pred: Optional[Expr],
+    parent_nation_pred: Expr,
+    child_nation_pred: Expr,
+    magic: bool = False,
+) -> LogicalNode:
+    part = scan(catalog, "part")
+    if parent_part_pred is not None:
+        part = part.filter(parent_part_pred)
+    parent = (
+        part
+        .join(scan(catalog, "partsupp"), on=[("p_partkey", "ps_partkey")])
+        .join(
+            _french_suppliers(catalog, parent_nation_pred),
+            on=[("ps_suppkey", "s_suppkey")],
+        )
+        .build()
+    )
+
+    # Heuristic (1) of [18]: filter set from the entire outer query,
+    # semijoined against the subquery block as a whole.
+    sub_input = (
+        scan(catalog, "partsupp", prefix="q_")
+        .join(
+            _french_suppliers(catalog, child_nation_pred, prefix="q_"),
+            on=[("q_ps_suppkey", "q_s_suppkey")],
+        )
+        .build()
+    )
+    if magic:
+        sub_input = apply_magic(
+            sub_input, parent, on=[("q_ps_partkey", "p_partkey")]
+        )
+    sub = PlanBuilder(sub_input).group_by(
+        ["q_ps_partkey"],
+        [AggregateSpec(MIN, col("q_ps_supplycost"), "min_cost")],
+    )
+
+    return (
+        PlanBuilder(parent)
+        .join(
+            sub,
+            on=[("p_partkey", "q_ps_partkey")],
+            residual=col("ps_supplycost").eq(col("min_cost")),
+        )
+        .project(OUTPUT_COLUMNS)
+        .build()
+    )
+
+
+# -- Table I variants ---------------------------------------------------------
+
+def q3_normal(catalog: Catalog, magic: bool = False) -> LogicalNode:
+    """Q3A (uniform) / Q3B (skewed) / Q3C (remote PARTSUPP)."""
+    return build_q3(
+        catalog,
+        parent_part_pred=And(
+            col("p_size").eq(15), col("p_type").like("%BRASS")
+        ),
+        parent_nation_pred=col("n_name").eq("FRANCE"),
+        child_nation_pred=col("q_n_name").eq("FRANCE"),
+        magic=magic,
+    )
+
+
+def q3_child_weaker(catalog: Catalog, magic: bool = False) -> LogicalNode:
+    """Q3D: child nation weakened to ``n_name >= 'FRANCE'``."""
+    return build_q3(
+        catalog,
+        parent_part_pred=And(
+            col("p_size").eq(15), col("p_type").like("%BRASS")
+        ),
+        parent_nation_pred=col("n_name").eq("FRANCE"),
+        child_nation_pred=col("q_n_name").ge("FRANCE"),
+        magic=magic,
+    )
+
+
+def q3_parent_weaker(catalog: Catalog, magic: bool = False) -> LogicalNode:
+    """Q3E: the parent ``p_size`` predicate omitted."""
+    return build_q3(
+        catalog,
+        parent_part_pred=col("p_type").like("%BRASS"),
+        parent_nation_pred=col("n_name").eq("FRANCE"),
+        child_nation_pred=col("q_n_name").eq("FRANCE"),
+        magic=magic,
+    )

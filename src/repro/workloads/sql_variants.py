@@ -1,0 +1,150 @@
+"""Table I as SQL text.
+
+Every workload variant also exists as a SQL string in the paper's
+dialect, runnable through :func:`repro.sql.sql_to_plan`.  The SQL path
+exercises the parser, the binder's subquery decorrelation and the
+greedy planner; ``tests/workloads/test_sql_variants.py`` verifies that
+each SQL plan returns exactly the rows of the hand-built plan.
+
+Scale-relative literals (the partkey/suppkey cuts of Q2C/Q2D/Q4B) are
+formatted in per catalog, mirroring ``tpch17.partkey_cut`` and
+``tpch5.supplier_cut``.
+"""
+
+from __future__ import annotations
+
+from repro.data.catalog import Catalog
+from repro.workloads.tpch5 import supplier_cut
+from repro.workloads.tpch17 import partkey_cut
+
+_Q1_TEMPLATE = """
+select s_acctbal, s_name, n_name, p_partkey, p_mfgr,
+       s_address, s_phone, s_comment
+from part, supplier, partsupp, nation, region
+where p_partkey = ps_partkey and s_suppkey = ps_suppkey
+  {parent_part} and s_nationkey = n_nationkey
+  and n_regionkey = r_regionkey and {parent_region}
+  and ps_supplycost = (select min(ps_supplycost)
+                       from partsupp, supplier, nation, region
+                       where p_partkey = ps_partkey
+                         and s_suppkey = ps_suppkey
+                         and s_nationkey = n_nationkey
+                         and n_regionkey = r_regionkey
+                         and {child_region})
+"""
+
+_Q2_TEMPLATE = """
+select sum(l_extendedprice) / 7.0 as avg_yearly
+from lineitem, part
+where p_partkey = l_partkey {part_preds} {parent_extra}
+  and l_quantity < (select 0.2 * avg(l_quantity) from lineitem
+                    where l_partkey = p_partkey {child_extra})
+"""
+
+_Q3_TEMPLATE = """
+select s_name, s_acctbal, s_address, s_phone, s_comment
+from part, supplier, partsupp, nation
+where {parent_nation} {parent_part}
+  and p_partkey = ps_partkey and s_suppkey = ps_suppkey
+  and s_nationkey = n_nationkey
+  and ps_supplycost = (select min(ps_supplycost)
+                       from partsupp, supplier, nation
+                       where p_partkey = ps_partkey
+                         and s_suppkey = ps_suppkey
+                         and s_nationkey = n_nationkey
+                         and {child_nation})
+"""
+
+_Q4_TEMPLATE = """
+select n_name, sum(l_extendedprice * (1 - l_discount)) as revenue
+from customer, orders, lineitem, supplier, nation, region
+where c_custkey = o_custkey and l_orderkey = o_orderkey
+  and l_suppkey = s_suppkey and c_nationkey = s_nationkey
+  and s_nationkey = n_nationkey and n_regionkey = r_regionkey
+  and r_name = 'MIDDLE EAST'
+  and o_orderdate >= '1995-01-01' and o_orderdate < '1996-01-01'
+  {lineitem_pred}
+group by n_name
+"""
+
+_Q5_TEMPLATE = """
+select n_name, year(o_orderdate) as o_year,
+       sum(l_extendedprice * (1 - l_discount)
+           - ps_supplycost * l_quantity) as sum_amount
+from part, supplier, lineitem, partsupp, orders, nation
+where s_suppkey = l_suppkey and ps_suppkey = l_suppkey
+  and ps_partkey = l_partkey and p_partkey = l_partkey
+  and o_orderkey = l_orderkey and s_nationkey = n_nationkey
+  and p_name like '%black%' {nation_pred}
+group by n_name, year(o_orderdate)
+"""
+
+
+def sql_for(qid: str, catalog: Catalog) -> str:
+    """The Table I SQL text for variant ``qid``."""
+    if qid in ("Q1A", "Q1B", "Q1C"):
+        return _Q1_TEMPLATE.format(
+            parent_part="and p_size = 1 and p_type like '%TIN'",
+            parent_region="r_name = 'AFRICA'",
+            child_region="r_name = 'AFRICA'",
+        )
+    if qid == "Q1D":
+        return _Q1_TEMPLATE.format(
+            parent_part="and p_size = 1",
+            parent_region="r_name = 'AFRICA'",
+            child_region="r_name < 'S'",
+        )
+    if qid == "Q1E":
+        return _Q1_TEMPLATE.format(
+            parent_part="and p_size = 1 and p_type < 'TIN'",
+            parent_region="r_name < 'S'",
+            child_region="r_name = 'AFRICA'",
+        )
+
+    if qid in ("Q2A", "Q2B", "Q2C", "Q2D", "Q2E"):
+        part_preds = "and p_brand = 'Brand#34' and p_container = 'MED CAN'"
+        if qid == "Q2E":
+            part_preds = "and p_container = 'MED CAN'"
+        parent_extra = child_extra = ""
+        if qid == "Q2C":
+            parent_extra = "and l_partkey < %d" % partkey_cut(catalog)
+        if qid == "Q2D":
+            child_extra = "and l_partkey < %d" % partkey_cut(catalog)
+        return _Q2_TEMPLATE.format(
+            part_preds=part_preds,
+            parent_extra=parent_extra,
+            child_extra=child_extra,
+        )
+
+    if qid in ("Q3A", "Q3B", "Q3C"):
+        return _Q3_TEMPLATE.format(
+            parent_nation="n_name = 'FRANCE'",
+            parent_part="and p_size = 15 and p_type like '%BRASS'",
+            child_nation="n_name = 'FRANCE'",
+        )
+    if qid == "Q3D":
+        return _Q3_TEMPLATE.format(
+            parent_nation="n_name = 'FRANCE'",
+            parent_part="and p_size = 15 and p_type like '%BRASS'",
+            child_nation="n_name >= 'FRANCE'",
+        )
+    if qid == "Q3E":
+        return _Q3_TEMPLATE.format(
+            parent_nation="n_name = 'FRANCE'",
+            parent_part="and p_type like '%BRASS'",
+            child_nation="n_name = 'FRANCE'",
+        )
+
+    if qid == "Q4A":
+        return _Q4_TEMPLATE.format(lineitem_pred="")
+    if qid == "Q4B":
+        return _Q4_TEMPLATE.format(
+            lineitem_pred="and l_suppkey < %d" % supplier_cut(catalog)
+        )
+
+    if qid == "Q5A":
+        return _Q5_TEMPLATE.format(nation_pred="")
+    if qid == "Q5B":
+        return _Q5_TEMPLATE.format(nation_pred="and n_nationkey < 10")
+
+    raise KeyError("no SQL text for %r" % qid)

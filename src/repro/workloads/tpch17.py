@@ -1,0 +1,129 @@
+"""TPC-H Query 17 family: Q2A (normal), Q2B (skewed), Q2C (parent
+stronger), Q2D (child stronger), Q2E (parent weaker).
+
+The SQL (Table I)::
+
+    select sum(l_extendedprice) / 7.0 from lineitem, part
+    where p_partkey = l_partkey and p_brand = 'Brand#34'
+      and p_container = 'MED CAN'
+      and l_quantity < (select 0.2 * avg(l_quantity) from lineitem
+                        where l_partkey = p_partkey)
+
+The correlated AVG subquery decorrelates into a grouped AVG over a
+second LINEITEM scan (prefix ``i_``); the outer comparison becomes the
+residual ``l_quantity < 0.2 * avg_qty`` on the final join.  The top is
+a keyless aggregate (a single output row), so everything upstream is
+blocking — the workload where the paper reports both the largest AIP
+wins and the Q2C magic-sets state anomaly.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.data.catalog import Catalog
+from repro.expr.aggregates import AVG, SUM, AggregateSpec
+from repro.expr.expressions import And, Expr, col, lit
+from repro.optimizer.magic import apply_magic
+from repro.plan.builder import PlanBuilder, scan
+from repro.plan.logical import LogicalNode
+
+
+def partkey_cut(catalog: Catalog) -> int:
+    """Scale-relative analogue of the paper's ``partkey < 1000`` (which
+    selects half the 1 GB instance's first-partkey decile); we keep the
+    *selectivity* rather than the literal by cutting at half the key
+    domain."""
+    return int(catalog.stats("part").maxima["p_partkey"]) // 2
+
+
+def build_q2(
+    catalog: Catalog,
+    part_pred: Optional[Expr],
+    parent_lineitem_pred: Optional[Expr] = None,
+    child_lineitem_pred: Optional[Expr] = None,
+    magic: bool = False,
+) -> LogicalNode:
+    part = scan(catalog, "part")
+    if part_pred is not None:
+        part = part.filter(part_pred)
+    lineitem = scan(catalog, "lineitem")
+    if parent_lineitem_pred is not None:
+        lineitem = lineitem.filter(parent_lineitem_pred)
+    parent = part.join(lineitem, on=[("p_partkey", "l_partkey")]).build()
+
+    inner = scan(catalog, "lineitem", prefix="i_")
+    if child_lineitem_pred is not None:
+        inner = inner.filter(child_lineitem_pred)
+    sub_input = inner.build()
+    if magic:
+        sub_input = apply_magic(
+            sub_input, parent, on=[("i_l_partkey", "p_partkey")]
+        )
+    sub = (
+        PlanBuilder(sub_input)
+        .group_by(
+            ["i_l_partkey"],
+            [AggregateSpec(AVG, col("i_l_quantity"), "avg_qty")],
+        )
+        .project([
+            "i_l_partkey",
+            ("qty_limit", lit(0.2) * col("avg_qty")),
+        ])
+    )
+
+    return (
+        PlanBuilder(parent)
+        .join(
+            sub,
+            on=[("l_partkey", "i_l_partkey")],
+            residual=col("l_quantity").lt(col("qty_limit")),
+        )
+        .group_by([], [AggregateSpec(SUM, col("l_extendedprice"), "total")])
+        .project([("avg_yearly", col("total") / lit(7.0))])
+        .build()
+    )
+
+
+# -- Table I variants ---------------------------------------------------------
+
+_NORMAL_PART_PRED = And(
+    col("p_brand").eq("Brand#34"), col("p_container").eq("MED CAN")
+)
+
+
+def q2_normal(catalog: Catalog, magic: bool = False) -> LogicalNode:
+    """Q2A (uniform) / Q2B (skewed data)."""
+    return build_q2(catalog, _NORMAL_PART_PRED, magic=magic)
+
+
+def q2_parent_stronger(catalog: Catalog, magic: bool = False) -> LogicalNode:
+    """Q2C: parent LINEITEM additionally restricted by partkey."""
+    cut = partkey_cut(catalog)
+    return build_q2(
+        catalog,
+        _NORMAL_PART_PRED,
+        parent_lineitem_pred=col("l_partkey").lt(cut),
+        magic=magic,
+    )
+
+
+def q2_child_stronger(catalog: Catalog, magic: bool = False) -> LogicalNode:
+    """Q2D: the subquery's LINEITEM restricted by partkey."""
+    cut = partkey_cut(catalog)
+    return build_q2(
+        catalog,
+        _NORMAL_PART_PRED,
+        child_lineitem_pred=col("i_l_partkey").lt(cut),
+        magic=magic,
+    )
+
+
+def q2_parent_weaker(catalog: Catalog, magic: bool = False) -> LogicalNode:
+    """Q2E: the ``p_brand`` predicate dropped — the magic set is large
+    and useless as a filter (the paper's worst case for Magic)."""
+    return build_q2(
+        catalog,
+        col("p_container").eq("MED CAN"),
+        magic=magic,
+    )

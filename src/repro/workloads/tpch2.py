@@ -1,0 +1,149 @@
+"""TPC-H Query 2 family: Q1A (normal), Q1B (skewed), Q1C (remote),
+Q1D (child weaker), Q1E (parent weaker).
+
+The SQL (Table I of the paper)::
+
+    select s_acctbal, s_name, n_name, p_partkey, p_mfgr, s_address,
+           s_phone, s_comment
+    from part, supplier, partsupp, nation, region
+    where p_partkey = ps_partkey and s_suppkey = ps_suppkey
+      and p_size = 1 and p_type like '%TIN'
+      and s_nationkey = n_nationkey and n_regionkey = r_regionkey
+      and r_name = 'AFRICA'
+      and ps_supplycost =
+          (select min(ps_supplycost) from partsupp, supplier, nation, region
+           where p_partkey = ps_partkey and s_suppkey = ps_suppkey
+             and s_nationkey = n_nationkey and n_regionkey = r_regionkey
+             and r_name = 'AFRICA')
+
+The push-style plan decorrelates the scalar subquery into a grouped
+MIN over a second PARTSUPP join tree (prefix ``q_``), joined back to
+the parent on PARTKEY with the residual ``ps_supplycost = min_cost`` —
+the same shape as the paper's Figure 1.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.data.catalog import Catalog
+from repro.expr.aggregates import MIN, AggregateSpec
+from repro.expr.expressions import And, Expr, col
+from repro.optimizer.magic import apply_magic
+from repro.plan.builder import PlanBuilder, scan
+from repro.plan.logical import LogicalNode
+
+OUTPUT_COLUMNS = [
+    "s_acctbal", "s_name", "n_name", "p_partkey", "p_mfgr",
+    "s_address", "s_phone", "s_comment",
+]
+
+
+def _parent_tree(
+    catalog: Catalog,
+    part_pred: Optional[Expr],
+    region_pred: Expr,
+) -> PlanBuilder:
+    part = scan(catalog, "part")
+    if part_pred is not None:
+        part = part.filter(part_pred)
+    region = scan(catalog, "region").filter(region_pred)
+    nations = scan(catalog, "nation").join(
+        region, on=[("n_regionkey", "r_regionkey")]
+    )
+    suppliers = scan(catalog, "supplier").join(
+        nations, on=[("s_nationkey", "n_nationkey")]
+    )
+    return (
+        part
+        .join(scan(catalog, "partsupp"), on=[("p_partkey", "ps_partkey")])
+        .join(suppliers, on=[("ps_suppkey", "s_suppkey")])
+    )
+
+
+def _subquery_input(catalog: Catalog, region_pred: Expr) -> PlanBuilder:
+    region = scan(catalog, "region", prefix="q_").filter(region_pred)
+    nations = scan(catalog, "nation", prefix="q_").join(
+        region, on=[("q_n_regionkey", "q_r_regionkey")]
+    )
+    suppliers = scan(catalog, "supplier", prefix="q_").join(
+        nations, on=[("q_s_nationkey", "q_n_nationkey")]
+    )
+    return scan(catalog, "partsupp", prefix="q_").join(
+        suppliers, on=[("q_ps_suppkey", "q_s_suppkey")]
+    )
+
+
+def build_q1(
+    catalog: Catalog,
+    parent_part_pred: Optional[Expr],
+    parent_region_pred: Expr,
+    child_region_pred: Expr,
+    magic: bool = False,
+) -> LogicalNode:
+    parent = _parent_tree(catalog, parent_part_pred, parent_region_pred).build()
+
+    # Heuristic (1) of [18]: the filter set is computed from the entire
+    # outer query and semijoined against the subquery block as a whole
+    # (below its aggregation).
+    sub_input = _subquery_input(catalog, child_region_pred).build()
+    if magic:
+        sub_input = apply_magic(
+            sub_input, parent, on=[("q_ps_partkey", "p_partkey")]
+        )
+    sub = PlanBuilder(sub_input).group_by(
+        ["q_ps_partkey"],
+        [AggregateSpec(MIN, col("q_ps_supplycost"), "min_cost")],
+    )
+
+    return (
+        PlanBuilder(parent)
+        .join(
+            sub,
+            on=[("p_partkey", "q_ps_partkey")],
+            residual=col("ps_supplycost").eq(col("min_cost")),
+        )
+        .project(OUTPUT_COLUMNS)
+        .build()
+    )
+
+
+# -- Table I variants ---------------------------------------------------------
+
+def q1_normal(catalog: Catalog, magic: bool = False) -> LogicalNode:
+    """Q1A (uniform data) / Q1B (skewed data) / Q1C (remote PARTSUPP)."""
+    return build_q1(
+        catalog,
+        parent_part_pred=And(
+            col("p_size").eq(1), col("p_type").like("%TIN")
+        ),
+        parent_region_pred=col("r_name").eq("AFRICA"),
+        child_region_pred=col("q_r_name").eq("AFRICA"),
+        magic=magic,
+    )
+
+
+def q1_child_weaker(catalog: Catalog, magic: bool = False) -> LogicalNode:
+    """Q1D: child region weakened to ``r_name < 'S'`` (selects every
+    region) and the parent's ``p_type`` constraint dropped."""
+    return build_q1(
+        catalog,
+        parent_part_pred=col("p_size").eq(1),
+        parent_region_pred=col("r_name").eq("AFRICA"),
+        child_region_pred=col("q_r_name").lt("S"),
+        magic=magic,
+    )
+
+
+def q1_parent_weaker(catalog: Catalog, magic: bool = False) -> LogicalNode:
+    """Q1E: parent weakened — ``p_type < 'TIN'`` and ``r_name < 'S'``
+    both select (nearly) everything."""
+    return build_q1(
+        catalog,
+        parent_part_pred=And(
+            col("p_size").eq(1), col("p_type").lt("TIN")
+        ),
+        parent_region_pred=col("r_name").lt("S"),
+        child_region_pred=col("q_r_name").eq("AFRICA"),
+        magic=magic,
+    )

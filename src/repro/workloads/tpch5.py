@@ -1,0 +1,90 @@
+"""TPC-H Query 5 family: Q4A (normal), Q4B (fewer suppliers).
+
+The SQL (Table I)::
+
+    select n_name, sum(l_extendedprice * (1 - l_discount))
+    from customer, orders, lineitem, supplier, nation, region
+    where c_custkey = o_custkey and l_orderkey = o_orderkey
+      and l_suppkey = s_suppkey and c_nationkey = s_nationkey
+      and s_nationkey = n_nationkey and n_regionkey = r_regionkey
+      and r_name = 'MIDDLE EAST'
+      and o_orderdate >= '1995-01-01' and o_orderdate < '1996-01-01'
+    group by n_name
+
+A single-block join query — the Section VI-C workload where sideways
+information passing is "seldom considered".  The plan is bushy: the
+supplier-nation-region subtree is built independently and joined with
+the customer-orders-lineitem pipeline; ``c_nationkey = s_nationkey``
+rides along as a residual on that top join.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.data.catalog import Catalog
+from repro.expr.aggregates import SUM, AggregateSpec
+from repro.expr.expressions import And, Expr, col, lit
+from repro.plan.builder import scan
+from repro.plan.logical import LogicalNode
+
+
+def supplier_cut(catalog: Catalog) -> int:
+    """Scale-relative analogue of the paper's ``l_suppkey < 1000``
+    (10% of the 1 GB instance's 10,000 suppliers)."""
+    return max(2, int(catalog.stats("supplier").maxima["s_suppkey"]) // 10)
+
+
+def build_q4(
+    catalog: Catalog,
+    lineitem_pred: Optional[Expr] = None,
+) -> LogicalNode:
+    orders = scan(catalog, "orders").filter(
+        And(
+            col("o_orderdate").ge("1995-01-01"),
+            col("o_orderdate").lt("1996-01-01"),
+        )
+    )
+    lineitem = scan(catalog, "lineitem")
+    if lineitem_pred is not None:
+        lineitem = lineitem.filter(lineitem_pred)
+
+    region = scan(catalog, "region").filter(col("r_name").eq("MIDDLE EAST"))
+    nations = scan(catalog, "nation").join(
+        region, on=[("n_regionkey", "r_regionkey")]
+    )
+    suppliers = scan(catalog, "supplier").join(
+        nations, on=[("s_nationkey", "n_nationkey")]
+    )
+
+    return (
+        scan(catalog, "customer")
+        .join(orders, on=[("c_custkey", "o_custkey")])
+        .join(lineitem, on=[("o_orderkey", "l_orderkey")])
+        .join(
+            suppliers,
+            on=[("l_suppkey", "s_suppkey")],
+            residual=col("c_nationkey").eq(col("s_nationkey")),
+        )
+        .group_by(
+            ["n_name"],
+            [
+                AggregateSpec(
+                    SUM,
+                    col("l_extendedprice") * (lit(1) - col("l_discount")),
+                    "revenue",
+                )
+            ],
+        )
+        .build()
+    )
+
+
+def q4_normal(catalog: Catalog) -> LogicalNode:
+    """Q4A."""
+    return build_q4(catalog)
+
+
+def q4_fewer_suppliers(catalog: Catalog) -> LogicalNode:
+    """Q4B: LINEITEM restricted to a tenth of the supplier domain."""
+    return build_q4(catalog, lineitem_pred=col("l_suppkey").lt(supplier_cut(catalog)))

@@ -1,0 +1,79 @@
+"""TPC-H Query 9 family: Q5A (normal), Q5B (fewer nations).
+
+The SQL (Table I)::
+
+    select n_name, o_year, sum(amount) from
+      (select n_name, year(o_orderdate) as o_year,
+              l_extendedprice * (1 - l_discount)
+                - ps_supplycost * l_quantity as amount
+       from part, supplier, lineitem, partsupp, orders, nation
+       where s_suppkey = l_suppkey and ps_suppkey = l_suppkey
+         and ps_partkey = l_partkey and p_partkey = l_partkey
+         and o_orderkey = l_orderkey and s_nationkey = n_nationkey
+         and p_name like '%black%')
+    group by n_name, o_year
+
+Single-block; the PARTSUPP join is on the composite
+``(suppkey, partkey)`` key.  The paper's Q5B variant (``n_nationkey <
+10``) is the case where AIP finds few useful filters: NATION is already
+joined early, so the Cost-based algorithm's value is *not* generating
+wasteful filter sets.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.data.catalog import Catalog
+from repro.expr.aggregates import SUM, AggregateSpec
+from repro.expr.expressions import Expr, Func, col, lit
+from repro.plan.builder import scan
+from repro.plan.logical import LogicalNode
+
+
+def build_q5(
+    catalog: Catalog,
+    nation_pred: Optional[Expr] = None,
+) -> LogicalNode:
+    part = scan(catalog, "part").filter(col("p_name").like("%black%"))
+    nation = scan(catalog, "nation")
+    if nation_pred is not None:
+        nation = nation.filter(nation_pred)
+    suppliers = scan(catalog, "supplier").join(
+        nation, on=[("s_nationkey", "n_nationkey")]
+    )
+
+    return (
+        part
+        .join(scan(catalog, "lineitem"), on=[("p_partkey", "l_partkey")])
+        .join(
+            scan(catalog, "partsupp"),
+            on=[("l_suppkey", "ps_suppkey"), ("l_partkey", "ps_partkey")],
+        )
+        .join(scan(catalog, "orders"), on=[("l_orderkey", "o_orderkey")])
+        .join(suppliers, on=[("l_suppkey", "s_suppkey")])
+        .project([
+            "n_name",
+            ("o_year", Func("year", col("o_orderdate"))),
+            (
+                "amount",
+                col("l_extendedprice") * (lit(1) - col("l_discount"))
+                - col("ps_supplycost") * col("l_quantity"),
+            ),
+        ])
+        .group_by(
+            ["n_name", "o_year"],
+            [AggregateSpec(SUM, col("amount"), "sum_amount")],
+        )
+        .build()
+    )
+
+
+def q5_normal(catalog: Catalog) -> LogicalNode:
+    """Q5A."""
+    return build_q5(catalog)
+
+
+def q5_fewer_nations(catalog: Catalog) -> LogicalNode:
+    """Q5B: ``n_nationkey < 10``."""
+    return build_q5(catalog, nation_pred=col("n_nationkey").lt(10))

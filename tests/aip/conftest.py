@@ -1,0 +1,87 @@
+"""Shared fixtures and plan builders for AIP tests."""
+
+import pytest
+
+from repro.data.tpch import cached_tpch
+from repro.expr.aggregates import MIN, SUM, AggregateSpec
+from repro.expr.expressions import col, lit
+from repro.plan.builder import PlanBuilder, scan
+
+
+@pytest.fixture(scope="session")
+def catalog():
+    return cached_tpch(scale_factor=0.002)
+
+
+def subquery_plan(catalog):
+    """A Figure-1-shaped plan: selective parent block joined with two
+    aggregate subqueries correlated on PARTKEY."""
+    parent = (
+        scan(catalog, "part")
+        .filter(col("p_type").like("%TIN"))
+        .join(
+            scan(catalog, "partsupp", prefix="ps1_"),
+            on=[("p_partkey", "ps1_ps_partkey")],
+            residual=(lit(2) * col("ps1_ps_supplycost")).lt(col("p_retailprice")),
+        )
+    )
+    avail = (
+        scan(catalog, "partsupp", prefix="ps2_")
+        .group_by(
+            ["ps2_ps_partkey"],
+            [AggregateSpec(SUM, col("ps2_ps_availqty"), "avail")],
+        )
+    )
+    sold = (
+        scan(catalog, "lineitem")
+        .filter(col("l_receiptdate").gt("1995-01-01"))
+        .group_by(
+            ["l_partkey"],
+            [AggregateSpec(SUM, col("l_quantity"), "numsold")],
+        )
+    )
+    right = avail.join(sold, on=[("ps2_ps_partkey", "l_partkey")])
+    return (
+        parent
+        .join(right, on=[("p_partkey", "ps2_ps_partkey")])
+        .project(["p_partkey"])
+        .distinct()
+        .build()
+    )
+
+
+def min_cost_plan(catalog):
+    """A Q1/Q3-shaped plan: parent partsupp row must match the per-part
+    MIN supply cost computed in a subquery."""
+    sub = (
+        scan(catalog, "partsupp", prefix="m_")
+        .group_by(
+            ["m_ps_partkey"],
+            [AggregateSpec(MIN, col("m_ps_supplycost"), "min_cost")],
+        )
+    )
+    return (
+        scan(catalog, "part")
+        .filter(col("p_size").eq(1))
+        .join(scan(catalog, "partsupp"), on=[("p_partkey", "ps_partkey")])
+        .join(
+            sub,
+            on=[("ps_partkey", "m_ps_partkey")],
+            residual=col("ps_supplycost").eq(col("min_cost")),
+        )
+        .build()
+    )
+
+
+def join_only_plan(catalog):
+    """A single-block join query (the Section VI-C experiments)."""
+    supp = scan(catalog, "supplier").join(
+        scan(catalog, "nation"), on=[("s_nationkey", "n_nationkey")]
+    ).filter(col("n_name").eq("FRANCE"))
+    return (
+        scan(catalog, "part")
+        .filter(col("p_size").le(10))
+        .join(scan(catalog, "partsupp"), on=[("p_partkey", "ps_partkey")])
+        .join(supp, on=[("ps_suppkey", "s_suppkey")])
+        .build()
+    )

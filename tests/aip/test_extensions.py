@@ -1,0 +1,143 @@
+"""Tests for the paper-flagged AIP extensions: memory-bounded AIP sets
+(Section V) and range-condition information passing (Section III-C)."""
+
+import pytest
+
+from repro.aip.feedforward import FeedForwardStrategy
+from repro.aip.sets import HASHSET
+from repro.data.tpch import cached_tpch
+from repro.exec.arrival import ArrivalModel
+from repro.exec.context import ExecutionContext
+from repro.exec.engine import execute_plan
+from repro.expr.aggregates import AVG, AggregateSpec
+from repro.expr.expressions import col, lit
+from repro.plan.builder import scan
+
+from tests.aip.conftest import subquery_plan
+from tests.helpers import rows_equal
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return cached_tpch(scale_factor=0.002)
+
+
+def range_plan(catalog):
+    """A Q2-like plan whose final join carries the residual inequality
+    ``l_quantity < qty_limit`` — the range-AIP opportunity."""
+    parent = (
+        scan(catalog, "part")
+        .filter(col("p_size").le(10))
+        .join(scan(catalog, "lineitem"), on=[("p_partkey", "l_partkey")])
+    )
+    sub = (
+        scan(catalog, "lineitem", prefix="i_")
+        .group_by(
+            ["i_l_partkey"],
+            [AggregateSpec(AVG, col("i_l_quantity"), "avg_qty")],
+        )
+        .project([
+            "i_l_partkey",
+            ("qty_limit", lit(0.4) * col("avg_qty")),
+        ])
+    )
+    return parent.join(
+        sub,
+        on=[("l_partkey", "i_l_partkey")],
+        residual=col("l_quantity").lt(col("qty_limit")),
+    ).build()
+
+
+class TestMemoryBudget:
+    def test_budget_forces_discards_and_preserves_results(self, catalog):
+        baseline = execute_plan(subquery_plan(catalog), ExecutionContext(catalog))
+        strategy = FeedForwardStrategy(memory_budget=4096)
+        bounded = execute_plan(
+            subquery_plan(catalog),
+            ExecutionContext(catalog, strategy=strategy),
+        )
+        assert rows_equal(baseline.rows, bounded.rows)
+        assert strategy.working_sets_discarded > 0
+
+    def test_budget_bounds_aip_state(self, catalog):
+        budget = 4096
+        strategy = FeedForwardStrategy(memory_budget=budget)
+        ctx = ExecutionContext(catalog, strategy=strategy)
+        execute_plan(subquery_plan(catalog), ctx)
+        # Working-set state never exceeds the budget by more than one
+        # set's size between enforcement rounds; at end it is released.
+        assert ctx.metrics.state_bytes_of(strategy._state_owner) == 0
+
+    def test_hashset_budget_shrinks_buckets(self, catalog):
+        baseline = execute_plan(subquery_plan(catalog), ExecutionContext(catalog))
+        strategy = FeedForwardStrategy(
+            summary_kind=HASHSET, memory_budget=8192
+        )
+        bounded = execute_plan(
+            subquery_plan(catalog),
+            ExecutionContext(catalog, strategy=strategy),
+        )
+        assert rows_equal(baseline.rows, bounded.rows)
+
+    def test_unbounded_discards_nothing(self, catalog):
+        strategy = FeedForwardStrategy()
+        execute_plan(
+            subquery_plan(catalog), ExecutionContext(catalog, strategy=strategy)
+        )
+        assert strategy.working_sets_discarded == 0
+
+
+class TestRangeFilters:
+    def test_results_preserved(self, catalog):
+        baseline = execute_plan(range_plan(catalog), ExecutionContext(catalog))
+        ranged = execute_plan(
+            range_plan(catalog),
+            ExecutionContext(
+                catalog,
+                strategy=FeedForwardStrategy(enable_range_filters=True),
+            ),
+        )
+        assert rows_equal(baseline.rows, ranged.rows)
+        assert len(baseline) > 0
+
+    def test_range_filter_prunes_more(self, catalog):
+        # Delay the parent LINEITEM so the subquery side (and its
+        # qty_limit bounds) completes first.
+        def resolver(node):
+            if node.table_name == "lineitem" and not node.renames:
+                return ArrivalModel.delayed(initial_delay=0.01)
+            return None
+
+        plain = FeedForwardStrategy()
+        ranged = FeedForwardStrategy(enable_range_filters=True)
+        r_plain = execute_plan(
+            range_plan(catalog),
+            ExecutionContext(catalog, strategy=plain),
+            arrival_resolver=resolver,
+        )
+        r_ranged = execute_plan(
+            range_plan(catalog),
+            ExecutionContext(catalog, strategy=ranged),
+            arrival_resolver=resolver,
+        )
+        assert rows_equal(r_plain.rows, r_ranged.rows)
+        assert (
+            r_ranged.metrics.total_pruned > r_plain.metrics.total_pruned
+        )
+
+    def test_range_opportunities_indexed(self, catalog):
+        strategy = FeedForwardStrategy(enable_range_filters=True)
+        execute_plan(
+            range_plan(catalog), ExecutionContext(catalog, strategy=strategy)
+        )
+        assert strategy._range_opps  # the residual inequality was found
+
+    def test_no_opportunities_on_pure_equijoin(self, catalog):
+        strategy = FeedForwardStrategy(enable_range_filters=True)
+        plan = (
+            scan(catalog, "part")
+            .join(scan(catalog, "partsupp"), on=[("p_partkey", "ps_partkey")])
+            .build()
+        )
+        execute_plan(plan, ExecutionContext(catalog, strategy=strategy))
+        assert not strategy._range_opps

@@ -1,0 +1,82 @@
+"""Tests for deterministic RNG and Zipf sampling."""
+
+import pytest
+
+from repro.common.rng import DeterministicRng, ZipfSampler
+
+
+class TestDeterministicRng:
+    def test_same_seed_same_sequence(self):
+        a = DeterministicRng(42)
+        b = DeterministicRng(42)
+        assert [a.randint(0, 100) for _ in range(20)] == [
+            b.randint(0, 100) for _ in range(20)
+        ]
+
+    def test_different_seeds_diverge(self):
+        a = DeterministicRng(1)
+        b = DeterministicRng(2)
+        assert [a.randint(0, 10**9) for _ in range(5)] != [
+            b.randint(0, 10**9) for _ in range(5)
+        ]
+
+    def test_fork_is_deterministic(self):
+        a = DeterministicRng(9).fork("lineitem")
+        b = DeterministicRng(9).fork("lineitem")
+        assert a.randint(0, 10**9) == b.randint(0, 10**9)
+
+    def test_fork_independent_of_consumption(self):
+        a = DeterministicRng(9)
+        a.randint(0, 100)  # consume some state
+        b = DeterministicRng(9)
+        assert a.fork("x").randint(0, 10**9) == b.fork("x").randint(0, 10**9)
+
+    def test_forks_with_different_labels_differ(self):
+        root = DeterministicRng(9)
+        assert root.fork("a").randint(0, 10**9) != root.fork("b").randint(0, 10**9)
+
+    def test_randint_bounds(self):
+        rng = DeterministicRng(3)
+        values = [rng.randint(5, 7) for _ in range(200)]
+        assert set(values) == {5, 6, 7}
+
+    def test_choice_and_sample(self):
+        rng = DeterministicRng(3)
+        items = ["a", "b", "c"]
+        assert rng.choice(items) in items
+        assert sorted(rng.sample(items, 2))[0] in items
+
+
+class TestZipfSampler:
+    def test_rejects_bad_parameters(self):
+        rng = DeterministicRng(1)
+        with pytest.raises(ValueError):
+            ZipfSampler(0, 0.5, rng)
+        with pytest.raises(ValueError):
+            ZipfSampler(10, -1.0, rng)
+
+    def test_range(self):
+        rng = DeterministicRng(1)
+        z = ZipfSampler(10, 0.5, rng)
+        draws = [z.sample() for _ in range(1000)]
+        assert min(draws) >= 1
+        assert max(draws) <= 10
+
+    def test_zero_exponent_is_roughly_uniform(self):
+        rng = DeterministicRng(1)
+        z = ZipfSampler(4, 0.0, rng)
+        draws = [z.sample() for _ in range(4000)]
+        for k in range(1, 5):
+            frac = draws.count(k) / len(draws)
+            assert 0.18 < frac < 0.32
+
+    def test_skew_prefers_low_ranks(self):
+        rng = DeterministicRng(1)
+        z = ZipfSampler(100, 1.0, rng)
+        draws = [z.sample() for _ in range(5000)]
+        assert draws.count(1) > draws.count(50) * 3
+
+    def test_single_element_domain(self):
+        rng = DeterministicRng(1)
+        z = ZipfSampler(1, 0.5, rng)
+        assert all(z.sample() == 1 for _ in range(10))

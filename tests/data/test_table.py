@@ -1,0 +1,48 @@
+"""Tests for in-memory tables."""
+
+import pytest
+
+from repro.common.errors import SchemaError
+from repro.data.schema import Schema, INT, STR
+from repro.data.table import Table
+
+
+def make_table():
+    schema = Schema.of(("id", INT), ("name", STR))
+    rows = [(1, "a"), (2, "b"), (3, "c")]
+    return Table("t", schema, rows)
+
+
+class TestTable:
+    def test_len_and_iter(self):
+        t = make_table()
+        assert len(t) == 3
+        assert list(t)[0] == (1, "a")
+
+    def test_row_width_validated(self):
+        schema = Schema.of(("id", INT))
+        with pytest.raises(SchemaError):
+            Table("bad", schema, [(1, 2)])
+
+    def test_column(self):
+        assert make_table().column("name") == ["a", "b", "c"]
+
+    def test_select(self):
+        t = make_table().select(lambda r: r[0] > 1)
+        assert len(t) == 2
+
+    def test_project(self):
+        t = make_table().project(["name"])
+        assert t.schema.names == ["name"]
+        assert t.rows == [("a",), ("b",), ("c",)]
+
+    def test_renamed(self):
+        t = make_table().renamed({"id": "key"})
+        assert t.schema.names == ["key", "name"]
+        assert t.rows == make_table().rows
+
+    def test_byte_size_scales_with_rows(self):
+        t = make_table()
+        empty = Table("e", t.schema, [])
+        assert t.byte_size() == 3 * t.schema.row_byte_size()
+        assert empty.byte_size() == 0

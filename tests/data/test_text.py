@@ -1,0 +1,56 @@
+"""Tests for the TPC-H value domains."""
+
+from repro.common.rng import DeterministicRng
+from repro.data import text
+
+
+class TestDomains:
+    def test_regions_match_paper_predicates(self):
+        # Table I filters on these exact names.
+        assert "AFRICA" in text.REGIONS
+        assert "MIDDLE EAST" in text.REGIONS
+        assert len(text.REGIONS) == 5
+
+    def test_nations(self):
+        names = [n for n, _ in text.NATIONS]
+        assert "FRANCE" in names
+        assert len(text.NATIONS) == 25
+        assert all(0 <= region < 5 for _, region in text.NATIONS)
+
+    def test_part_type_shape(self):
+        t = text.part_type(0, 0, 0)
+        assert t == "STANDARD ANODIZED TIN"
+        assert text.part_type(6, 5, 5) == text.part_type(0, 0, 0)  # modular
+
+    def test_tin_fraction(self):
+        # '%TIN' must match exactly one of five third syllables.
+        tins = [
+            s for s in text.TYPE_SYLLABLE_3 if s.endswith("TIN")
+        ]
+        assert tins == ["TIN"]
+
+    def test_container(self):
+        assert text.container(1, 6) == "MED CAN"  # the Q2A literal
+
+    def test_brand(self):
+        assert text.brand(2, 2) == "Brand#33"
+        assert text.brand(0, 0) == "Brand#11"
+
+    def test_part_name_five_words(self):
+        rng = DeterministicRng(1)
+        name = text.part_name(rng)
+        assert len(name.split()) == 5
+        assert all(w in text.PART_COLOURS for w in name.split())
+
+    def test_black_in_colours(self):
+        # Q5A's '%black%' predicate keys on this.
+        assert "black" in text.PART_COLOURS
+        # No other colour contains 'black' as a substring.
+        containing = [c for c in text.PART_COLOURS if "black" in c]
+        assert containing == ["black"]
+
+    def test_lexicographic_weakenings(self):
+        # Q1E relies on every region sorting below 'S' and every type
+        # sorting below 'TIN'.
+        assert all(r < "S" for r in text.REGIONS)
+        assert all(s < "TIN" for s in text.TYPE_SYLLABLE_1)

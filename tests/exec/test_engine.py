@@ -1,0 +1,308 @@
+"""End-to-end engine tests against the reference evaluator."""
+
+import pytest
+
+from repro.data.tpch import cached_tpch
+from repro.exec.arrival import ArrivalModel
+from repro.exec.context import ExecutionContext
+from repro.exec.engine import execute_plan
+from repro.expr.aggregates import AVG, COUNT, MIN, SUM, AggregateSpec
+from repro.expr.expressions import And, col, lit
+from repro.plan.builder import scan
+
+from tests.helpers import reference_execute, rows_equal
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return cached_tpch(scale_factor=0.001)
+
+
+def run(plan, catalog, **ctx_kwargs):
+    ctx = ExecutionContext(catalog, **ctx_kwargs)
+    return execute_plan(plan, ctx)
+
+
+class TestScanFilterProject:
+    def test_plain_scan(self, catalog):
+        plan = scan(catalog, "region").build()
+        result = run(plan, catalog)
+        assert rows_equal(result.rows, reference_execute(plan, catalog))
+
+    def test_filter(self, catalog):
+        plan = scan(catalog, "part").filter(col("p_size").eq(1)).build()
+        result = run(plan, catalog)
+        expected = reference_execute(plan, catalog)
+        assert rows_equal(result.rows, expected)
+        assert len(result) > 0  # predicate selects ~2% of parts
+
+    def test_project_computed(self, catalog):
+        plan = (
+            scan(catalog, "part")
+            .project(["p_partkey", ("double", col("p_size") * lit(2))])
+            .build()
+        )
+        result = run(plan, catalog)
+        assert rows_equal(result.rows, reference_execute(plan, catalog))
+
+    def test_like_filter(self, catalog):
+        plan = (
+            scan(catalog, "part").filter(col("p_type").like("%TIN")).build()
+        )
+        result = run(plan, catalog)
+        expected = reference_execute(plan, catalog)
+        assert rows_equal(result.rows, expected)
+        # %TIN matches one of five third syllables.
+        frac = len(result) / len(catalog.table("part"))
+        assert 0.1 < frac < 0.35
+
+
+class TestJoin:
+    def test_two_way_join(self, catalog):
+        plan = (
+            scan(catalog, "part")
+            .join(scan(catalog, "partsupp"), on=[("p_partkey", "ps_partkey")])
+            .build()
+        )
+        result = run(plan, catalog)
+        expected = reference_execute(plan, catalog)
+        assert rows_equal(result.rows, expected)
+        assert len(result) == len(catalog.table("partsupp"))
+
+    def test_join_with_residual(self, catalog):
+        plan = (
+            scan(catalog, "part")
+            .join(
+                scan(catalog, "partsupp"),
+                on=[("p_partkey", "ps_partkey")],
+                residual=(lit(2) * col("ps_supplycost")).lt(col("p_retailprice")),
+            )
+            .build()
+        )
+        result = run(plan, catalog)
+        expected = reference_execute(plan, catalog)
+        assert rows_equal(result.rows, expected)
+        assert 0 < len(result) < len(catalog.table("partsupp"))
+
+    def test_bushy_three_way_join(self, catalog):
+        ps = scan(catalog, "partsupp")
+        supp = scan(catalog, "supplier").join(
+            scan(catalog, "nation"), on=[("s_nationkey", "n_nationkey")]
+        )
+        plan = (
+            scan(catalog, "part")
+            .join(ps, on=[("p_partkey", "ps_partkey")])
+            .join(supp, on=[("ps_suppkey", "s_suppkey")])
+            .build()
+        )
+        result = run(plan, catalog)
+        assert rows_equal(result.rows, reference_execute(plan, catalog))
+
+    def test_multi_key_join(self, catalog):
+        left = scan(catalog, "partsupp", prefix="a_")
+        right = scan(catalog, "partsupp", prefix="b_")
+        plan = left.join(
+            right,
+            on=[("a_ps_partkey", "b_ps_partkey"), ("a_ps_suppkey", "b_ps_suppkey")],
+        ).build()
+        result = run(plan, catalog)
+        # Self-join on the full key: one match per row.
+        assert len(result) == len(catalog.table("partsupp"))
+
+
+class TestGroupBy:
+    def test_sum_group_by(self, catalog):
+        plan = (
+            scan(catalog, "partsupp")
+            .group_by(
+                ["ps_partkey"],
+                [AggregateSpec(SUM, col("ps_availqty"), "avail")],
+            )
+            .build()
+        )
+        result = run(plan, catalog)
+        assert rows_equal(result.rows, reference_execute(plan, catalog))
+
+    def test_min_and_count(self, catalog):
+        plan = (
+            scan(catalog, "partsupp")
+            .group_by(
+                ["ps_partkey"],
+                [
+                    AggregateSpec(MIN, col("ps_supplycost"), "min_cost"),
+                    AggregateSpec(COUNT, None, "n"),
+                ],
+            )
+            .build()
+        )
+        result = run(plan, catalog)
+        assert rows_equal(result.rows, reference_execute(plan, catalog))
+        n_idx = result.schema.index_of("n")
+        assert all(r[n_idx] == 4 for r in result.rows)  # 4 suppliers/part
+
+    def test_avg(self, catalog):
+        plan = (
+            scan(catalog, "lineitem")
+            .group_by(
+                ["l_partkey"],
+                [AggregateSpec(AVG, col("l_quantity"), "avg_qty")],
+            )
+            .build()
+        )
+        result = run(plan, catalog)
+        assert rows_equal(result.rows, reference_execute(plan, catalog))
+
+    def test_group_by_above_join(self, catalog):
+        plan = (
+            scan(catalog, "part")
+            .join(scan(catalog, "partsupp"), on=[("p_partkey", "ps_partkey")])
+            .group_by(
+                ["p_brand"],
+                [AggregateSpec(SUM, col("ps_availqty"), "avail")],
+            )
+            .build()
+        )
+        result = run(plan, catalog)
+        assert rows_equal(result.rows, reference_execute(plan, catalog))
+
+
+class TestDistinct:
+    def test_distinct(self, catalog):
+        plan = (
+            scan(catalog, "partsupp")
+            .project(["ps_partkey"])
+            .distinct()
+            .build()
+        )
+        result = run(plan, catalog)
+        assert len(result) == len(set(catalog.table("partsupp").column("ps_partkey")))
+
+
+class TestSubqueryShape:
+    def test_figure1_plan_shape(self, catalog):
+        """The paper's running example (Figure 1), adapted to our data."""
+        ps1 = scan(catalog, "partsupp", prefix="ps1_")
+        parent = (
+            scan(catalog, "part")
+            .join(
+                ps1,
+                on=[("p_partkey", "ps1_ps_partkey")],
+                residual=(lit(2) * col("ps1_ps_supplycost")).lt(
+                    col("p_retailprice")
+                ),
+            )
+            .project(["p_partkey"])
+            .distinct()
+        )
+        avail = (
+            scan(catalog, "partsupp", prefix="ps2_")
+            .group_by(
+                ["ps2_ps_partkey"],
+                [AggregateSpec(SUM, col("ps2_ps_availqty"), "avail")],
+            )
+        )
+        sold = (
+            scan(catalog, "lineitem")
+            .filter(col("l_receiptdate").gt("1995-01-01"))
+            .group_by(
+                ["l_partkey"],
+                [AggregateSpec(SUM, col("l_quantity"), "numsold")],
+            )
+        )
+        right = avail.join(
+            sold,
+            on=[("ps2_ps_partkey", "l_partkey")],
+            residual=(lit(10) * col("avail")).lt(col("numsold")),
+        )
+        plan = parent.join(right, on=[("p_partkey", "ps2_ps_partkey")]).build()
+        result = run(plan, catalog)
+        assert rows_equal(result.rows, reference_execute(plan, catalog))
+
+
+class TestMetrics:
+    def test_clock_advances(self, catalog):
+        plan = scan(catalog, "partsupp").build()
+        result = run(plan, catalog)
+        assert result.metrics.clock > 0
+        assert result.metrics.cpu_time > 0
+
+    def test_counters(self, catalog):
+        plan = scan(catalog, "part").filter(col("p_size").eq(1)).build()
+        result = run(plan, catalog)
+        filter_id = plan.node_id
+        counters = result.metrics.counters(filter_id)
+        assert counters.tuples_in == len(catalog.table("part"))
+        assert counters.tuples_out == len(result)
+
+    def test_join_state_tracked_and_released(self, catalog):
+        plan = (
+            scan(catalog, "part")
+            .join(scan(catalog, "partsupp"), on=[("p_partkey", "ps_partkey")])
+            .build()
+        )
+        result = run(plan, catalog)
+        m = result.metrics
+        assert m.peak_state_bytes > 0
+        assert m.total_state_bytes == 0  # all state released at completion
+
+    def test_delayed_source_shows_idle_time(self, catalog):
+        plan = (
+            scan(catalog, "part")
+            .join(scan(catalog, "partsupp"), on=[("p_partkey", "ps_partkey")])
+            .build()
+        )
+        scans = [n for n in plan.walk() if type(n).__name__ == "Scan"]
+        partsupp_scan = next(
+            n for n in scans if n.table_name == "partsupp"
+        )
+
+        def resolver(node):
+            if node.node_id == partsupp_scan.node_id:
+                return ArrivalModel.delayed(initial_delay=0.5)
+            return None
+
+        ctx = ExecutionContext(catalog)
+        result = execute_plan(plan, ctx, arrival_resolver=resolver)
+        assert result.metrics.idle_time > 0
+        assert result.metrics.clock >= 0.5
+
+    def test_determinism(self, catalog):
+        plan_a = (
+            scan(catalog, "part")
+            .join(scan(catalog, "partsupp"), on=[("p_partkey", "ps_partkey")])
+            .build()
+        )
+        r1 = run(plan_a, catalog)
+        plan_b = (
+            scan(catalog, "part")
+            .join(scan(catalog, "partsupp"), on=[("p_partkey", "ps_partkey")])
+            .build()
+        )
+        r2 = run(plan_b, catalog)
+        assert r1.rows == r2.rows
+        assert r1.metrics.clock == r2.metrics.clock
+        assert r1.metrics.peak_state_bytes == r2.metrics.peak_state_bytes
+
+
+class TestShortCircuit:
+    def _plan(self, catalog):
+        return (
+            scan(catalog, "part")
+            .join(scan(catalog, "partsupp"), on=[("p_partkey", "ps_partkey")])
+            .build()
+        )
+
+    def test_short_circuit_reduces_peak_state(self, catalog):
+        # Delay PARTSUPP so PART finishes long before; with short-circuit
+        # on, PARTSUPP rows are never buffered.
+        def resolver(node):
+            if node.table_name == "partsupp":
+                return ArrivalModel.delayed(initial_delay=0.2)
+            return None
+
+        ctx_on = ExecutionContext(catalog, short_circuit=True)
+        r_on = execute_plan(self._plan(catalog), ctx_on, arrival_resolver=resolver)
+        ctx_off = ExecutionContext(catalog, short_circuit=False)
+        r_off = execute_plan(self._plan(catalog), ctx_off, arrival_resolver=resolver)
+        assert rows_equal(r_on.rows, r_off.rows)
+        assert r_on.metrics.peak_state_bytes < r_off.metrics.peak_state_bytes

@@ -1,0 +1,66 @@
+"""Unit tests for the metric store."""
+
+from repro.exec.metrics import Metrics
+
+
+class TestClock:
+    def test_charge_accumulates(self):
+        m = Metrics()
+        m.charge(0.5)
+        m.charge(0.25)
+        assert m.clock == 0.75
+        assert m.cpu_time == 0.75
+        assert m.idle_time == 0.0
+
+    def test_wait_until_records_idle(self):
+        m = Metrics()
+        m.charge(1.0)
+        m.wait_until(3.0)
+        assert m.clock == 3.0
+        assert m.idle_time == 2.0
+
+    def test_wait_until_past_time_is_noop(self):
+        m = Metrics()
+        m.charge(5.0)
+        m.wait_until(1.0)
+        assert m.clock == 5.0
+        assert m.idle_time == 0.0
+
+
+class TestState:
+    def test_adjust_and_peak(self):
+        m = Metrics()
+        m.adjust_state(1, 100)
+        m.adjust_state(2, 50)
+        assert m.total_state_bytes == 150
+        assert m.peak_state_bytes == 150
+        m.adjust_state(1, -100)
+        assert m.total_state_bytes == 50
+        assert m.peak_state_bytes == 150  # peak sticks
+
+    def test_per_owner(self):
+        m = Metrics()
+        m.adjust_state(7, 42)
+        assert m.state_bytes_of(7) == 42
+        assert m.state_bytes_of(8) == 0
+
+
+class TestCounters:
+    def test_lazy_creation(self):
+        m = Metrics()
+        c = m.counters(3)
+        c.tuples_in += 5
+        c.tuples_pruned += 2
+        assert m.counters(3).tuples_in == 5
+        assert m.total_pruned == 2
+
+    def test_summary_keys(self):
+        m = Metrics()
+        summary = m.summary()
+        for key in (
+            "virtual_seconds", "cpu_seconds", "idle_seconds",
+            "peak_state_mb", "tuples_pruned", "aip_sets_created",
+            "aip_sets_declined", "aip_bytes_shipped", "network_bytes",
+            "result_rows",
+        ):
+            assert key in summary

@@ -1,0 +1,247 @@
+"""Operator-level unit tests: filter registration, short-circuit state
+mechanics, state exposure, error paths."""
+
+import pytest
+
+from repro.common.errors import ExecutionError
+from repro.data.schema import Schema, INT, STR
+from repro.exec.context import ExecutionContext
+from repro.exec.operators.base import InjectedFilter
+from repro.exec.operators.distinct import PDistinct
+from repro.exec.operators.groupby import PGroupBy
+from repro.exec.operators.hashjoin import PHashJoin
+from repro.exec.operators.output import POutput
+from repro.exec.operators.scan import PScan
+from repro.exec.operators.semijoin import PSemiJoin
+from repro.expr.aggregates import MIN, SUM, AggregateSpec
+from repro.expr.expressions import col
+from repro.summaries.hashset import HashSetSummary
+
+
+LEFT = Schema.of(("a", INT), ("a_name", STR))
+RIGHT = Schema.of(("b", INT), ("b_name", STR))
+
+
+@pytest.fixture()
+def ctx():
+    from repro.data.catalog import Catalog
+    return ExecutionContext(Catalog())
+
+
+def join_with_sink(ctx, **kwargs):
+    join = PHashJoin(ctx, 1, LEFT, RIGHT, ["a"], ["b"], **kwargs)
+    sink = POutput(ctx, 2, join.out_schema)
+    sink.connect_child(join, 0)
+    return join, sink
+
+
+class TestHashJoinMechanics:
+    def test_symmetric_matching(self, ctx):
+        join, sink = join_with_sink(ctx)
+        join.push((1, "l1"), 0)
+        join.push((1, "r1"), 1)   # matches buffered left row
+        join.push((1, "l2"), 0)   # matches buffered right row
+        assert sorted(sink.rows) == [
+            (1, "l1", 1, "r1"), (1, "l2", 1, "r1"),
+        ]
+
+    def test_short_circuit_releases_other_side(self, ctx):
+        join, sink = join_with_sink(ctx)
+        join.push((1, "l1"), 0)
+        join.push((2, "r1"), 1)
+        before = ctx.metrics.total_state_bytes
+        join.finish(0)  # left done -> right side stops buffering
+        assert ctx.metrics.total_state_bytes < before
+        join.push((3, "r2"), 1)     # arrives after short-circuit
+        assert join.stored_count(1) == 0
+        assert join.state_complete(0)
+        assert not join.state_complete(1)
+
+    def test_short_circuit_disabled(self):
+        from repro.data.catalog import Catalog
+        ctx = ExecutionContext(Catalog(), short_circuit=False)
+        join, sink = join_with_sink(ctx)
+        join.push((1, "l1"), 0)
+        join.finish(0)
+        join.push((2, "r1"), 1)
+        assert join.stored_count(1) == 1
+
+    def test_finish_twice_rejected(self, ctx):
+        join, _ = join_with_sink(ctx)
+        join.finish(0)
+        with pytest.raises(ExecutionError):
+            join.finish(0)
+
+    def test_state_values(self, ctx):
+        join, _ = join_with_sink(ctx)
+        join.push((1, "x"), 0)
+        join.push((2, "y"), 0)
+        assert sorted(join.state_values(0, "a")) == [1, 2]
+        assert sorted(join.state_values(0, "a_name")) == ["x", "y"]
+
+    def test_residual(self, ctx):
+        join = PHashJoin(
+            ctx, 10, LEFT, RIGHT, ["a"], ["b"],
+            residual=col("a_name").ne(col("b_name")),
+        )
+        sink = POutput(ctx, 11, join.out_schema)
+        sink.connect_child(join, 0)
+        join.push((1, "same"), 0)
+        join.push((1, "same"), 1)
+        join.push((1, "diff"), 1)
+        assert sink.rows == [(1, "same", 1, "diff")]
+
+
+class TestInjectedFilters:
+    def test_filter_prunes_before_processing(self, ctx):
+        join, sink = join_with_sink(ctx)
+        keep = HashSetSummary.from_values([1])
+        join.register_filter(0, "a", keep, label="test")
+        join.push((1, "kept"), 0)
+        join.push((2, "pruned"), 0)
+        assert join.stored_count(0) == 1
+        assert ctx.metrics.counters(join.op_id).tuples_pruned == 1
+
+    def test_filter_replacement(self, ctx):
+        join, _ = join_with_sink(ctx)
+        old = join.register_filter(0, "a", HashSetSummary.from_values([1, 2]))
+        new = InjectedFilter(
+            old.key_index, "a", HashSetSummary.from_values([1]), "tighter"
+        )
+        join.replace_filter(0, old, new)
+        join.push((2, "now pruned"), 0)
+        assert join.stored_count(0) == 0
+
+    def test_filters_on_lists_copies(self, ctx):
+        join, _ = join_with_sink(ctx)
+        join.register_filter(0, "a", HashSetSummary.from_values([1]))
+        filters = join.filters_on(0)
+        filters.clear()
+        assert len(join.filters_on(0)) == 1
+
+    def test_bad_port_rejected(self, ctx):
+        join, _ = join_with_sink(ctx)
+        with pytest.raises(ExecutionError):
+            join.connect_child(POutput(ctx, 99, LEFT), 5)
+
+
+class TestGroupByMechanics:
+    def _groupby(self, ctx):
+        gb = PGroupBy(
+            ctx, 20, LEFT,
+            Schema.of(("a", INT), ("total", INT), ("smallest", STR)),
+            ["a"],
+            [
+                AggregateSpec(SUM, col("a"), "total"),
+                AggregateSpec(MIN, col("a_name"), "smallest"),
+            ],
+        )
+        sink = POutput(ctx, 21, gb.out_schema)
+        sink.connect_child(gb, 0)
+        return gb, sink
+
+    def test_grouping_and_flush(self, ctx):
+        gb, sink = self._groupby(ctx)
+        gb.push((1, "b"), 0)
+        gb.push((1, "a"), 0)
+        gb.push((2, "z"), 0)
+        assert not sink.rows  # blocking
+        gb.finish(0)
+        assert sorted(sink.rows) == [(1, 2, "a"), (2, 2, "z")]
+
+    def test_state_values_keys_and_aggregates(self, ctx):
+        gb, _ = self._groupby(ctx)
+        gb.push((1, "b"), 0)
+        gb.push((2, "a"), 0)
+        assert sorted(gb.state_values(0, "a")) == [1, 2]
+        assert sorted(gb.state_values(0, "smallest")) == ["a", "b"]
+
+    def test_state_released_after_flush(self, ctx):
+        gb, _ = self._groupby(ctx)
+        gb.push((1, "b"), 0)
+        gb.finish(0)
+        assert ctx.metrics.state_bytes_of(gb.op_id) == 0
+
+
+class TestDistinctMechanics:
+    def test_pipelined_dedup(self, ctx):
+        d = PDistinct(ctx, 30, LEFT)
+        sink = POutput(ctx, 31, LEFT)
+        sink.connect_child(d, 0)
+        d.push((1, "x"), 0)
+        d.push((1, "x"), 0)
+        d.push((2, "y"), 0)
+        assert sink.rows == [(1, "x"), (2, "y")]  # emitted immediately
+        assert d.stored_count(0) == 2
+
+    def test_state_values(self, ctx):
+        d = PDistinct(ctx, 32, LEFT)
+        sink = POutput(ctx, 33, LEFT)
+        sink.connect_child(d, 0)
+        d.push((1, "x"), 0)
+        assert list(d.state_values(0, "a_name")) == ["x"]
+
+
+class TestSemiJoinMechanics:
+    def _semijoin(self, ctx):
+        sj = PSemiJoin(ctx, 40, LEFT, RIGHT, ["a"], ["b"])
+        sink = POutput(ctx, 41, LEFT)
+        sink.connect_child(sj, 0)
+        return sj, sink
+
+    def test_pending_flush_on_source_arrival(self, ctx):
+        sj, sink = self._semijoin(ctx)
+        sj.push((1, "waiting"), 0)
+        assert not sink.rows
+        sj.push((1, "src"), 1)
+        assert sink.rows == [(1, "waiting")]
+
+    def test_duplicate_source_keys_no_duplicates(self, ctx):
+        sj, sink = self._semijoin(ctx)
+        sj.push((1, "src"), 1)
+        sj.push((1, "src2"), 1)
+        sj.push((1, "probe"), 0)
+        assert sink.rows == [(1, "probe")]
+
+    def test_probe_after_source_done_not_buffered(self, ctx):
+        sj, sink = self._semijoin(ctx)
+        sj.push((1, "src"), 1)
+        sj.finish(1)
+        sj.push((2, "never"), 0)
+        assert sj.stored_count(0) == 0
+        assert not sink.rows
+
+    def test_state_complete_semantics(self, ctx):
+        sj, _ = self._semijoin(ctx)
+        sj.push((1, "probe"), 0)
+        assert not sj.state_complete(0)
+        assert not sj.state_complete(1)
+        sj.finish(1)
+        assert sj.state_complete(1)
+
+
+class TestScanMechanics:
+    def test_scan_rejects_push(self, ctx):
+        s = PScan(ctx, 50, LEFT, [(1, "x")])
+        with pytest.raises(AssertionError):
+            s.push((1, "x"), 0)
+
+    def test_scan_engine_side_filter(self, ctx):
+        s = PScan(ctx, 51, LEFT, [(1, "x"), (2, "y")])
+        sink = POutput(ctx, 52, LEFT)
+        sink.connect_child(s, 0)
+        s.register_filter(0, "a", HashSetSummary.from_values([2]))
+        when = s.prime()
+        while when is not None:
+            s.emit_pending()
+            when = s.advance()
+        assert sink.rows == [(2, "y")]
+
+    def test_multi_parent_emit(self, ctx):
+        s = PScan(ctx, 53, LEFT, [(1, "x")])
+        sinks = [POutput(ctx, 54, LEFT), POutput(ctx, 55, LEFT)]
+        for sink in sinks:
+            sink.connect_child(s, 0)
+        s.prime()
+        s.emit_pending()
+        assert all(sink.rows == [(1, "x")] for sink in sinks)

@@ -1,0 +1,104 @@
+"""Randomised plan fuzzing: the engine must agree with the reference
+evaluator on arbitrary bushy plans, under every strategy.
+
+The generator composes scans (with random aliases), filters (random
+comparisons against sampled literals), equi-joins along the TPC-H
+foreign-key graph, group-bys on join keys, projections and distincts.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aip.feedforward import FeedForwardStrategy
+from repro.aip.manager import CostBasedStrategy
+from repro.data.tpch import cached_tpch
+from repro.exec.context import ExecutionContext
+from repro.exec.engine import execute_plan
+from repro.expr.aggregates import COUNT, SUM, AggregateSpec
+from repro.expr.expressions import col, lit
+from repro.plan.builder import scan
+from repro.plan.validate import validate_plan
+
+from tests.helpers import reference_execute, rows_equal
+
+#: (table, key, referenced table, referenced key) edges we join along.
+FK_EDGES = [
+    ("partsupp", "ps_partkey", "part", "p_partkey"),
+    ("partsupp", "ps_suppkey", "supplier", "s_suppkey"),
+    ("supplier", "s_nationkey", "nation", "n_nationkey"),
+    ("nation", "n_regionkey", "region", "r_regionkey"),
+    ("lineitem", "l_partkey", "part", "p_partkey"),
+    ("lineitem", "l_suppkey", "supplier", "s_suppkey"),
+    ("orders", "o_custkey", "customer", "c_custkey"),
+    ("lineitem", "l_orderkey", "orders", "o_orderkey"),
+]
+
+_FILTERS = {
+    "part": lambda cut: col("p_size").le(cut),
+    "supplier": lambda cut: col("s_suppkey").le(cut),
+    "orders": lambda cut: col("o_orderdate").le("199%d-01-01" % (2 + cut % 7)),
+    "lineitem": lambda cut: col("l_quantity").le(float(cut)),
+    "partsupp": lambda cut: col("ps_availqty").le(cut * 200),
+}
+
+
+def build_random_plan(catalog, rng_choices):
+    """Construct a random 2-3 table join plan from drawn choices."""
+    edge_idx, use_filter, cut, shape = rng_choices
+    table, key, ref_table, ref_key = FK_EDGES[edge_idx % len(FK_EDGES)]
+
+    left = scan(catalog, table)
+    if use_filter and table in _FILTERS:
+        left = left.filter(_FILTERS[table](1 + cut % 40))
+    right = scan(catalog, ref_table)
+
+    joined = left.join(right, on=[(key, ref_key)])
+
+    if shape == 0:
+        return joined.build()
+    if shape == 1:
+        return joined.project([key]).distinct().build()
+    # Aggregate on the join key.
+    return joined.group_by(
+        [key], [AggregateSpec(COUNT, None, "n")]
+    ).build()
+
+
+class TestRandomPlans:
+    @given(
+        edge_idx=st.integers(0, 7),
+        use_filter=st.booleans(),
+        cut=st.integers(0, 50),
+        shape=st.integers(0, 2),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_engine_matches_reference(self, edge_idx, use_filter, cut, shape):
+        catalog = cached_tpch(scale_factor=0.001)
+        plan = build_random_plan(catalog, (edge_idx, use_filter, cut, shape))
+        validate_plan(plan, catalog)
+        result = execute_plan(plan, ExecutionContext(catalog))
+        assert rows_equal(result.rows, reference_execute(plan, catalog))
+
+    @given(
+        edge_idx=st.integers(0, 7),
+        use_filter=st.booleans(),
+        cut=st.integers(0, 50),
+        shape=st.integers(0, 2),
+        strategy_kind=st.sampled_from(["ff", "cb"]),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_strategies_match_baseline(
+        self, edge_idx, use_filter, cut, shape, strategy_kind
+    ):
+        catalog = cached_tpch(scale_factor=0.001)
+        base_plan = build_random_plan(catalog, (edge_idx, use_filter, cut, shape))
+        baseline = execute_plan(base_plan, ExecutionContext(catalog))
+
+        strategy = (
+            FeedForwardStrategy() if strategy_kind == "ff"
+            else CostBasedStrategy()
+        )
+        aip_plan = build_random_plan(catalog, (edge_idx, use_filter, cut, shape))
+        aip = execute_plan(aip_plan, ExecutionContext(catalog, strategy=strategy))
+        assert rows_equal(baseline.rows, aip.rows)

@@ -1,0 +1,75 @@
+"""Tests for aggregate specs and accumulators."""
+
+import pytest
+
+from repro.common.errors import PlanError
+from repro.data.schema import Schema, INT, FLOAT
+from repro.expr.aggregates import (
+    AVG, COUNT, MAX, MIN, SUM, AggregateSpec,
+)
+from repro.expr.expressions import col
+
+SCHEMA = Schema.of(("x", INT), ("y", FLOAT))
+
+
+class TestSpec:
+    def test_unknown_function_rejected(self):
+        with pytest.raises(PlanError):
+            AggregateSpec("median", col("x"), "m")
+
+    def test_count_star_allowed(self):
+        spec = AggregateSpec(COUNT, None, "n")
+        acc = spec.make_accumulator()
+        acc.add(None)
+        acc.add(None)
+        assert acc.result() == 2
+
+    def test_non_count_requires_input(self):
+        with pytest.raises(PlanError):
+            AggregateSpec(SUM, None, "s")
+
+    def test_output_name_required(self):
+        with pytest.raises(PlanError):
+            AggregateSpec(SUM, col("x"), "")
+
+    def test_result_types(self):
+        assert AggregateSpec(SUM, col("x"), "s").result_type(SCHEMA) == INT
+        assert AggregateSpec(SUM, col("y"), "s").result_type(SCHEMA) == FLOAT
+        assert AggregateSpec(AVG, col("x"), "a").result_type(SCHEMA) == FLOAT
+        assert AggregateSpec(COUNT, None, "c").result_type(SCHEMA) == INT
+
+
+class TestAccumulators:
+    def test_sum(self):
+        acc = AggregateSpec(SUM, col("x"), "s").make_accumulator()
+        for v in (1, 2, 3):
+            acc.add(v)
+        assert acc.result() == 6
+
+    def test_min_max(self):
+        mn = AggregateSpec(MIN, col("x"), "m").make_accumulator()
+        mx = AggregateSpec(MAX, col("x"), "m").make_accumulator()
+        for v in (5, 1, 9):
+            mn.add(v)
+            mx.add(v)
+        assert mn.result() == 1
+        assert mx.result() == 9
+
+    def test_min_of_nothing_is_none(self):
+        acc = AggregateSpec(MIN, col("x"), "m").make_accumulator()
+        assert acc.result() is None
+
+    def test_avg(self):
+        acc = AggregateSpec(AVG, col("x"), "a").make_accumulator()
+        for v in (2, 4):
+            acc.add(v)
+        assert acc.result() == 3.0
+
+    def test_avg_of_nothing_is_none(self):
+        acc = AggregateSpec(AVG, col("x"), "a").make_accumulator()
+        assert acc.result() is None
+
+    def test_byte_sizes_positive(self):
+        for func, input_ in ((SUM, col("x")), (COUNT, None), (AVG, col("x"))):
+            acc = AggregateSpec(func, input_, "o").make_accumulator()
+            assert acc.byte_size() > 0

@@ -1,0 +1,90 @@
+"""Tests for expression compilation."""
+
+import pytest
+
+from repro.common.errors import PlanError
+from repro.data.schema import Schema, INT, FLOAT, STR, DATE
+from repro.expr.compiler import compile_expr, compile_predicate, like_pattern_to_regex
+from repro.expr.expressions import And, Func, Like, Not, Or, col, lit
+
+SCHEMA = Schema.of(("a", INT), ("b", FLOAT), ("s", STR), ("d", DATE))
+ROW = (4, 2.5, "STANDARD ANODIZED TIN", "1995-06-30")
+
+
+class TestScalars:
+    def test_col(self):
+        assert compile_expr(col("a"), SCHEMA)(ROW) == 4
+
+    def test_lit(self):
+        assert compile_expr(lit("x"), SCHEMA)(ROW) == "x"
+
+    def test_arith(self):
+        assert compile_expr(col("a") * lit(2), SCHEMA)(ROW) == 8
+        assert compile_expr(col("a") + col("b"), SCHEMA)(ROW) == 6.5
+        assert compile_expr(col("a") - lit(1), SCHEMA)(ROW) == 3
+        assert compile_expr(col("a") / lit(8), SCHEMA)(ROW) == 0.5
+
+    def test_year_function(self):
+        assert compile_expr(Func("year", col("d")), SCHEMA)(ROW) == 1995
+
+
+class TestComparisons:
+    @pytest.mark.parametrize("op,expected", [
+        ("=", False), ("!=", True), ("<", False),
+        ("<=", False), (">", True), (">=", True),
+    ])
+    def test_ops(self, op, expected):
+        from repro.expr.expressions import Cmp
+        fn = compile_predicate(Cmp(op, col("a"), lit(3)), SCHEMA)
+        assert fn(ROW) is expected
+
+    def test_date_comparison_is_chronological(self):
+        fn = compile_predicate(col("d").gt("1995-01-01"), SCHEMA)
+        assert fn(ROW)
+        fn = compile_predicate(col("d").gt("1996-01-01"), SCHEMA)
+        assert not fn(ROW)
+
+
+class TestBoolean:
+    def test_and_or_not(self):
+        t = col("a").gt(0)
+        f = col("a").lt(0)
+        assert compile_predicate(And(t, t), SCHEMA)(ROW)
+        assert not compile_predicate(And(t, f), SCHEMA)(ROW)
+        assert compile_predicate(Or(f, t), SCHEMA)(ROW)
+        assert not compile_predicate(Or(f, f), SCHEMA)(ROW)
+        assert compile_predicate(Not(f), SCHEMA)(ROW)
+
+
+class TestLike:
+    def test_suffix_pattern(self):
+        fn = compile_predicate(Like(col("s"), "%TIN"), SCHEMA)
+        assert fn(ROW)
+        assert not fn((1, 1.0, "LARGE PLATED BRASS", "1995-01-01"))
+
+    def test_substring_pattern(self):
+        fn = compile_predicate(Like(col("s"), "%ANODIZED%"), SCHEMA)
+        assert fn(ROW)
+
+    def test_underscore(self):
+        regex = like_pattern_to_regex("a_c")
+        assert regex.match("abc")
+        assert not regex.match("abbc")
+
+    def test_literal_specials_escaped(self):
+        regex = like_pattern_to_regex("a.c")
+        assert not regex.match("abc")
+        assert regex.match("a.c")
+
+
+class TestErrors:
+    def test_unknown_column(self):
+        from repro.common.errors import SchemaError
+        with pytest.raises(SchemaError):
+            compile_expr(col("zzz"), SCHEMA)
+
+    def test_unknown_node(self):
+        class Weird:
+            pass
+        with pytest.raises(PlanError):
+            compile_expr(Weird(), SCHEMA)  # type: ignore[arg-type]

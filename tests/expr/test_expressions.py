@@ -1,0 +1,92 @@
+"""Tests for the expression AST."""
+
+import pytest
+
+from repro.common.errors import PlanError
+from repro.data.schema import Schema, INT, FLOAT, STR, DATE
+from repro.expr.expressions import (
+    And, Arith, Cmp, Col, Func, Like, Lit, Not, Or, col, conjuncts_of, lit,
+)
+
+SCHEMA = Schema.of(("a", INT), ("b", FLOAT), ("s", STR), ("d", DATE))
+
+
+class TestColumns:
+    def test_col_columns(self):
+        assert col("a").columns() == {"a"}
+
+    def test_lit_columns(self):
+        assert lit(5).columns() == set()
+
+    def test_nested_columns(self):
+        expr = (col("a") * lit(2)).lt(col("b") + col("a"))
+        assert expr.columns() == {"a", "b"}
+
+    def test_boolean_columns(self):
+        expr = And(col("a").gt(1), Or(col("b").lt(2), Not(col("s").eq("x"))))
+        assert expr.columns() == {"a", "b", "s"}
+
+
+class TestTypes:
+    def test_col_type(self):
+        assert col("a").result_type(SCHEMA) == INT
+        assert col("b").result_type(SCHEMA) == FLOAT
+
+    def test_lit_types(self):
+        assert lit(1).result_type(SCHEMA) == INT
+        assert lit(1.5).result_type(SCHEMA) == FLOAT
+        assert lit("x").result_type(SCHEMA) == STR
+
+    def test_arith_promotion(self):
+        assert (col("a") + lit(1)).result_type(SCHEMA) == INT
+        assert (col("a") + col("b")).result_type(SCHEMA) == FLOAT
+        assert (col("a") / lit(2)).result_type(SCHEMA) == FLOAT
+
+    def test_cmp_is_boolean_int(self):
+        assert col("a").gt(1).result_type(SCHEMA) == INT
+
+    def test_func_type(self):
+        assert Func("year", col("d")).result_type(SCHEMA) == INT
+
+
+class TestConstruction:
+    def test_invalid_ops_rejected(self):
+        with pytest.raises(PlanError):
+            Arith("%", col("a"), lit(2))
+        with pytest.raises(PlanError):
+            Cmp("<>", col("a"), lit(2))
+
+    def test_empty_connectives_rejected(self):
+        with pytest.raises(PlanError):
+            And()
+        with pytest.raises(PlanError):
+            Or()
+
+    def test_unknown_function_rejected(self):
+        with pytest.raises(PlanError):
+            Func("sqrt", col("a"))
+
+    def test_sugar_wraps_literals(self):
+        expr = col("a").eq(5)
+        assert isinstance(expr.right, Lit)
+
+
+class TestEquality:
+    def test_is_column_equality(self):
+        assert Cmp("=", col("x"), col("y")).is_column_equality() == ("x", "y")
+        assert Cmp("=", col("x"), lit(1)).is_column_equality() is None
+        assert Cmp("<", col("x"), col("y")).is_column_equality() is None
+
+
+class TestConjuncts:
+    def test_flatten_nested(self):
+        inner = And(col("a").gt(1), col("b").lt(2))
+        outer = And(inner, col("s").eq("x"))
+        assert len(outer.conjuncts()) == 3
+
+    def test_conjuncts_of_none(self):
+        assert conjuncts_of(None) == []
+
+    def test_conjuncts_of_single(self):
+        p = col("a").gt(1)
+        assert conjuncts_of(p) == [p]

@@ -1,0 +1,95 @@
+"""Tests for concurrent multi-query execution."""
+
+import pytest
+
+from repro.aip.feedforward import FeedForwardStrategy
+from repro.aip.manager import CostBasedStrategy
+from repro.common.errors import ExecutionError
+from repro.data.tpch import cached_tpch
+from repro.exec.context import ExecutionContext
+from repro.exec.engine import execute_plan
+from repro.harness.concurrent import run_concurrent
+from repro.workloads.registry import get_query
+
+from tests.helpers import rows_equal
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return cached_tpch(scale_factor=0.002)
+
+
+def plans(catalog, qids):
+    return [get_query(q).build_baseline(catalog) for q in qids]
+
+
+class TestConcurrent:
+    def test_results_match_solo_runs(self, catalog):
+        qids = ["Q3A", "Q1A"]
+        solo = [
+            execute_plan(p, ExecutionContext(catalog))
+            for p in plans(catalog, qids)
+        ]
+        concurrent = run_concurrent(plans(catalog, qids), ExecutionContext(catalog))
+        for s, c in zip(solo, concurrent):
+            assert rows_equal(s.rows, c.rows)
+
+    def test_shared_clock_aggregates(self, catalog):
+        qids = ["Q3A", "Q1A"]
+        solo_cpu = sum(
+            execute_plan(p, ExecutionContext(catalog)).metrics.cpu_time
+            for p in plans(catalog, qids)
+        )
+        ctx = ExecutionContext(catalog)
+        run_concurrent(plans(catalog, qids), ctx)
+        assert ctx.metrics.cpu_time == pytest.approx(solo_cpu, rel=0.01)
+
+    def test_aggregate_peak_exceeds_solo_peaks(self, catalog):
+        qids = ["Q3A", "Q1A"]
+        solo_peaks = [
+            execute_plan(p, ExecutionContext(catalog)).metrics.peak_state_bytes
+            for p in plans(catalog, qids)
+        ]
+        ctx = ExecutionContext(catalog)
+        run_concurrent(plans(catalog, qids), ctx)
+        assert ctx.metrics.peak_state_bytes >= max(solo_peaks)
+
+    def test_per_plan_strategies(self, catalog):
+        qids = ["Q3A", "Q1A"]
+        ctx = ExecutionContext(catalog)
+        results = run_concurrent(
+            plans(catalog, qids), ctx,
+            strategies=[FeedForwardStrategy(), CostBasedStrategy()],
+        )
+        solo = [
+            execute_plan(p, ExecutionContext(catalog))
+            for p in plans(catalog, qids)
+        ]
+        for s, c in zip(solo, results):
+            assert rows_equal(s.rows, c.rows)
+        assert ctx.strategy.describe().startswith("composite(")
+
+    def test_aip_reduces_aggregate_memory(self, catalog):
+        """The paper's multi-query motivation: under concurrency, AIP's
+        state savings compound across queries."""
+        qids = ["Q1A", "Q3A", "Q2A"]
+        ctx_base = ExecutionContext(catalog)
+        run_concurrent(plans(catalog, qids), ctx_base)
+
+        ctx_aip = ExecutionContext(catalog)
+        run_concurrent(
+            plans(catalog, qids), ctx_aip,
+            strategies=[CostBasedStrategy() for _ in qids],
+        )
+        assert (
+            ctx_aip.metrics.peak_state_bytes
+            <= ctx_base.metrics.peak_state_bytes
+        )
+
+    def test_strategy_count_mismatch(self, catalog):
+        with pytest.raises(ExecutionError):
+            run_concurrent(
+                plans(catalog, ["Q3A"]),
+                ExecutionContext(catalog),
+                strategies=[None, None],
+            )

@@ -1,0 +1,56 @@
+"""Tests for figure-table export."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.harness.export import export_all, to_csv, to_json, to_markdown
+from repro.harness.report import FigureTable
+
+
+@pytest.fixture()
+def table():
+    t = FigureTable("Fig X", ["Q1", "Q2"], ["base", "aip"], "time", "s")
+    t.add("Q1", "base", 1.0)
+    t.add("Q1", "aip", 0.5)
+    t.add("Q2", "base", 2.0)
+    # Q2/aip intentionally missing.
+    return t
+
+
+class TestCsv:
+    def test_round_trips(self, table):
+        rows = list(csv.reader(io.StringIO(to_csv(table))))
+        assert rows[0] == ["query", "base", "aip"]
+        assert rows[1] == ["Q1", "1.000000", "0.500000"]
+        assert rows[2][2] == ""  # missing cell
+
+
+class TestMarkdown:
+    def test_structure(self, table):
+        text = to_markdown(table)
+        assert text.startswith("**Fig X**")
+        assert "| Q1 | 1.0000 | 0.5000 |" in text
+        assert "–" in text  # missing cell marker
+
+
+class TestJson:
+    def test_payload(self, table):
+        payload = json.loads(to_json(table))
+        assert payload["metric"] == "time"
+        assert payload["cells"]["Q1"]["aip"] == 0.5
+        assert "aip" not in payload["cells"]["Q2"]
+
+
+class TestExportAll:
+    def test_writes_files(self, table, tmp_path):
+        written = export_all({"figX": table}, str(tmp_path), fmt="md")
+        assert list(written) == ["figX"]
+        content = open(written["figX"]).read()
+        assert "Fig X" in content
+
+    def test_unknown_format(self, table, tmp_path):
+        with pytest.raises(ValueError):
+            export_all({"figX": table}, str(tmp_path), fmt="xlsx")

@@ -1,0 +1,117 @@
+"""Property tests for the cardinality estimator: structural sanity that
+must hold for any plan the workload can produce."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.tpch import cached_tpch
+from repro.expr.expressions import And, col
+from repro.optimizer.estimator import CardinalityEstimator
+from repro.plan.builder import scan
+
+TABLES = ["part", "supplier", "partsupp", "orders", "nation"]
+
+_FILTERS = {
+    "part": lambda v: col("p_size").le(v),
+    "supplier": lambda v: col("s_suppkey").le(v),
+    "partsupp": lambda v: col("ps_availqty").le(v * 200),
+    "orders": lambda v: col("o_orderkey").le(v * 300),
+    "nation": lambda v: col("n_nationkey").le(v % 25),
+}
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return cached_tpch(scale_factor=0.001)
+
+
+class TestEstimatorProperties:
+    @given(table=st.sampled_from(TABLES), cut=st.integers(0, 50))
+    @settings(max_examples=40, deadline=None)
+    def test_filter_never_increases_rows(self, table, cut):
+        catalog = cached_tpch(scale_factor=0.001)
+        estimator = CardinalityEstimator(catalog)
+        base = scan(catalog, table).build()
+        filtered = scan(catalog, table).filter(_FILTERS[table](cut)).build()
+        assert (
+            estimator.estimate(filtered).rows
+            <= estimator.estimate(base).rows + 1e-9
+        )
+
+    @given(table=st.sampled_from(TABLES), cut=st.integers(1, 50))
+    @settings(max_examples=40, deadline=None)
+    def test_estimates_non_negative_and_distincts_capped(self, table, cut):
+        catalog = cached_tpch(scale_factor=0.001)
+        estimator = CardinalityEstimator(catalog)
+        plan = scan(catalog, table).filter(_FILTERS[table](cut)).build()
+        est = estimator.estimate(plan)
+        assert est.rows >= 0
+        for attr in plan.schema.names:
+            assert est.distinct_of(attr) <= max(est.rows, 1.0)
+
+    @given(cut_a=st.integers(1, 50), cut_b=st.integers(1, 50))
+    @settings(max_examples=30, deadline=None)
+    def test_conjunction_tighter_than_each_conjunct(self, cut_a, cut_b):
+        catalog = cached_tpch(scale_factor=0.001)
+        estimator = CardinalityEstimator(catalog)
+        single = scan(catalog, "part").filter(col("p_size").le(cut_a)).build()
+        double = (
+            scan(catalog, "part")
+            .filter(And(col("p_size").le(cut_a), col("p_partkey").le(cut_b * 8)))
+            .build()
+        )
+        assert (
+            estimator.estimate(double).rows
+            <= estimator.estimate(single).rows + 1e-9
+        )
+
+    @given(table=st.sampled_from(["part", "supplier"]))
+    @settings(max_examples=10, deadline=None)
+    def test_distinct_never_negative(self, table):
+        catalog = cached_tpch(scale_factor=0.001)
+        estimator = CardinalityEstimator(catalog)
+        plan = (
+            scan(catalog, table).project([catalog.table(table).schema.names[0]])
+            .distinct().build()
+        )
+        assert estimator.estimate(plan).rows >= 0
+
+
+class TestCompilerProperties:
+    @given(
+        a=st.integers(-1000, 1000),
+        b=st.floats(-1e6, 1e6, allow_nan=False),
+        op=st.sampled_from(["+", "-", "*"]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_arith_matches_python(self, a, b, op):
+        import operator
+        from repro.data.schema import Schema, INT, FLOAT
+        from repro.expr.compiler import compile_expr
+        from repro.expr.expressions import Arith, col as c
+
+        schema = Schema.of(("x", INT), ("y", FLOAT))
+        fn = compile_expr(Arith(op, c("x"), c("y")), schema)
+        ops = {"+": operator.add, "-": operator.sub, "*": operator.mul}
+        assert fn((a, b)) == ops[op](a, b)
+
+    @given(
+        values=st.lists(st.integers(0, 100), min_size=1, max_size=30),
+        threshold=st.integers(0, 100),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_filter_partition(self, values, threshold):
+        """A predicate and its negation partition any row set."""
+        from repro.data.schema import Schema, INT
+        from repro.expr.compiler import compile_predicate
+        from repro.expr.expressions import Not, col as c
+
+        schema = Schema.of(("x", INT))
+        keep = compile_predicate(c("x").le(threshold), schema)
+        drop = compile_predicate(Not(c("x").le(threshold)), schema)
+        rows = [(v,) for v in values]
+        kept = [r for r in rows if keep(r)]
+        dropped = [r for r in rows if drop(r)]
+        assert len(kept) + len(dropped) == len(rows)
+        assert all(r[0] <= threshold for r in kept)

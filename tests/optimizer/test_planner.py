@@ -1,0 +1,136 @@
+"""Tests for the greedy bushy planner."""
+
+import pytest
+
+from repro.common.errors import PlanError
+from repro.data.tpch import cached_tpch
+from repro.exec.context import ExecutionContext
+from repro.exec.engine import execute_plan
+from repro.expr.expressions import col
+from repro.optimizer.planner import ConjunctiveQuery, plan_query
+from repro.plan.logical import Join, Scan
+from repro.plan.validate import validate_plan
+
+from tests.helpers import reference_execute, rows_equal
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return cached_tpch(scale_factor=0.001)
+
+
+class TestConjunctiveQuery:
+    def test_needs_relations(self):
+        with pytest.raises(PlanError):
+            ConjunctiveQuery([])
+
+    def test_duplicate_alias_rejected(self):
+        with pytest.raises(PlanError):
+            ConjunctiveQuery([("a", "part"), ("a", "supplier")])
+
+
+class TestPlanQuery:
+    def test_two_way_join(self, catalog):
+        query = ConjunctiveQuery(
+            [("part", "part"), ("partsupp", "partsupp")],
+            [col("p_partkey").eq(col("ps_partkey"))],
+        )
+        plan = plan_query(catalog, query)
+        validate_plan(plan, catalog)
+        result = execute_plan(plan, ExecutionContext(catalog))
+        assert len(result) == len(catalog.table("partsupp"))
+
+    def test_filters_pushed_to_leaves(self, catalog):
+        query = ConjunctiveQuery(
+            [("part", "part"), ("partsupp", "partsupp")],
+            [
+                col("p_partkey").eq(col("ps_partkey")),
+                col("p_size").le(10),
+            ],
+        )
+        plan = plan_query(catalog, query)
+        # The filter must sit below the join, directly over the scan.
+        join = next(n for n in plan.walk() if isinstance(n, Join))
+        kinds = {type(c).__name__ for c in join.children}
+        assert "Filter" in kinds
+        result = execute_plan(plan, ExecutionContext(catalog))
+        assert rows_equal(result.rows, reference_execute(plan, catalog))
+
+    def test_five_way_join_matches_reference(self, catalog):
+        query = ConjunctiveQuery(
+            [
+                ("part", "part"), ("partsupp", "partsupp"),
+                ("supplier", "supplier"), ("nation", "nation"),
+                ("region", "region"),
+            ],
+            [
+                col("p_partkey").eq(col("ps_partkey")),
+                col("ps_suppkey").eq(col("s_suppkey")),
+                col("s_nationkey").eq(col("n_nationkey")),
+                col("n_regionkey").eq(col("r_regionkey")),
+                col("r_name").eq("AFRICA"),
+                col("p_size").le(20),
+            ],
+        )
+        plan = plan_query(catalog, query)
+        validate_plan(plan, catalog)
+        result = execute_plan(plan, ExecutionContext(catalog))
+        assert rows_equal(result.rows, reference_execute(plan, catalog))
+
+    def test_aliased_self_join(self, catalog):
+        query = ConjunctiveQuery(
+            [("a", "partsupp"), ("b", "partsupp")],
+            [
+                col("a_ps_partkey").eq(col("b_ps_partkey")),
+                col("a_ps_suppkey").eq(col("b_ps_suppkey")),
+            ],
+        )
+        plan = plan_query(catalog, query)
+        result = execute_plan(plan, ExecutionContext(catalog))
+        assert len(result) == len(catalog.table("partsupp"))
+
+    def test_greedy_prefers_selective_join(self, catalog):
+        """With a highly selective filter on PART, the planner should
+        join PART with PARTSUPP before touching SUPPLIER."""
+        query = ConjunctiveQuery(
+            [
+                ("part", "part"), ("partsupp", "partsupp"),
+                ("supplier", "supplier"),
+            ],
+            [
+                col("p_partkey").eq(col("ps_partkey")),
+                col("ps_suppkey").eq(col("s_suppkey")),
+                col("p_size").eq(1),
+            ],
+        )
+        plan = plan_query(catalog, query)
+        # Root join must have the supplier scan on one side (joined last).
+        root = plan
+        assert isinstance(root, Join)
+        scan_tables = {
+            n.table_name
+            for child in root.children
+            for n in child.walk()
+            if isinstance(n, Scan)
+        }
+        side_tables = [
+            {n.table_name for n in child.walk() if isinstance(n, Scan)}
+            for child in root.children
+        ]
+        assert {"supplier"} in side_tables
+
+    def test_disconnected_query_rejected(self, catalog):
+        query = ConjunctiveQuery(
+            [("part", "part"), ("customer", "customer")],
+            [],
+        )
+        with pytest.raises(PlanError):
+            plan_query(catalog, query)
+
+    def test_unresolvable_predicate_rejected(self, catalog):
+        query = ConjunctiveQuery(
+            [("part", "part")],
+            [col("no_such_column").eq(1)],
+        )
+        with pytest.raises(PlanError):
+            plan_query(catalog, query)

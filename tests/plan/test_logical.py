@@ -1,0 +1,183 @@
+"""Tests for logical plan nodes."""
+
+import pytest
+
+from repro.common.errors import PlanError
+from repro.data.tpch import cached_tpch
+from repro.expr.aggregates import SUM, AggregateSpec
+from repro.expr.expressions import col, lit
+from repro.plan.builder import scan
+from repro.plan.logical import Distinct, Filter, GroupBy, Join, Project, Scan
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return cached_tpch(scale_factor=0.001)
+
+
+class TestScan:
+    def test_schema_from_catalog(self, catalog):
+        node = scan(catalog, "part").build()
+        assert "p_partkey" in node.schema
+        assert node.column_origins["p_partkey"] == ("part", "p_partkey")
+
+    def test_prefix_alias(self, catalog):
+        node = scan(catalog, "partsupp", prefix="ps2_").build()
+        assert "ps2_ps_partkey" in node.schema
+        assert node.column_origins["ps2_ps_partkey"] == ("partsupp", "ps_partkey")
+
+    def test_prefix_and_renames_conflict(self, catalog):
+        with pytest.raises(PlanError):
+            scan(catalog, "part", prefix="x_", renames={"p_partkey": "k"})
+
+    def test_site_marker(self, catalog):
+        node = scan(catalog, "partsupp", site="remote").build()
+        assert node.site == "remote"
+
+    def test_not_stateful(self, catalog):
+        assert not scan(catalog, "part").build().is_stateful
+
+
+class TestFilter:
+    def test_valid(self, catalog):
+        node = scan(catalog, "part").filter(col("p_size").eq(1)).build()
+        assert isinstance(node, Filter)
+        assert node.schema == node.child.schema
+
+    def test_missing_column_rejected(self, catalog):
+        with pytest.raises(PlanError):
+            scan(catalog, "part").filter(col("zzz").eq(1))
+
+    def test_origins_preserved(self, catalog):
+        node = scan(catalog, "part").filter(col("p_size").eq(1)).build()
+        assert node.column_origins["p_partkey"] == ("part", "p_partkey")
+
+
+class TestProject:
+    def test_passthrough_and_computed(self, catalog):
+        node = (
+            scan(catalog, "part")
+            .project(["p_partkey", ("double_size", col("p_size") * lit(2))])
+            .build()
+        )
+        assert node.schema.names == ["p_partkey", "double_size"]
+        assert node.column_origins["p_partkey"] == ("part", "p_partkey")
+        assert "double_size" not in node.column_origins
+
+    def test_empty_rejected(self, catalog):
+        with pytest.raises(PlanError):
+            scan(catalog, "part").project([])
+
+    def test_missing_column_rejected(self, catalog):
+        with pytest.raises(PlanError):
+            scan(catalog, "part").project([("x", col("zzz"))])
+
+
+class TestJoin:
+    def test_schema_concat(self, catalog):
+        node = (
+            scan(catalog, "part")
+            .join(scan(catalog, "partsupp"), on=[("p_partkey", "ps_partkey")])
+            .build()
+        )
+        assert isinstance(node, Join)
+        assert node.is_stateful
+        assert "p_partkey" in node.schema
+        assert "ps_suppkey" in node.schema
+        assert node.key_pairs() == [("p_partkey", "ps_partkey")]
+
+    def test_missing_key_rejected(self, catalog):
+        with pytest.raises(PlanError):
+            scan(catalog, "part").join(
+                scan(catalog, "partsupp"), on=[("zzz", "ps_partkey")]
+            )
+
+    def test_empty_keys_rejected(self, catalog):
+        with pytest.raises(PlanError):
+            scan(catalog, "part").join(scan(catalog, "partsupp"), on=[])
+
+    def test_residual_validated(self, catalog):
+        with pytest.raises(PlanError):
+            scan(catalog, "part").join(
+                scan(catalog, "partsupp"),
+                on=[("p_partkey", "ps_partkey")],
+                residual=col("zzz").gt(0),
+            )
+
+    def test_residual_across_inputs(self, catalog):
+        node = (
+            scan(catalog, "part")
+            .join(
+                scan(catalog, "partsupp"),
+                on=[("p_partkey", "ps_partkey")],
+                residual=(lit(2) * col("ps_supplycost")).lt(col("p_retailprice")),
+            )
+            .build()
+        )
+        assert node.residual is not None
+
+
+class TestGroupBy:
+    def test_schema(self, catalog):
+        node = (
+            scan(catalog, "partsupp")
+            .group_by(
+                ["ps_partkey"],
+                [AggregateSpec(SUM, col("ps_availqty"), "avail")],
+            )
+            .build()
+        )
+        assert isinstance(node, GroupBy)
+        assert node.is_stateful
+        assert node.schema.names == ["ps_partkey", "avail"]
+        assert node.column_origins["ps_partkey"] == ("partsupp", "ps_partkey")
+
+    def test_duplicate_output_rejected(self, catalog):
+        with pytest.raises(PlanError):
+            scan(catalog, "partsupp").group_by(
+                ["ps_partkey"],
+                [AggregateSpec(SUM, col("ps_availqty"), "ps_partkey")],
+            )
+
+    def test_missing_key_rejected(self, catalog):
+        with pytest.raises(PlanError):
+            scan(catalog, "partsupp").group_by(["zzz"], [])
+
+
+class TestWalk:
+    def test_walk_preorder(self, catalog):
+        plan = (
+            scan(catalog, "part")
+            .join(scan(catalog, "partsupp"), on=[("p_partkey", "ps_partkey")])
+            .distinct()
+            .build()
+        )
+        kinds = [type(n).__name__ for n in plan.walk()]
+        assert kinds == ["Distinct", "Join", "Scan", "Scan"]
+
+    def test_find(self, catalog):
+        plan = scan(catalog, "part").distinct().build()
+        child = plan.children[0]
+        assert plan.find(child.node_id) is child
+        assert plan.find(-1) is None
+
+    def test_node_ids_unique(self, catalog):
+        plan = (
+            scan(catalog, "part")
+            .join(scan(catalog, "partsupp"), on=[("p_partkey", "ps_partkey")])
+            .build()
+        )
+        ids = [n.node_id for n in plan.walk()]
+        assert len(ids) == len(set(ids))
+
+    def test_describe_renders_tree(self, catalog):
+        plan = (
+            scan(catalog, "part")
+            .filter(col("p_size").eq(1))
+            .distinct()
+            .build()
+        )
+        text = plan.describe()
+        assert "Distinct" in text
+        assert "Scan(part" in text
+        assert text.count("\n") == 2

@@ -1,0 +1,195 @@
+"""End-to-end SQL tests: text -> plan -> execution vs reference."""
+
+import pytest
+
+from repro.aip.feedforward import FeedForwardStrategy
+from repro.common.errors import PlanError
+from repro.data.tpch import cached_tpch
+from repro.exec.context import ExecutionContext
+from repro.exec.engine import execute_plan
+from repro.plan.validate import validate_plan
+from repro.sql import sql_to_plan
+
+from tests.helpers import reference_execute, rows_equal
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return cached_tpch(scale_factor=0.002)
+
+
+def run_sql(catalog, sql, strategy=None):
+    plan = sql_to_plan(catalog, sql)
+    validate_plan(plan, catalog)
+    ctx = ExecutionContext(catalog, strategy=strategy)
+    return plan, execute_plan(plan, ctx)
+
+
+class TestSimpleQueries:
+    def test_projection(self, catalog):
+        plan, result = run_sql(
+            catalog, "select p_partkey, p_name from part where p_size = 1"
+        )
+        assert rows_equal(result.rows, reference_execute(plan, catalog))
+        assert result.schema.names == ["p_partkey", "p_name"]
+
+    def test_join(self, catalog):
+        plan, result = run_sql(
+            catalog,
+            "select p_partkey, ps_supplycost from part, partsupp "
+            "where p_partkey = ps_partkey and p_size <= 10",
+        )
+        assert rows_equal(result.rows, reference_execute(plan, catalog))
+        assert len(result) > 0
+
+    def test_like_and_arithmetic(self, catalog):
+        plan, result = run_sql(
+            catalog,
+            "select p_partkey from part, partsupp "
+            "where p_partkey = ps_partkey and p_type like '%TIN' "
+            "and 2 * ps_supplycost < p_retailprice",
+        )
+        assert rows_equal(result.rows, reference_execute(plan, catalog))
+
+    def test_distinct(self, catalog):
+        plan, result = run_sql(
+            catalog,
+            "select distinct ps_partkey from partsupp",
+        )
+        expected = len(set(catalog.table("partsupp").column("ps_partkey")))
+        assert len(result) == expected
+
+    def test_table_alias_self_join(self, catalog):
+        plan, result = run_sql(
+            catalog,
+            "select a.ps_partkey from partsupp a, partsupp b "
+            "where a.ps_partkey = b.ps_partkey "
+            "and a.ps_suppkey = b.ps_suppkey",
+        )
+        assert len(result) == len(catalog.table("partsupp"))
+
+
+class TestAggregates:
+    def test_group_by(self, catalog):
+        plan, result = run_sql(
+            catalog,
+            "select ps_partkey, sum(ps_availqty) as avail "
+            "from partsupp group by ps_partkey",
+        )
+        assert rows_equal(result.rows, reference_execute(plan, catalog))
+        assert result.schema.names == ["ps_partkey", "avail"]
+
+    def test_keyless_aggregate_with_arithmetic(self, catalog):
+        plan, result = run_sql(
+            catalog,
+            "select sum(ps_availqty) / 7.0 as avg_yearly from partsupp",
+        )
+        assert len(result) == 1
+        expected = sum(catalog.table("partsupp").column("ps_availqty")) / 7.0
+        assert result.rows[0][0] == pytest.approx(expected)
+
+    def test_count_star(self, catalog):
+        plan, result = run_sql(
+            catalog, "select count(*) as n from part",
+        )
+        assert result.rows[0][0] == len(catalog.table("part"))
+
+    def test_group_by_join(self, catalog):
+        plan, result = run_sql(
+            catalog,
+            "select n_name, sum(s_acctbal) as total "
+            "from supplier, nation "
+            "where s_nationkey = n_nationkey group by n_name",
+        )
+        assert rows_equal(result.rows, reference_execute(plan, catalog))
+
+
+class TestScalarSubqueries:
+    MIN_COST_SQL = (
+        "select distinct p_partkey from part, partsupp "
+        "where p_partkey = ps_partkey and p_size <= 25 "
+        "and ps_supplycost = (select min(ps_supplycost) from partsupp "
+        "where p_partkey = ps_partkey)"
+    )
+
+    def test_min_cost_decorrelation(self, catalog):
+        plan, result = run_sql(catalog, self.MIN_COST_SQL)
+        assert rows_equal(result.rows, reference_execute(plan, catalog))
+        assert len(result) > 0
+
+    def test_matches_manual_semantics(self, catalog):
+        """Cross-check the decorrelated plan against a direct Python
+        evaluation of the correlated SQL."""
+        _, result = run_sql(catalog, self.MIN_COST_SQL)
+        part = catalog.table("part")
+        ps = catalog.table("partsupp")
+        size_idx = part.schema.index_of("p_size")
+        pk_idx = part.schema.index_of("p_partkey")
+        small = {r[pk_idx] for r in part if r[size_idx] <= 25}
+        min_cost = {}
+        for row in ps:
+            k, cost = row[0], row[3]
+            if k not in min_cost or cost < min_cost[k]:
+                min_cost[k] = cost
+        expected = set()
+        for row in ps:
+            k, cost = row[0], row[3]
+            if k in small and cost == min_cost[k]:
+                expected.add((k,))
+        assert set(result.rows) == expected
+
+    def test_avg_quantity_subquery(self, catalog):
+        sql = (
+            "select sum(l_extendedprice) / 7.0 as avg_yearly "
+            "from lineitem, part "
+            "where p_partkey = l_partkey and p_size = 1 "
+            "and l_quantity < (select 0.2 * avg(l_quantity) from lineitem "
+            "where l_partkey = p_partkey)"
+        )
+        plan, result = run_sql(catalog, sql)
+        assert rows_equal(result.rows, reference_execute(plan, catalog))
+        assert len(result) == 1
+
+    def test_aip_on_sql_plan(self, catalog):
+        plan1, baseline = run_sql(catalog, self.MIN_COST_SQL)
+        plan2, aip = run_sql(
+            catalog, self.MIN_COST_SQL, strategy=FeedForwardStrategy()
+        )
+        assert rows_equal(baseline.rows, aip.rows)
+
+
+class TestBinderErrors:
+    def test_unknown_column(self, catalog):
+        with pytest.raises(PlanError):
+            sql_to_plan(catalog, "select nope from part")
+
+    def test_ambiguous_column(self, catalog):
+        with pytest.raises(PlanError):
+            sql_to_plan(
+                catalog,
+                "select ps_partkey from partsupp a, partsupp b "
+                "where a.ps_partkey = b.ps_partkey",
+            )
+
+    def test_uncorrelated_subquery_rejected(self, catalog):
+        with pytest.raises(PlanError):
+            sql_to_plan(
+                catalog,
+                "select p_partkey from part "
+                "where p_retailprice < (select min(ps_supplycost) "
+                "from partsupp)",
+            )
+
+    def test_non_grouped_select_item_rejected(self, catalog):
+        with pytest.raises(PlanError):
+            sql_to_plan(
+                catalog,
+                "select p_brand, sum(p_size) from part",
+            )
+
+    def test_bare_aggregate_in_where_rejected(self, catalog):
+        with pytest.raises(PlanError):
+            sql_to_plan(
+                catalog,
+                "select p_partkey from part where sum(p_size) = 1",
+            )

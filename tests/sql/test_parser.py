@@ -1,0 +1,121 @@
+"""Tests for the SQL parser."""
+
+import pytest
+
+from repro.sql import ast
+from repro.sql.parser import parse
+from repro.sql.tokens import SqlSyntaxError
+
+
+class TestBasics:
+    def test_simple_select(self):
+        stmt = parse("select p_partkey from part")
+        assert len(stmt.items) == 1
+        assert stmt.tables[0].table == "part"
+        assert not stmt.distinct
+
+    def test_distinct_and_alias(self):
+        stmt = parse("select distinct p_partkey as k from part p")
+        assert stmt.distinct
+        assert stmt.items[0].alias == "k"
+        assert stmt.tables[0].alias == "p"
+
+    def test_multiple_tables_and_conjuncts(self):
+        stmt = parse(
+            "select p_partkey from part, partsupp "
+            "where p_partkey = ps_partkey and p_size = 1"
+        )
+        assert len(stmt.tables) == 2
+        assert len(stmt.where) == 2
+
+    def test_group_by(self):
+        stmt = parse(
+            "select n_name, sum(s_acctbal) from supplier group by n_name"
+        )
+        assert [c.name for c in stmt.group_by] == ["n_name"]
+        agg = stmt.items[1].expr
+        assert isinstance(agg, ast.AggCall)
+        assert agg.func == "sum"
+
+    def test_qualified_columns(self):
+        stmt = parse("select p.p_partkey from part p where p.p_size = 1")
+        item = stmt.items[0].expr
+        assert isinstance(item, ast.ColumnRef)
+        assert item.qualifier == "p"
+
+
+class TestExpressions:
+    def test_arithmetic_precedence(self):
+        stmt = parse("select a + b * c from t")
+        expr = stmt.items[0].expr
+        assert isinstance(expr, ast.BinaryOp)
+        assert expr.op == "+"
+        assert isinstance(expr.right, ast.BinaryOp)
+        assert expr.right.op == "*"
+
+    def test_parentheses(self):
+        stmt = parse("select (a + b) * c from t")
+        expr = stmt.items[0].expr
+        assert expr.op == "*"
+        assert isinstance(expr.left, ast.BinaryOp)
+
+    def test_function_call(self):
+        stmt = parse("select year(o_orderdate) from orders")
+        expr = stmt.items[0].expr
+        assert isinstance(expr, ast.FuncCall)
+        assert expr.name == "year"
+
+    def test_count_star(self):
+        stmt = parse("select count(*) from part")
+        expr = stmt.items[0].expr
+        assert isinstance(expr, ast.AggCall)
+        assert expr.arg is None
+
+    def test_like(self):
+        stmt = parse("select a from t where p_type like '%TIN'")
+        pred = stmt.where[0]
+        assert isinstance(pred, ast.LikePredicate)
+        assert pred.pattern == "%TIN"
+
+
+class TestSubqueries:
+    def test_scalar_subquery(self):
+        stmt = parse(
+            "select p_partkey from part, partsupp "
+            "where p_partkey = ps_partkey "
+            "and ps_supplycost = (select min(ps_supplycost) from partsupp "
+            "where p_partkey = ps_partkey)"
+        )
+        comparison = stmt.where[1]
+        assert isinstance(comparison.right, ast.Subquery)
+        inner = comparison.right.query
+        assert isinstance(inner.items[0].expr, ast.AggCall)
+        assert inner.items[0].expr.func == "min"
+
+    def test_subquery_with_arithmetic(self):
+        stmt = parse(
+            "select l_quantity from lineitem "
+            "where l_quantity < (select 0.2 * avg(l_quantity) from lineitem)"
+        )
+        inner = stmt.where[0].right.query
+        assert isinstance(inner.items[0].expr, ast.BinaryOp)
+
+
+class TestErrors:
+    def test_missing_from(self):
+        with pytest.raises(SqlSyntaxError):
+            parse("select a")
+
+    def test_trailing_garbage(self):
+        # Note: "from t extra" would parse as a table alias; use tokens
+        # that cannot continue the statement.
+        with pytest.raises(SqlSyntaxError):
+            parse("select a from t where a = 1 1")
+
+    def test_bad_comparison(self):
+        with pytest.raises(SqlSyntaxError):
+            parse("select a from t where a + b")
+
+    def test_unclosed_paren(self):
+        with pytest.raises(SqlSyntaxError):
+            parse("select (a from t")

@@ -1,0 +1,42 @@
+"""Tests for the SQL tokenizer."""
+
+import pytest
+
+from repro.sql.tokens import SqlSyntaxError, tokenize
+
+
+class TestTokenize:
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("SELECT foo FROM bar")
+        assert [t.kind for t in tokens] == ["KEYWORD", "NAME", "KEYWORD", "NAME"]
+        assert tokens[0].value == "select"
+
+    def test_strings_with_escapes(self):
+        (token,) = tokenize("'O''Brien'")
+        assert token.kind == "STRING"
+        assert token.value == "O'Brien"
+
+    def test_numbers(self):
+        tokens = tokenize("42 0.2")
+        assert [(t.kind, t.value) for t in tokens] == [
+            ("NUMBER", "42"), ("NUMBER", "0.2"),
+        ]
+
+    def test_operators(self):
+        values = [t.value for t in tokenize("= != <> < <= > >= + - * /")]
+        assert values == ["=", "!=", "<>", "<", "<=", ">", ">=",
+                          "+", "-", "*", "/"]
+
+    def test_punctuation(self):
+        kinds = [t.kind for t in tokenize("(a, b.c)")]
+        assert kinds == ["LPAREN", "NAME", "COMMA", "NAME", "DOT",
+                         "NAME", "RPAREN"]
+
+    def test_junk_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("select #comment")
+
+    def test_positions_recorded(self):
+        tokens = tokenize("a  b")
+        assert tokens[0].position == 0
+        assert tokens[1].position == 3

@@ -1,0 +1,124 @@
+"""Tests for Bloom filters, including the paper's merge conditions."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.summaries.bloom import BloomFilter, bits_for
+
+
+class TestSizing:
+    def test_paper_configuration(self):
+        # One hash function at 5% FP means roughly 20 bits per item.
+        assert bits_for(1000, 0.05, 1) == pytest.approx(1000 / 0.05, rel=0.05)
+
+    def test_min_size_for_empty(self):
+        assert bits_for(0, 0.05, 1) >= 64
+
+    def test_bad_fp_rejected(self):
+        with pytest.raises(ValueError):
+            bits_for(10, 0.0, 1)
+        with pytest.raises(ValueError):
+            bits_for(10, 1.5, 1)
+
+    def test_more_hashes_allowed(self):
+        assert bits_for(1000, 0.01, 4) > 0
+
+
+class TestMembership:
+    def test_no_false_negatives(self):
+        bloom = BloomFilter.from_values(range(500))
+        assert all(v in bloom for v in range(500))
+
+    def test_false_positive_rate_near_target(self):
+        bloom = BloomFilter.from_values(range(2000), fp_rate=0.05)
+        false_hits = sum(1 for v in range(10_000, 30_000) if v in bloom)
+        assert false_hits / 20_000 < 0.10  # 5% target, generous bound
+
+    def test_empty_filter_rejects(self):
+        bloom = BloomFilter(100)
+        assert 42 not in bloom
+
+    def test_strings_and_mixed_values(self):
+        bloom = BloomFilter.from_values(["FRANCE", "GERMANY", 7])
+        assert "FRANCE" in bloom
+        assert 7 in bloom
+
+    def test_requires_hash_function(self):
+        with pytest.raises(ValueError):
+            BloomFilter(10, n_hashes=0)
+
+
+class TestMerge:
+    def test_intersection_superset_of_true_intersection(self):
+        a = BloomFilter(300, n_bits=8192)
+        b = BloomFilter(300, n_bits=8192)
+        for v in range(0, 300):
+            a.add(v)
+        for v in range(200, 500):
+            b.add(v)
+        merged = a.intersect(b)
+        assert all(v in merged for v in range(200, 300))
+
+    def test_union_contains_both(self):
+        a = BloomFilter(100)
+        b = BloomFilter(100)
+        a.add("x")
+        b.add("y")
+        merged = a.union(b)
+        assert "x" in merged and "y" in merged
+
+    def test_incompatible_geometry_rejected(self):
+        a = BloomFilter(10)
+        b = BloomFilter(100_000)
+        assert not a.compatible_with(b)
+        with pytest.raises(ValueError):
+            a.intersect(b)
+        with pytest.raises(ValueError):
+            a.union(b)
+
+    def test_different_seed_rejected(self):
+        a = BloomFilter(100, seed=1)
+        b = BloomFilter(100, seed=2)
+        with pytest.raises(ValueError):
+            a.intersect(b)
+
+
+class TestAccounting:
+    def test_byte_size(self):
+        bloom = BloomFilter(1000, fp_rate=0.05, n_hashes=1)
+        assert bloom.byte_size() == bloom.n_bits // 8 + 1
+
+    def test_fill_fraction_grows(self):
+        bloom = BloomFilter(100)
+        before = bloom.fill_fraction
+        for v in range(50):
+            bloom.add(v)
+        assert bloom.fill_fraction > before
+
+
+class TestBloomProperties:
+    @given(st.lists(st.integers(), max_size=200), st.integers())
+    @settings(max_examples=60, deadline=None)
+    def test_membership_property(self, values, probe):
+        bloom = BloomFilter.from_values(values)
+        for v in values:
+            assert v in bloom
+        # A probe never in the values may be a false positive, but adding
+        # it must make it present.
+        bloom.add(probe)
+        assert probe in bloom
+
+    @given(st.lists(st.integers(), max_size=100),
+           st.lists(st.integers(), max_size=100))
+    @settings(max_examples=40, deadline=None)
+    def test_union_law(self, xs, ys):
+        a = BloomFilter(256, seed=5, n_bits=4096)
+        b = BloomFilter(256, seed=5, n_bits=4096)
+        for x in xs:
+            a.add(x)
+        for y in ys:
+            b.add(y)
+        merged = a.union(b)
+        for v in xs + ys:
+            assert v in merged

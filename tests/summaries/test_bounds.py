@@ -1,0 +1,91 @@
+"""Tests for min/max and bound summaries (range-condition AIP)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.summaries.bounds import BoundSummary, MinMaxSummary
+
+
+class TestMinMax:
+    def test_tracks_extremes(self):
+        s = MinMaxSummary.from_values([5, 1, 9, 3])
+        assert s.min == 1
+        assert s.max == 9
+        assert s.count == 4
+
+    def test_empty(self):
+        s = MinMaxSummary()
+        assert s.min is None
+        assert s.max is None
+        assert s.count == 0
+
+    def test_ignores_none(self):
+        s = MinMaxSummary.from_values([None, 2, None])
+        assert s.min == 2
+        assert s.count == 1
+
+    def test_byte_size_constant(self):
+        s = MinMaxSummary.from_values(range(1000))
+        assert s.byte_size() == 32
+
+
+class TestBoundSummary:
+    def test_invalid_op(self):
+        with pytest.raises(ValueError):
+            BoundSummary("=", 5)
+
+    @pytest.mark.parametrize("op,bound,inside,outside", [
+        ("<", 10, 9, 10),
+        ("<=", 10, 10, 11),
+        (">", 10, 11, 10),
+        (">=", 10, 10, 9),
+    ])
+    def test_membership(self, op, bound, inside, outside):
+        b = BoundSummary(op, bound)
+        assert inside in b
+        assert outside not in b
+
+    def test_none_passes(self):
+        assert None in BoundSummary("<", 10)
+
+    def test_for_predicate_lt_uses_max(self):
+        other = MinMaxSummary.from_values([3, 7, 5])
+        b = BoundSummary.for_predicate("<", other)
+        assert b.bound == 7
+        assert 6 in b
+        assert 7 not in b
+
+    def test_for_predicate_gt_uses_min(self):
+        other = MinMaxSummary.from_values([3, 7, 5])
+        b = BoundSummary.for_predicate(">", other)
+        assert b.bound == 3
+        assert 4 in b
+        assert 3 not in b
+
+    def test_for_predicate_empty_side(self):
+        assert BoundSummary.for_predicate("<", MinMaxSummary()) is None
+
+    def test_immutable(self):
+        with pytest.raises(TypeError):
+            BoundSummary("<", 1).add(5)
+
+
+class TestBoundProperties:
+    @given(
+        values=st.lists(st.integers(), min_size=1, max_size=50),
+        probe=st.integers(),
+        op=st.sampled_from(["<", "<=", ">", ">="]),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_no_false_negatives(self, values, probe, op):
+        """If the inequality holds against ANY completed value, the
+        bound filter must keep the probe."""
+        import operator
+        ops = {"<": operator.lt, "<=": operator.le,
+               ">": operator.gt, ">=": operator.ge}
+        other = MinMaxSummary.from_values(values)
+        bound = BoundSummary.for_predicate(op, other)
+        could_match = any(ops[op](probe, v) for v in values)
+        if could_match:
+            assert probe in bound

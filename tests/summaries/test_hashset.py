@@ -1,0 +1,70 @@
+"""Tests for hash-set summaries and per-bucket discard (paper Section V)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.summaries.hashset import HashSetSummary
+
+
+class TestMembership:
+    def test_exact_membership(self):
+        s = HashSetSummary.from_values(range(100))
+        assert all(v in s for v in range(100))
+        assert all(v not in s for v in range(100, 200))
+
+    def test_requires_bucket(self):
+        with pytest.raises(ValueError):
+            HashSetSummary(0)
+
+
+class TestDiscard:
+    def test_discarded_bucket_passes_through(self):
+        s = HashSetSummary(n_buckets=4)
+        s.add("present")
+        bucket = s._bucket_of("absent")
+        s.discard_bucket(bucket)
+        # Anything hashing to the discarded bucket now passes: no false
+        # negatives even for values never added.
+        assert "absent" in s
+
+    def test_discard_never_creates_false_negatives(self):
+        s = HashSetSummary.from_values(range(200), n_buckets=8)
+        for b in range(4):
+            s.discard_bucket(b)
+        assert all(v in s for v in range(200))
+
+    def test_discard_reclaims_bytes(self):
+        s = HashSetSummary.from_values(range(1000), n_buckets=4)
+        before = s.byte_size()
+        reclaimed = s.discard_bucket(0)
+        assert reclaimed > 0
+        assert s.byte_size() == before - reclaimed
+
+    def test_discard_out_of_range(self):
+        with pytest.raises(IndexError):
+            HashSetSummary(4).discard_bucket(9)
+
+    def test_shrink_to(self):
+        s = HashSetSummary.from_values(range(5000), n_buckets=16)
+        target = s.byte_size() // 2
+        s.shrink_to(target)
+        assert s.byte_size() <= target
+        assert s.discarded_buckets > 0
+        assert all(v in s for v in range(5000))
+
+    def test_shrink_to_unreachable_target_stops(self):
+        s = HashSetSummary(4)
+        s.shrink_to(0)  # must terminate even though floor > 0
+        assert s.discarded_buckets <= 4
+
+
+class TestHashSetProperties:
+    @given(st.lists(st.integers()), st.sets(st.integers(0, 7)))
+    @settings(max_examples=60, deadline=None)
+    def test_no_false_negatives_under_discard(self, values, buckets):
+        s = HashSetSummary.from_values(values, n_buckets=8)
+        for b in buckets:
+            s.discard_bucket(b)
+        for v in values:
+            assert v in s

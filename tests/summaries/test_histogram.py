@@ -1,0 +1,79 @@
+"""Tests for histogram summaries (range-condition AIP, Section III-C)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.summaries.histogram import HistogramSummary
+
+
+class TestConstruction:
+    def test_rejects_bad_domain(self):
+        with pytest.raises(ValueError):
+            HistogramSummary(5, 5)
+        with pytest.raises(ValueError):
+            HistogramSummary(0, 10, n_buckets=0)
+
+    def test_from_values_infers_domain(self):
+        h = HistogramSummary.from_values([3, 7, 12])
+        assert h.lo == 3
+        assert h.hi == 12
+
+    def test_from_empty_without_domain_rejected(self):
+        with pytest.raises(ValueError):
+            HistogramSummary.from_values([])
+
+    def test_from_constant_values(self):
+        h = HistogramSummary.from_values([5, 5, 5])
+        assert 5 in h
+
+
+class TestMembership:
+    def test_no_false_negatives(self):
+        h = HistogramSummary.from_values(range(100), n_buckets=10)
+        assert all(v in h for v in range(100))
+
+    def test_out_of_domain_clamped(self):
+        h = HistogramSummary(0, 10, n_buckets=4)
+        h.add(-50)
+        h.add(999)
+        assert -50 in h
+        assert 999 in h
+
+    def test_empty_region_rejected(self):
+        h = HistogramSummary(0, 100, n_buckets=10)
+        h.add(5)
+        assert 95 not in h
+
+
+class TestRangeProbe:
+    def test_overlap(self):
+        h = HistogramSummary(0, 100, n_buckets=10)
+        h.add(55)
+        assert h.might_overlap(50, 60)
+        assert not h.might_overlap(0, 40)
+        assert not h.might_overlap(60, 50)  # inverted range is empty
+
+    def test_bucket_count(self):
+        h = HistogramSummary(0, 10, n_buckets=2)
+        h.add(1)
+        h.add(2)
+        assert h.bucket_count(0) == 2
+        assert h.bucket_count(1) == 0
+
+    def test_byte_size_independent_of_inserts(self):
+        h = HistogramSummary(0, 10, n_buckets=8)
+        before = h.byte_size()
+        for i in range(100):
+            h.add(i % 10)
+        assert h.byte_size() == before
+
+
+class TestHistogramProperties:
+    @given(st.lists(st.floats(allow_nan=False, allow_infinity=False,
+                              width=32), min_size=1, max_size=100))
+    @settings(max_examples=60, deadline=None)
+    def test_membership_property(self, values):
+        h = HistogramSummary.from_values(values, n_buckets=16)
+        for v in values:
+            assert v in h

@@ -1,0 +1,94 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "Q1A"])
+        assert args.strategy == "all"
+        assert args.scale == 0.01
+        assert not args.delayed
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "Q1A" in out
+        assert "Q5B" in out
+        assert "remote:partsupp" in out
+
+    def test_tables(self, capsys):
+        assert main(["tables", "--scale", "0.001"]) == 0
+        out = capsys.readouterr().out
+        assert "lineitem" in out
+        assert "total" in out
+
+    def test_run_single_strategy(self, capsys):
+        assert main([
+            "run", "Q3A", "--strategy", "feedforward", "--scale", "0.002",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "feedforward" in out
+        assert "Q3A" in out
+
+    def test_run_all_strategies(self, capsys):
+        assert main(["run", "Q3A", "--scale", "0.002"]) == 0
+        out = capsys.readouterr().out
+        for name in ("baseline", "magic", "feedforward", "costbased"):
+            assert name in out
+
+    def test_run_join_query_skips_magic(self, capsys):
+        assert main(["run", "Q4A", "--scale", "0.002"]) == 0
+        out = capsys.readouterr().out
+        assert "magic" not in out
+
+    def test_run_unknown_query(self, capsys):
+        assert main(["run", "Q9Z", "--scale", "0.002"]) == 2
+
+    def test_explain(self, capsys):
+        assert main(["explain", "Q1A", "--scale", "0.002"]) == 0
+        out = capsys.readouterr().out
+        assert "GroupBy" in out
+        assert "total estimated cost" in out
+
+    def test_explain_magic(self, capsys):
+        assert main(["explain", "Q1A", "--scale", "0.002", "--magic"]) == 0
+        out = capsys.readouterr().out
+        assert "SemiJoin" in out
+
+
+class TestSqlCommand:
+    def test_sql_run(self, capsys):
+        assert main([
+            "sql",
+            "select count(*) as n from part",
+            "--scale", "0.002",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "1 rows" in out
+
+    def test_sql_with_strategy(self, capsys):
+        assert main([
+            "sql",
+            "select p_partkey from part, partsupp "
+            "where p_partkey = ps_partkey and p_size = 1",
+            "--scale", "0.002", "--strategy", "feedforward",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "rows;" in out
+
+    def test_sql_explain(self, capsys):
+        assert main([
+            "sql", "select p_partkey from part", "--scale", "0.002",
+            "--explain",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "total estimated cost" in out

@@ -1,0 +1,64 @@
+"""Cross-validation: the Table I SQL texts, parsed and bound through the
+SQL front end, must return exactly the rows of the hand-built plans."""
+
+import pytest
+
+from repro.data.tpch import cached_tpch
+from repro.exec.context import ExecutionContext
+from repro.exec.engine import execute_plan
+from repro.plan.validate import validate_plan
+from repro.sql import sql_to_plan
+from repro.workloads.registry import QUERIES, get_query
+from repro.workloads.sql_variants import sql_for
+
+from tests.helpers import rows_equal
+
+SF = 0.002
+ALL_QIDS = sorted(QUERIES)
+
+
+def catalog_for(query):
+    return cached_tpch(scale_factor=SF, skew=query.skew)
+
+
+class TestSqlVariants:
+    def test_every_variant_has_sql(self):
+        catalog = cached_tpch(scale_factor=SF)
+        for qid in ALL_QIDS:
+            assert sql_for(qid, catalog).strip().lower().startswith("select")
+
+    def test_unknown_qid(self):
+        with pytest.raises(KeyError):
+            sql_for("Q9Z", cached_tpch(scale_factor=SF))
+
+    @pytest.mark.parametrize("qid", ALL_QIDS)
+    def test_sql_matches_hand_built_plan(self, qid):
+        query = get_query(qid)
+        catalog = catalog_for(query)
+
+        hand_plan = query.build_baseline(catalog)
+        hand = execute_plan(hand_plan, ExecutionContext(catalog))
+
+        sql_plan = sql_to_plan(catalog, sql_for(qid, catalog))
+        validate_plan(sql_plan, catalog)
+        sql = execute_plan(sql_plan, ExecutionContext(catalog))
+
+        assert rows_equal(hand.rows, sql.rows), (
+            "SQL and hand-built plans disagree for %s" % qid
+        )
+
+    @pytest.mark.parametrize("qid", ["Q1A", "Q2A", "Q3A"])
+    def test_sql_plans_work_with_aip(self, qid):
+        from repro.aip.feedforward import FeedForwardStrategy
+
+        query = get_query(qid)
+        catalog = catalog_for(query)
+        baseline = execute_plan(
+            sql_to_plan(catalog, sql_for(qid, catalog)),
+            ExecutionContext(catalog),
+        )
+        aip = execute_plan(
+            sql_to_plan(catalog, sql_for(qid, catalog)),
+            ExecutionContext(catalog, strategy=FeedForwardStrategy()),
+        )
+        assert rows_equal(baseline.rows, aip.rows)
