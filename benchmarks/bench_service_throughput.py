@@ -1,0 +1,102 @@
+"""Service-layer throughput: cross-query AIP reuse on a query stream.
+
+The paper motivates AIP by multi-query throughput (Sections VI-B and
+VI-D); the service layer extends the argument *across* queries.  This
+bench replays a repeated-subexpression stream — the situation any real
+workload mix produces — through the :class:`~repro.service.QueryService`
+with the cross-query AIP-set cache on and off, and reports queries per
+second, total virtual-clock time and peak aggregate intermediate state.
+The result cache stays off throughout so the comparison isolates
+inter-query sideways information passing from result replay.
+"""
+
+import pytest
+
+from benchmarks.figlib import SCALE_FACTOR
+from repro.data.tpch import cached_tpch
+from repro.harness.report import FigureTable
+from repro.service import QueryService
+from repro.service.workload import parse_inline
+
+#: Four TPC-H 17 repeats plus interleaved Q1/Q3: every repeat after the
+#: first finds its aggregate subexpressions already summarised.
+STREAM = "Q2A,Q1A,Q2A,Q3A,Q2A,Q2A"
+MODES = ("aip-cache-off", "aip-cache-on")
+
+
+def _run_stream(aip_cache: bool):
+    catalog = cached_tpch(scale_factor=SCALE_FACTOR)
+    # max_concurrent=1 keeps batch formation identical in both modes
+    # (the service defers same-signature twins when reuse is possible,
+    # which would otherwise change batch shape); every measured delta
+    # below is therefore attributable to cross-query reuse alone.
+    service = QueryService(
+        catalog,
+        strategy="feedforward",
+        aip_cache=aip_cache,
+        result_cache=False,
+        max_concurrent=1,
+    )
+    return service.run_workload(parse_inline(STREAM))
+
+
+@pytest.fixture(scope="module")
+def reports():
+    return {mode: _run_stream(mode == "aip-cache-on") for mode in MODES}
+
+
+@pytest.mark.parametrize("mode", MODES)
+def test_service_stream_throughput(benchmark, figure_tables, reports, mode):
+    report = benchmark.pedantic(
+        _run_stream, args=(mode == "aip-cache-on",), rounds=1, iterations=1,
+    )
+    summary = report.summary()
+    for metric, unit in (
+        ("total_virtual_seconds", "virtual seconds"),
+        ("peak_state_mb", "MB"),
+        ("queries_per_second", "queries / virtual second"),
+    ):
+        key = "zz_service_%s" % metric
+        table = figure_tables.get(key)
+        if table is None:
+            table = FigureTable(
+                "Service stream %s: %s" % (STREAM, metric),
+                ["stream"], list(MODES), metric, unit,
+            )
+            figure_tables[key] = table
+        table.add("stream", mode, summary[metric])
+    benchmark.extra_info.update({
+        "total_virtual_seconds": summary["total_virtual_seconds"],
+        "queries_per_second": summary["queries_per_second"],
+        "peak_state_mb": summary["peak_state_mb"],
+        "mean_latency": summary["mean_latency"],
+    })
+
+
+def test_aip_cache_improves_stream(reports, capsys):
+    """The acceptance check: cache-on must beat cache-off on time and/or
+    aggregate memory, with results printed for the record."""
+    off = reports["aip-cache-off"].summary()
+    on = reports["aip-cache-on"].summary()
+    with capsys.disabled():
+        print()
+        print("service stream %s (feedforward, result cache off):" % STREAM)
+        print("%-24s %14s %14s" % ("metric", "aip-cache-off", "aip-cache-on"))
+        for metric in ("total_virtual_seconds", "queries_per_second",
+                       "mean_latency", "peak_state_mb"):
+            print("%-24s %14.4f %14.4f" % (metric, off[metric], on[metric]))
+        stats = reports["aip-cache-on"].aip_cache_stats
+        print("aip cache: %d sets cached, %d filters re-injected, "
+              "%.0f%% hit rate" % (
+                  stats["stored"], stats["filters_injected"],
+                  100 * on["aip_cache_hit_rate"],
+              ))
+
+    assert on["completed"] == off["completed"] == 6
+    # Reuse must pay somewhere the paper cares about: the shared clock
+    # or aggregate intermediate state.
+    assert (
+        on["total_virtual_seconds"] < off["total_virtual_seconds"]
+        or on["peak_state_mb"] < off["peak_state_mb"]
+    )
+    assert reports["aip-cache-on"].aip_cache_stats["filters_injected"] > 0

@@ -1,3 +1,54 @@
-from setuptools import setup
+import os
+import re
 
-setup()
+from setuptools import find_packages, setup
+
+_here = os.path.dirname(os.path.abspath(__file__))
+
+# Single source of truth: repro.__version__ (read textually — importing
+# would require src/ on the path during builds).
+with open(
+    os.path.join(_here, "src", "repro", "__init__.py"), encoding="utf-8"
+) as fh:
+    version = re.search(
+        r'^__version__ = "([^"]+)"', fh.read(), re.MULTILINE
+    ).group(1)
+
+# PAPER.md is not shipped in the sdist; fall back gracefully.
+_paper = os.path.join(_here, "PAPER.md")
+if os.path.exists(_paper):
+    with open(_paper, encoding="utf-8") as fh:
+        long_description = fh.read()
+else:
+    long_description = "See the project repository for documentation."
+
+setup(
+    name="repro-sip",
+    version=version,
+    description=(
+        "Reproduction of 'Sideways Information Passing for Push-Style "
+        "Query Processing' (Ives & Taylor, ICDE 2008) with a multi-query "
+        "service layer"
+    ),
+    long_description=long_description,
+    long_description_content_type="text/markdown",
+    author="repro contributors",
+    license="MIT",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    entry_points={
+        "console_scripts": [
+            "repro = repro.cli:main",
+        ],
+    },
+    classifiers=[
+        "Development Status :: 4 - Beta",
+        "Intended Audience :: Science/Research",
+        "Programming Language :: Python :: 3",
+        "Programming Language :: Python :: 3.10",
+        "Programming Language :: Python :: 3.11",
+        "Programming Language :: Python :: 3.12",
+        "Topic :: Database :: Database Engines/Servers",
+    ],
+)

@@ -11,6 +11,14 @@ algorithms (greedy Feed-Forward and the Cost-Based AIP Manager with
 distributed filter shipping), the full Table I workload, and a harness
 that regenerates every figure of the evaluation section.
 
+On top of the engine sits a multi-query service layer
+(:mod:`repro.service`): a :class:`~repro.service.QueryService` runs a
+*stream* of queries on one virtual clock with admission control,
+pluggable schedulers, a result cache, and a cross-query AIP-set cache
+that re-injects completed AIP sets into later queries — inter-query
+sideways information passing.  See ``examples/query_service.py`` for a
+runnable mixed Q1/Q17 stream demonstrating cross-query reuse.
+
 Quickstart::
 
     from repro import (
@@ -51,9 +59,13 @@ from repro.harness.concurrent import CompositeStrategy, run_concurrent
 from repro.optimizer.explain import explain
 from repro.optimizer.planner import ConjunctiveQuery, plan_query
 from repro.sql import parse as parse_sql, sql_to_plan
+from repro.service import (
+    AdmissionController, AIPSetCache, QueryService, ResultCache,
+    ServiceReport, WorkloadItem, parse_workload, plan_signature,
+)
 from repro.workloads.registry import QUERIES, get_query
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Catalog", "TpchConfig", "cached_tpch", "generate_tpch",
@@ -69,4 +81,7 @@ __all__ = [
     "run_concurrent", "CompositeStrategy",
     "explain", "ConjunctiveQuery", "plan_query",
     "parse_sql", "sql_to_plan",
+    "QueryService", "ServiceReport", "AdmissionController",
+    "AIPSetCache", "ResultCache", "WorkloadItem", "parse_workload",
+    "plan_signature",
 ]

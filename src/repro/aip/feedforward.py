@@ -323,6 +323,7 @@ class FeedForwardStrategy(ExecutionStrategy):
         # Publish working sets built from received tuples.
         for ws in self._working.pop(party, ()):  # noqa: B020
             self.ctx.metrics.aip_sets_created += 1
+            self.ctx.notify_aip_publish(op, port, ws.aip_set)
             self.registry.publish(ws.aip_set)
 
         # Publish completion-time sets over computed attributes.
@@ -340,6 +341,7 @@ class FeedForwardStrategy(ExecutionStrategy):
             )
             self.ctx.metrics.adjust_state(self._state_owner, aip_set.byte_size())
             self.ctx.metrics.aip_sets_created += 1
+            self.ctx.notify_aip_publish(op, port, aip_set)
             self.registry.publish(aip_set)
 
         # Range-passing: completed side of a residual inequality yields

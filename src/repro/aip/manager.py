@@ -314,6 +314,7 @@ class CostBasedStrategy(ExecutionStrategy):
         self.ctx.metrics.adjust_state(self._state_owner, aip_set.byte_size())
         self.ctx.metrics.aip_sets_created += 1
         self._built_sets[((op.op_id, port), attr)] = aip_set
+        self.ctx.notify_aip_publish(op, port, aip_set)
 
         for target, target_port, target_attr in self._live_targets(
             attr, exclude=(op.op_id, port)

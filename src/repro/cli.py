@@ -7,11 +7,14 @@ Usage (``python -m repro ...``)::
     python -m repro run Q1A --strategy feedforward --scale 0.01
     python -m repro run Q2A --strategy all --delayed
     python -m repro explain Q3A --scale 0.01
+    python -m repro workload "Q2A*3,Q1A" --scheduler sjf
+    python -m repro serve --scale 0.01
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -100,6 +103,129 @@ def _cmd_sql(args) -> int:
     return 0
 
 
+def _make_service(args, skew: float = 0.0):
+    from repro.service import QueryService
+
+    catalog = cached_tpch(scale_factor=args.scale, skew=skew)
+    budget = None
+    if args.budget_mb is not None:
+        budget = args.budget_mb * 1e6
+    return QueryService(
+        catalog,
+        strategy=args.strategy,
+        scheduler=args.scheduler,
+        memory_budget_bytes=budget,
+        max_concurrent=args.max_concurrent,
+        aip_cache=not args.no_aip_cache,
+        result_cache=not args.no_result_cache,
+    )
+
+
+def _cmd_workload(args) -> int:
+    from repro.service.workload import (
+        WorkloadItem, parse_inline, parse_workload,
+    )
+
+    if os.path.isfile(args.stream):
+        with open(args.stream) as fh:
+            base_items = parse_workload(fh.read())
+    else:
+        base_items = parse_inline(args.stream)
+        if " " not in args.stream and base_items[0].kind == "sql":
+            # A space-free argument that is not a workload-id list
+            # cannot be SQL either — it is a mistyped script path or
+            # query id; don't mask that as a SQL syntax error.
+            print("error: no such workload script or query id: %s"
+                  % args.stream, file=sys.stderr)
+            return 2
+
+    # Each repetition's arrivals shift by the stream's span; a stream
+    # with no explicit arrivals repeats as a concurrent load multiple.
+    span = max((item.arrival for item in base_items), default=0.0)
+    items = [
+        WorkloadItem(item.kind, item.text, item.arrival + k * span,
+                     item.strategy, item.label)
+        for k in range(args.repeat) for item in base_items
+    ]
+    if not items:
+        print("error: empty workload stream", file=sys.stderr)
+        return 2
+
+    # The skewed variants (Q1B/Q2B/Q3B) run on Zipf data; honour that,
+    # but one catalog serves the whole stream, so skews must agree.
+    skews = {
+        get_query(item.text).skew for item in items if item.kind == "qid"
+    }
+    if len(skews) > 1:
+        print("error: stream mixes data skews %s; one catalog serves the "
+              "whole stream" % sorted(skews), file=sys.stderr)
+        return 2
+    skew = skews.pop() if skews else 0.0
+    if skew and any(item.kind == "sql" for item in items):
+        print("warning: SQL items run on the Zipf-%g catalog selected by "
+              "the stream's workload ids" % skew, file=sys.stderr)
+
+    from repro.common.errors import ReproError
+    try:
+        service = _make_service(args, skew=skew)
+        report = service.run_workload(items)
+    except (ReproError, ValueError) as exc:
+        # ValueError: bad strategy/scheduler names from stream
+        # overrides, or out-of-range service options.
+        print("error: %s" % exc, file=sys.stderr)
+        return 2
+    print("workload of %d queries (strategy %s, scheduler %s)" % (
+        len(items), args.strategy, service.scheduler.describe(),
+    ))
+    print(report.render())
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    """Interactive front door: one query per line, SQL or workload id."""
+    try:
+        service = _make_service(args)
+    except ValueError as exc:  # out-of-range service options
+        print("error: %s" % exc, file=sys.stderr)
+        return 2
+    print("repro query service — SQL or workload id per line; "
+          "'quit' to exit")
+    for raw in sys.stdin:
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        if line.lower() in ("quit", "exit"):
+            break
+        if line in QUERIES and get_query(line).skew:
+            print("warning: %s expects Zipf-%g data; serving from the "
+                  "unskewed catalog" % (line, get_query(line).skew),
+                  file=sys.stderr)
+        try:
+            # submit() dates arrivals from the service's current clock.
+            seq = service.submit(line)
+            report = service.run()
+        except Exception as exc:  # surface, keep serving
+            print("error: %s" % exc, file=sys.stderr)
+            continue
+        for outcome in report.outcomes:
+            if outcome.seq != seq:
+                continue
+            if outcome.result is None:
+                print("-- query %s (estimated state %.3f MB over budget "
+                      "policy)" % (outcome.status,
+                                   outcome.state_estimate / 1e6))
+                continue
+            for row in outcome.result.sorted_rows()[: args.limit]:
+                print("  ".join(str(v) for v in row))
+            print("-- %d rows; %s; %.4f vs latency; %.4f vs queue wait"
+                  % (outcome.rows, outcome.status, outcome.latency,
+                     outcome.queue_wait))
+    if service.batches_run or service.clock:
+        print("-- served %.4f virtual s; peak state %.3f MB"
+              % (service.clock, service.peak_state_bytes / 1e6))
+    return 0
+
+
 def _cmd_explain(args) -> int:
     query = get_query(args.qid)
     catalog = cached_tpch(scale_factor=args.scale, skew=query.skew)
@@ -151,6 +277,46 @@ def build_parser() -> argparse.ArgumentParser:
     p_sql.add_argument("--explain", action="store_true",
                        help="show the bound plan instead of running")
 
+    def add_service_options(p):
+        from repro.service.schedulers import SCHEDULERS
+        p.add_argument("--scale", type=float, default=0.01)
+        p.add_argument("--strategy", default="feedforward",
+                       choices=list(STRATEGIES))
+        p.add_argument("--scheduler", default="fifo",
+                       choices=list(SCHEDULERS))
+        p.add_argument("--budget-mb", type=float, default=None,
+                       help="aggregate intermediate-state budget "
+                            "(MB; default unbounded)")
+        p.add_argument("--max-concurrent", type=int, default=4,
+                       help="max queries per concurrent batch")
+        p.add_argument("--no-aip-cache", action="store_true",
+                       help="disable the cross-query AIP-set cache")
+        p.add_argument("--no-result-cache", action="store_true",
+                       help="disable the result cache")
+
+    p_workload = sub.add_parser(
+        "workload",
+        help="replay a scripted query stream through the service layer",
+    )
+    p_workload.add_argument(
+        "stream",
+        help="workload script path, inline ids like 'Q2A*3,Q1A', or SQL",
+    )
+    add_service_options(p_workload)
+    p_workload.add_argument(
+        "--repeat", type=int, default=1,
+        help="replay the stream this many times (each repetition's "
+             "arrivals shift by the stream's span; with no @arrivals "
+             "the copies arrive together as a load multiple)",
+    )
+
+    p_serve = sub.add_parser(
+        "serve", help="interactive query service (one query per line)",
+    )
+    add_service_options(p_serve)
+    p_serve.add_argument("--limit", type=int, default=20,
+                         help="max rows to print per query")
+
     return parser
 
 
@@ -162,6 +328,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "run": _cmd_run,
         "explain": _cmd_explain,
         "sql": _cmd_sql,
+        "workload": _cmd_workload,
+        "serve": _cmd_serve,
     }
     try:
         return handlers[args.command](args)

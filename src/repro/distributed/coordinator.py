@@ -23,6 +23,42 @@ from repro.expr.compiler import compile_predicate
 from repro.plan.logical import Filter, LogicalNode, Scan
 
 
+def mark_remote_scans(plan: LogicalNode, placement: Placement) -> None:
+    """Stamp each scan with its owning site (None = master-local), so
+    translation applies the remote link model.  Shared by the
+    coordinator and the service layer's plan builder."""
+    for node in plan.walk():
+        if isinstance(node, Scan):
+            node.site = placement.site_of(node.table_name)
+
+
+def remote_arrival_resolver(
+    network: NetworkModel, pushed=None
+) -> Callable[[Scan], Optional[ArrivalModel]]:
+    """Arrival resolver pacing remote scans on ``network``'s links,
+    optionally installing pushed predicates (``{scan node_id:
+    [predicates]}``) at the source.  Shared by the coordinator and the
+    service layer so both paths cost distributed scans identically."""
+    pushed = pushed or {}
+
+    def resolver(node: Scan) -> Optional[ArrivalModel]:
+        if node.site is None:
+            return None  # default local streaming
+        link = network.link_to(node.site)
+        model = ArrivalModel.remote(
+            bandwidth=link.bandwidth,
+            row_bytes=node.schema.row_byte_size(),
+            latency=link.latency,
+        )
+        for predicate in pushed.get(node.node_id, ()):
+            model.install_predicate(
+                compile_predicate(predicate, node.schema)
+            )
+        return model
+
+    return resolver
+
+
 class DistributedQuery:
     """One query over placed tables, runnable under any strategy.
 
@@ -48,9 +84,7 @@ class DistributedQuery:
         self._pushed = self._collect_pushable() if push_predicates else {}
 
     def _mark_scans(self, plan: LogicalNode) -> None:
-        for node in plan.walk():
-            if isinstance(node, Scan):
-                node.site = self.placement.site_of(node.table_name)
+        mark_remote_scans(plan, self.placement)
 
     def _collect_pushable(self):
         """Map remote-scan node ids to the predicates of Filter chains
@@ -77,25 +111,7 @@ class DistributedQuery:
         return pushed
 
     def arrival_resolver(self) -> Callable[[Scan], Optional[ArrivalModel]]:
-        network = self.network
-        pushed = self._pushed
-
-        def resolver(node: Scan) -> Optional[ArrivalModel]:
-            if node.site is None:
-                return None  # default local streaming
-            link = network.link_to(node.site)
-            model = ArrivalModel.remote(
-                bandwidth=link.bandwidth,
-                row_bytes=node.schema.row_byte_size(),
-                latency=link.latency,
-            )
-            for predicate in pushed.get(node.node_id, ()):
-                model.install_predicate(
-                    compile_predicate(predicate, node.schema)
-                )
-            return model
-
-        return resolver
+        return remote_arrival_resolver(self.network, self._pushed)
 
     def execute(
         self,

@@ -78,6 +78,17 @@ class ExecutionContext:
         self.short_circuit = short_circuit
         self.trace = trace
         self._trace_log = []
+        #: Observers of AIP set publication, ``fn(op, port, aip_set)``.
+        #: The service layer's cross-query AIP cache subscribes here to
+        #: harvest completed sets for reuse in later queries; strategies
+        #: fire it whenever they publish or build a completed set.
+        self.aip_publish_hooks = []
+
+    def notify_aip_publish(self, op, port: int, aip_set) -> None:
+        """Tell subscribers a completed AIP set was published for the
+        state at ``(op, port)``."""
+        for hook in self.aip_publish_hooks:
+            hook(op, port, aip_set)
 
     def charge(self, seconds: float) -> None:
         self.metrics.charge(seconds)

@@ -16,6 +16,9 @@ class POutput(Operator):
         super().__init__(ctx, op_id, schema, [schema], "Output")
         self.rows: List[Row] = []
         self.finished = False
+        #: Optional ``fn(sink)`` invoked when the sink completes; the
+        #: concurrent harness uses it to record per-plan finish clocks.
+        self.finish_listener = None
 
     def push(self, row: Row, port: int = 0) -> None:
         self.ctx.metrics.counters(self.op_id).tuples_in += 1
@@ -26,3 +29,5 @@ class POutput(Operator):
     def finish(self, port: int = 0) -> None:
         self._mark_input_done(port)
         self.finished = True
+        if self.finish_listener is not None:
+            self.finish_listener(self)

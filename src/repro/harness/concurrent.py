@@ -69,6 +69,8 @@ def run_concurrent(
     ctx: ExecutionContext,
     strategies: Optional[Sequence[Optional[ExecutionStrategy]]] = None,
     arrival_resolver: Optional[Callable] = None,
+    on_plan_finished: Optional[Callable[[int, float], None]] = None,
+    on_plan_translated: Optional[Callable[[int, PhysicalPlan], None]] = None,
 ) -> List[QueryResult]:
     """Execute ``plans`` concurrently on ``ctx``'s clock.
 
@@ -77,6 +79,13 @@ def run_concurrent(
     queries, which is precisely the multi-query memory story the paper
     tells.  Returns one :class:`QueryResult` per plan, sharing the same
     metric object.
+
+    ``on_plan_finished(index, clock)`` fires the moment one plan's sink
+    completes — queries finish at different points on the shared clock,
+    and the service layer reports per-query latency from these times.
+    ``on_plan_translated(index, physical)`` fires after each plan is
+    translated but before execution; the cross-query AIP cache uses it
+    to inject remembered filters into the fresh operators.
     """
     if strategies is None:
         strategies = [None] * len(plans)
@@ -87,11 +96,17 @@ def run_concurrent(
     ctx.strategy = composite
 
     translated: List[PhysicalPlan] = []
-    for plan, strategy in zip(plans, strategies):
+    for index, (plan, strategy) in enumerate(zip(plans, strategies)):
         physical = translate(plan, ctx, arrival_resolver)
         if strategy is not None:
             strategy.attach(ctx, physical)
             composite.adopt(strategy, physical)
+        if on_plan_finished is not None:
+            physical.sink.finish_listener = (
+                lambda sink, i=index: on_plan_finished(i, ctx.metrics.clock)
+            )
+        if on_plan_translated is not None:
+            on_plan_translated(index, physical)
         translated.append(physical)
 
     composite.on_query_start()

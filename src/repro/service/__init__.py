@@ -1,0 +1,43 @@
+"""The multi-query service layer.
+
+The paper motivates AIP with multi-query settings — "a reduction in
+both CPU cost and memory can be very useful in improving throughput if
+multiple queries are running concurrently" (Section VI-B) — and this
+package turns the one-shot engine into that system: a
+:class:`~repro.service.service.QueryService` front door accepts a
+*stream* of queries (SQL text, workload ids, or plan builders) against
+one catalog on the shared virtual clock, with
+
+* **admission control** bounding aggregate intermediate-state memory
+  (queries past the budget queue; queries that could never fit shed);
+* **pluggable schedulers** (FIFO, shortest-cost-first) choosing which
+  queued queries form the next concurrent batch;
+* a **cross-query AIP-set cache** — inter-query sideways information
+  passing: completed AIP sets published by one query are fingerprinted
+  by the subexpression that produced them and re-injected, from time
+  zero, into later queries containing the same subexpression;
+* a **result cache** keyed by plan fingerprint.
+"""
+
+from repro.service.admission import (
+    AdmissionController, estimate_query_state_bytes,
+)
+from repro.service.aip_cache import AIPSetCache
+from repro.service.fingerprint import plan_signature
+from repro.service.result_cache import ResultCache
+from repro.service.schedulers import (
+    FifoScheduler, Scheduler, ShortestCostFirstScheduler, make_scheduler,
+    SCHEDULERS,
+)
+from repro.service.service import QueryOutcome, QueryService, ServiceReport
+from repro.service.workload import WorkloadItem, parse_workload
+
+__all__ = [
+    "AdmissionController", "estimate_query_state_bytes",
+    "AIPSetCache", "ResultCache",
+    "plan_signature",
+    "Scheduler", "FifoScheduler", "ShortestCostFirstScheduler",
+    "make_scheduler", "SCHEDULERS",
+    "QueryService", "QueryOutcome", "ServiceReport",
+    "WorkloadItem", "parse_workload",
+]

@@ -1,0 +1,567 @@
+"""The query service: a stream of queries on one engine and clock.
+
+:class:`QueryService` is the front door the ROADMAP's "system serving
+heavy traffic" needs on top of the one-shot engine.  Queries — SQL
+text, Table I workload ids, logical plans, or plan-builder callables —
+are submitted with virtual arrival times; the service forms concurrent
+batches with a pluggable scheduler, packs each batch under the
+admission controller's intermediate-state budget, and executes it via
+:func:`~repro.harness.concurrent.run_concurrent` so every batch shares
+one clock and one aggregate metric store.  Two caches persist across
+queries: the cross-query AIP-set cache (inter-query sideways
+information passing) and a result cache keyed by plan fingerprint.
+
+The service model is *batch-sequential*: one engine machine runs one
+concurrent batch at a time; queries arriving mid-batch wait in the
+queue and their wait shows up in the per-query report.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+from repro.common.errors import ExecutionError
+from repro.data.catalog import Catalog
+from repro.exec.context import ExecutionContext
+from repro.exec.engine import QueryResult
+from repro.exec.metrics import Metrics
+from repro.harness.concurrent import run_concurrent
+from repro.harness.strategies import make_strategy, uses_magic_plan
+from repro.optimizer.cost import PlanCoster
+from repro.plan.logical import LogicalNode
+from repro.service.admission import (
+    ADMIT, SHED, AdmissionController, estimate_query_state_bytes,
+)
+from repro.service.aip_cache import AIPSetCache
+from repro.service.fingerprint import plan_signature
+from repro.service.result_cache import ResultCache
+from repro.service.schedulers import Scheduler, make_scheduler
+from repro.service.workload import WorkloadItem
+from repro.workloads.registry import QUERIES, get_query
+
+#: Statuses a submitted query can end in.
+OK = "ok"
+CACHED = "cached"
+SHED_STATUS = "shed"
+
+QuerySpec = Union[str, LogicalNode, Callable[[Catalog], LogicalNode]]
+
+
+class _PendingQuery:
+    """A submitted query waiting for dispatch."""
+
+    __slots__ = (
+        "seq", "label", "plan", "signature", "arrival", "strategy_name",
+        "state_estimate", "cost_estimate", "miss_counted",
+    )
+
+    def __init__(self, seq, label, plan, signature, arrival, strategy_name,
+                 state_estimate, cost_estimate):
+        self.seq = seq
+        self.label = label
+        self.plan = plan
+        self.signature = signature
+        self.arrival = arrival
+        self.strategy_name = strategy_name
+        self.state_estimate = state_estimate
+        self.cost_estimate = cost_estimate
+        #: Whether this query's first result-cache miss was recorded
+        #: (re-probes while queued must not inflate the miss count).
+        self.miss_counted = False
+
+
+class QueryOutcome:
+    """Everything the service reports about one submitted query."""
+
+    __slots__ = (
+        "seq", "label", "status", "strategy", "arrival", "start", "finish",
+        "result", "batch", "state_estimate", "aip_filters_injected",
+        "aip_tuples_pruned",
+    )
+
+    def __init__(self, seq: int, label: str, status: str, strategy: str,
+                 arrival: float, start: float, finish: float,
+                 result: Optional[QueryResult], batch: int,
+                 state_estimate: float):
+        self.seq = seq
+        self.label = label
+        self.status = status
+        self.strategy = strategy
+        self.arrival = arrival
+        self.start = start
+        self.finish = finish
+        self.result = result
+        #: Index of the concurrent batch this query ran in (-1 if none).
+        self.batch = batch
+        self.state_estimate = state_estimate
+        #: Filters re-injected from the cross-query AIP cache, and the
+        #: tuples they pruned in this query.
+        self.aip_filters_injected = 0
+        self.aip_tuples_pruned = 0
+
+    @property
+    def queue_wait(self) -> float:
+        return self.start - self.arrival
+
+    @property
+    def latency(self) -> float:
+        return self.finish - self.arrival
+
+    @property
+    def rows(self) -> int:
+        return len(self.result) if self.result is not None else 0
+
+    def __repr__(self) -> str:
+        return "QueryOutcome(%s %s: wait=%.4f latency=%.4f)" % (
+            self.label, self.status, self.queue_wait, self.latency,
+        )
+
+
+def _stats_delta(before: Optional[Dict], after: Optional[Dict]) -> Optional[Dict]:
+    """Run-scope cumulative counters; point-in-time gauges stay as-is."""
+    if after is None:
+        return None
+    if before is None:
+        return dict(after)
+    return {
+        key: value if key in ("entries", "bytes") else value - before[key]
+        for key, value in after.items()
+    }
+
+
+class ServiceReport:
+    """Aggregate throughput report over one service run.
+
+    ``elapsed``, ``peak`` and the cache stats all describe *this* run's
+    window; a reused service keeps its cumulative clock, peak and cache
+    counters separately (``admission`` remains the service-lifetime
+    controller object).
+    """
+
+    def __init__(self, service: "QueryService", outcomes: List[QueryOutcome],
+                 elapsed: float, peak: int,
+                 aip_cache_stats: Optional[Dict],
+                 result_cache_stats: Optional[Dict]):
+        self.outcomes = outcomes
+        self.total_virtual_seconds = elapsed
+        self.peak_state_bytes = peak
+        #: None when the corresponding cache is disabled.
+        self.aip_cache_stats = aip_cache_stats
+        self.result_cache_stats = result_cache_stats
+        self.admission = service.admission
+
+    @property
+    def completed(self) -> List[QueryOutcome]:
+        return [o for o in self.outcomes if o.status in (OK, CACHED)]
+
+    @property
+    def shed(self) -> List[QueryOutcome]:
+        return [o for o in self.outcomes if o.status == SHED_STATUS]
+
+    @property
+    def queries_per_second(self) -> float:
+        if self.total_virtual_seconds <= 0:
+            return 0.0
+        return len(self.completed) / self.total_virtual_seconds
+
+    def mean_latency(self) -> float:
+        done = self.completed
+        if not done:
+            return 0.0
+        return sum(o.latency for o in done) / len(done)
+
+    def mean_queue_wait(self) -> float:
+        done = self.completed
+        if not done:
+            return 0.0
+        return sum(o.queue_wait for o in done) / len(done)
+
+    def _hit_rate(self, stats) -> float:
+        if not stats:
+            return 0.0
+        probes = stats["hits"] + stats["misses"]
+        return stats["hits"] / probes if probes else 0.0
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "queries": len(self.outcomes),
+            "completed": len(self.completed),
+            "shed": len(self.shed),
+            "total_virtual_seconds": self.total_virtual_seconds,
+            "queries_per_second": self.queries_per_second,
+            "mean_latency": self.mean_latency(),
+            "mean_queue_wait": self.mean_queue_wait(),
+            "peak_state_mb": self.peak_state_bytes / 1e6,
+            "result_cache_hit_rate": self._hit_rate(self.result_cache_stats),
+            "aip_cache_hit_rate": self._hit_rate(self.aip_cache_stats),
+            "aip_cache_mb": (
+                self.aip_cache_stats["bytes"] / 1e6
+                if self.aip_cache_stats else 0.0
+            ),
+        }
+
+    def render(self) -> str:
+        """Human-readable per-query table plus the aggregate summary."""
+        lines = ["%-4s %-10s %-7s %8s %10s %10s %10s %7s" % (
+            "#", "query", "status", "rows", "wait (vs)", "latency",
+            "finish", "xq-cut",
+        )]
+        for o in self.outcomes:
+            lines.append("%-4d %-10s %-7s %8d %10.4f %10.4f %10.4f %7d" % (
+                o.seq, o.label[:10], o.status, o.rows, o.queue_wait,
+                o.latency, o.finish, o.aip_tuples_pruned,
+            ))
+        s = self.summary()
+        lines.append(
+            "-- %d queries (%d completed, %d shed) in %.4f virtual s "
+            "= %.2f q/s" % (
+                s["queries"], s["completed"], s["shed"],
+                s["total_virtual_seconds"], s["queries_per_second"],
+            )
+        )
+        lines.append(
+            "-- mean latency %.4f s; mean queue wait %.4f s; "
+            "peak aggregate state %.3f MB" % (
+                s["mean_latency"], s["mean_queue_wait"], s["peak_state_mb"],
+            )
+        )
+        if self.result_cache_stats is not None:
+            lines.append(
+                "-- result cache: %.0f%% hit rate (%d/%d), "
+                "<= %.4f vs avoided" % (
+                    100 * self._hit_rate(self.result_cache_stats),
+                    self.result_cache_stats["hits"],
+                    self.result_cache_stats["hits"]
+                    + self.result_cache_stats["misses"],
+                    self.result_cache_stats["seconds_saved"],
+                )
+            )
+        if self.aip_cache_stats is not None:
+            lines.append(
+                "-- AIP cache: %d sets (%.3f MB), %.0f%% hit rate, "
+                "%d filters re-injected" % (
+                    self.aip_cache_stats["entries"],
+                    self.aip_cache_stats["bytes"] / 1e6,
+                    100 * self._hit_rate(self.aip_cache_stats),
+                    self.aip_cache_stats["filters_injected"],
+                )
+            )
+        return "\n".join(lines)
+
+
+class QueryService:
+    """Runs a stream of queries against one catalog on one clock."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        strategy: str = "feedforward",
+        scheduler: Union[str, Scheduler] = "fifo",
+        memory_budget_bytes: Optional[float] = None,
+        max_concurrent: int = 4,
+        aip_cache: bool = True,
+        result_cache: bool = True,
+        strategy_kwargs: Optional[dict] = None,
+        short_circuit: bool = True,
+    ):
+        self.catalog = catalog
+        self.default_strategy = strategy
+        self.scheduler = (
+            scheduler if isinstance(scheduler, Scheduler)
+            else make_scheduler(scheduler)
+        )
+        self.admission = AdmissionController(
+            memory_budget_bytes, max_concurrent
+        )
+        self.aip_cache = AIPSetCache() if aip_cache else None
+        self.result_cache = ResultCache() if result_cache else None
+        self.strategy_kwargs = dict(strategy_kwargs or {})
+        self.short_circuit = short_circuit
+        self.coster = PlanCoster(catalog)
+        #: The service's virtual clock, advanced batch by batch.
+        self.clock = 0.0
+        #: Highest aggregate intermediate state any batch reached.
+        self.peak_state_bytes = 0
+        self._run_peak = 0
+        self.batches_run = 0
+        self._pending: List[_PendingQuery] = []
+        self._seq = 0
+
+    # -- submission --------------------------------------------------------
+
+    def submit(
+        self,
+        query: QuerySpec,
+        arrival: float = 0.0,
+        strategy: Optional[str] = None,
+        label: Optional[str] = None,
+    ) -> int:
+        """Enqueue one query; returns its sequence number.
+
+        ``query`` may be SQL text, a Table I workload id, a logical
+        plan, or a builder callable ``fn(catalog) -> LogicalNode``.
+        ``arrival`` is relative to the service's *current* clock, so a
+        reused service replays a stream's spacing rather than dating
+        arrivals into its past.
+        """
+        strategy_name = strategy or self.default_strategy
+        # Fail fast on a bad strategy name: raising later, mid-batch,
+        # would leak acquired admission slots and wedge the service.
+        make_strategy(strategy_name, **self.strategy_kwargs)
+        plan, label = self._build_plan(query, strategy_name, label)
+        self._seq += 1
+        self._pending.append(_PendingQuery(
+            self._seq, label, plan, plan_signature(plan),
+            self.clock + arrival, strategy_name,
+            estimate_query_state_bytes(plan, self.coster),
+            self.coster.total_cost(plan),
+        ))
+        return self._seq
+
+    def submit_item(self, item: WorkloadItem) -> int:
+        query = item.text
+        return self.submit(
+            query, arrival=item.arrival, strategy=item.strategy,
+            label=item.label,
+        )
+
+    def _build_plan(
+        self, query: QuerySpec, strategy_name: str, label: Optional[str]
+    ):
+        if isinstance(query, LogicalNode):
+            return query, label or "plan"
+        if callable(query):
+            return query(self.catalog), label or getattr(
+                query, "__name__", "builder"
+            )
+        if query in QUERIES:
+            workload = get_query(query)
+            if uses_magic_plan(strategy_name) and workload.has_magic:
+                plan = workload.build_magic(self.catalog)
+            else:
+                plan = workload.build_baseline(self.catalog)
+            if workload.is_distributed:
+                # Same placement the runner builds for `repro run`.
+                from repro.distributed.coordinator import mark_remote_scans
+                from repro.distributed.site import Placement, Site
+                mark_remote_scans(plan, Placement(
+                    [Site("remote-1", workload.remote_tables)]
+                ))
+            return plan, label or query
+        from repro.sql import sql_to_plan
+        return sql_to_plan(self.catalog, query), label or "sql"
+
+    # -- execution ---------------------------------------------------------
+
+    def run_workload(self, items: Sequence[WorkloadItem]) -> ServiceReport:
+        """Submit a parsed stream and drain it."""
+        for item in items:
+            self.submit_item(item)
+        return self.run()
+
+    def run(self) -> ServiceReport:
+        """Drain the queue, batch by batch, and report on this run."""
+        outcomes: List[QueryOutcome] = []
+        started = self.clock
+        self._run_peak = 0
+        aip_before = (
+            self.aip_cache.stats() if self.aip_cache is not None else None
+        )
+        result_before = (
+            self.result_cache.stats()
+            if self.result_cache is not None else None
+        )
+        while self._pending:
+            ready = [p for p in self._pending if p.arrival <= self.clock]
+            if not ready:
+                self.clock = min(p.arrival for p in self._pending)
+                continue
+            outcomes.extend(self._dispatch(self.scheduler.order(ready)))
+        outcomes.sort(key=lambda o: o.seq)
+        return ServiceReport(
+            self, outcomes,
+            elapsed=self.clock - started, peak=self._run_peak,
+            aip_cache_stats=_stats_delta(
+                aip_before,
+                self.aip_cache.stats()
+                if self.aip_cache is not None else None,
+            ),
+            result_cache_stats=_stats_delta(
+                result_before,
+                self.result_cache.stats()
+                if self.result_cache is not None else None,
+            ),
+        )
+
+    def _dispatch(self, ordered: List[_PendingQuery]) -> List[QueryOutcome]:
+        """Resolve cache hits and sheds, pack one batch, and run it."""
+        from repro.harness.strategies import BASELINE, MAGIC
+
+        outcomes: List[QueryOutcome] = []
+        batch: List[_PendingQuery] = []
+        #: signature -> strategy name of the twin already in the batch.
+        batch_signatures: Dict[str, str] = {}
+        consumed: set = set()
+        for entry in ordered:
+            twin_strategy = batch_signatures.get(entry.signature)
+            if twin_strategy is not None and (
+                self.result_cache is not None
+                or (self.aip_cache is not None
+                    and twin_strategy not in (BASELINE, MAGIC)
+                    and entry.strategy_name not in (BASELINE, MAGIC))
+            ):
+                # A twin of this query is already in the forming batch
+                # and will leave something to reap — a cached result, or
+                # (if its strategy publishes AIP sets) cross-query
+                # filters.  Hold this one back one batch rather than
+                # redundantly recomputing alongside it.  A twin that
+                # leaves nothing behind (baseline/magic with no result
+                # cache) packs concurrently as usual.
+                continue
+            if self.result_cache is not None:
+                cached = self.result_cache.lookup(
+                    entry.signature, count_miss=not entry.miss_counted
+                )
+                if cached is not None:
+                    consumed.add(entry.seq)
+                    # Serve a copy — cache rows are shared across hits —
+                    # and charge the lookup to the service clock so an
+                    # all-cached run still has finite throughput.
+                    result = QueryResult(
+                        list(cached.rows), cached.schema, Metrics()
+                    )
+                    start = self.clock
+                    self.clock += self.coster.cost_model.manager_invocation
+                    outcomes.append(QueryOutcome(
+                        entry.seq, entry.label, CACHED, entry.strategy_name,
+                        entry.arrival, start, self.clock, result, -1,
+                        entry.state_estimate,
+                    ))
+                    continue
+                entry.miss_counted = True
+            decision = self.admission.decide(entry.state_estimate)
+            if decision == SHED:
+                consumed.add(entry.seq)
+                outcomes.append(QueryOutcome(
+                    entry.seq, entry.label, SHED_STATUS, entry.strategy_name,
+                    entry.arrival, self.clock, self.clock, None, -1,
+                    entry.state_estimate,
+                ))
+                continue
+            if decision != ADMIT:
+                # Queued: stop packing so dispatch order is respected;
+                # the rest of the queue waits for the next batch.
+                break
+            self.admission.acquire(entry.state_estimate)
+            consumed.add(entry.seq)
+            batch.append(entry)
+            batch_signatures.setdefault(entry.signature, entry.strategy_name)
+        if consumed:
+            # One filter pass instead of per-entry list.remove scans.
+            self._pending = [
+                p for p in self._pending if p.seq not in consumed
+            ]
+        if batch:
+            outcomes.extend(self._run_batch(batch))
+        return outcomes
+
+    def _arrival_resolver(self):
+        """Remote scans pace on the simulated network's links via the
+        coordinator's shared resolver (no predicate pushdown, matching
+        the runner's `repro run` defaults)."""
+        from repro.distributed.coordinator import remote_arrival_resolver
+        from repro.distributed.network import NetworkModel
+
+        return remote_arrival_resolver(NetworkModel())
+
+    def _run_batch(self, batch: List[_PendingQuery]) -> List[QueryOutcome]:
+        ctx = ExecutionContext(self.catalog, short_circuit=self.short_circuit)
+        if self.aip_cache is not None:
+            ctx.aip_publish_hooks.append(self.aip_cache.recorder(ctx))
+
+        injected: Dict[int, List] = {}
+        strategies_made: List = []
+
+        def on_translated(index, physical):
+            if self.aip_cache is None:
+                return
+            # Baseline/magic queries are the paper's no-AIP comparison
+            # points; leave them untouched (mirroring the twin-hold
+            # exclusion) so service-level strategy comparisons stay
+            # honest.  Cached-set consumers are the AIP strategies.
+            from repro.harness.strategies import BASELINE, MAGIC
+            if batch[index].strategy_name in (BASELINE, MAGIC):
+                return
+            # The strategy attached just before this callback; reuse
+            # its predicate graph / candidate index when it has them.
+            strategy = strategies_made[index]
+            graph = getattr(strategy, "graph", None)
+            if graph is None:
+                registry = getattr(strategy, "registry", None)
+                graph = getattr(registry, "graph", None)
+            injected[index] = self.aip_cache.inject(
+                physical, ctx,
+                graph=graph, candidates=getattr(strategy, "index", None),
+            )
+
+        finish_times: Dict[int, float] = {}
+        try:
+            strategies = [
+                make_strategy(p.strategy_name, **self.strategy_kwargs)
+                for p in batch
+            ]
+            strategies_made.extend(strategies)
+            results = run_concurrent(
+                [p.plan for p in batch], ctx,
+                strategies=strategies,
+                arrival_resolver=self._arrival_resolver(),
+                on_plan_finished=lambda i, t: finish_times.setdefault(i, t),
+                on_plan_translated=on_translated,
+            )
+        finally:
+            for entry in batch:
+                self.admission.release(entry.state_estimate)
+
+        batch_seconds = ctx.metrics.clock
+        self.peak_state_bytes = max(
+            self.peak_state_bytes, ctx.metrics.peak_state_bytes
+        )
+        self._run_peak = max(self._run_peak, ctx.metrics.peak_state_bytes)
+        batch_index = self.batches_run
+        self.batches_run += 1
+        start = self.clock
+        self.clock += batch_seconds
+
+        outcomes = []
+        for index, (entry, result) in enumerate(zip(batch, results)):
+            finish = start + finish_times.get(index, batch_seconds)
+            if self.result_cache is not None:
+                self.result_cache.store(
+                    entry.signature, result.rows, result.schema,
+                    finish_times.get(index, batch_seconds),
+                )
+            outcome = QueryOutcome(
+                entry.seq, entry.label, OK, entry.strategy_name,
+                entry.arrival, start, finish, result, batch_index,
+                entry.state_estimate,
+            )
+            filters = injected.get(index, ())
+            outcome.aip_filters_injected = len(filters)
+            outcome.aip_tuples_pruned = sum(f.pruned for f in filters)
+            outcomes.append(outcome)
+        return outcomes
+
+    # -- convenience -------------------------------------------------------
+
+    def execute(self, query: QuerySpec, **kwargs) -> QueryResult:
+        """Submit one query, drain the queue, return its result."""
+        seq = self.submit(query, **kwargs)
+        report = self.run()
+        for outcome in report.outcomes:
+            if outcome.seq == seq:
+                if outcome.result is None:
+                    raise ExecutionError(
+                        "query %s was %s" % (outcome.label, outcome.status)
+                    )
+                return outcome.result
+        raise ExecutionError("query %d vanished from the service" % seq)

@@ -1,0 +1,72 @@
+"""Tests for admission control."""
+
+import pytest
+
+from repro.data.tpch import cached_tpch
+from repro.optimizer.cost import PlanCoster
+from repro.service.admission import (
+    ADMIT, QUEUE, SHED, AdmissionController, estimate_query_state_bytes,
+)
+from repro.workloads.registry import get_query
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return cached_tpch(scale_factor=0.002)
+
+
+class TestEstimate:
+    def test_stateful_plans_estimate_positive(self, catalog):
+        coster = PlanCoster(catalog)
+        for qid in ("Q1A", "Q2A", "Q4A"):
+            plan = get_query(qid).build_baseline(catalog)
+            assert estimate_query_state_bytes(plan, coster) > 0
+
+    def test_scan_only_plan_estimates_zero(self, catalog):
+        from repro.plan.builder import scan
+        plan = scan(catalog, "part").build()
+        assert estimate_query_state_bytes(plan, PlanCoster(catalog)) == 0
+
+
+class TestController:
+    def test_admits_within_budget(self):
+        ctl = AdmissionController(memory_budget_bytes=1000)
+        assert ctl.decide(400) == ADMIT
+        ctl.acquire(400)
+        assert ctl.decide(400) == ADMIT
+
+    def test_queues_past_budget(self):
+        ctl = AdmissionController(memory_budget_bytes=1000)
+        ctl.acquire(800)
+        assert ctl.decide(400) == QUEUE
+        ctl.release(800)
+        assert ctl.decide(400) == ADMIT
+
+    def test_sheds_impossible_query(self):
+        ctl = AdmissionController(memory_budget_bytes=1000)
+        assert ctl.decide(1500) == SHED
+        assert ctl.shed == 1
+
+    def test_lone_query_within_budget_always_admits(self):
+        ctl = AdmissionController(memory_budget_bytes=1000)
+        assert ctl.decide(999) == ADMIT
+
+    def test_max_concurrent(self):
+        ctl = AdmissionController(max_concurrent=2)
+        ctl.acquire(1)
+        ctl.acquire(1)
+        assert ctl.decide(1) == QUEUE
+
+    def test_unbounded_budget_never_sheds(self):
+        ctl = AdmissionController()
+        assert ctl.decide(1e12) == ADMIT
+
+    def test_release_floors_at_zero(self):
+        ctl = AdmissionController()
+        ctl.release(100)
+        assert ctl.in_flight_bytes == 0.0
+        assert ctl.in_flight_queries == 0
+
+    def test_rejects_bad_max_concurrent(self):
+        with pytest.raises(ValueError):
+            AdmissionController(max_concurrent=0)

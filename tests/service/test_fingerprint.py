@@ -1,0 +1,105 @@
+"""Tests for structural plan fingerprints."""
+
+import pytest
+
+from repro.data.tpch import cached_tpch
+from repro.expr.expressions import col
+from repro.plan.builder import scan
+from repro.service.fingerprint import (
+    party_state_signature, plan_fingerprint, plan_signature,
+)
+from repro.workloads.registry import get_query
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return cached_tpch(scale_factor=0.002)
+
+
+class TestPlanSignature:
+    def test_rebuilt_plans_share_signature(self, catalog):
+        build = get_query("Q2A").build_baseline
+        assert plan_signature(build(catalog)) == plan_signature(build(catalog))
+
+    def test_node_ids_do_not_leak(self, catalog):
+        build = get_query("Q1A").build_baseline
+        a, b = build(catalog), build(catalog)
+        assert a.node_id != b.node_id
+        assert plan_signature(a) == plan_signature(b)
+        assert plan_fingerprint(a) == plan_fingerprint(b)
+
+    def test_distinct_workloads_differ(self, catalog):
+        sigs = {
+            plan_signature(get_query(q).build_baseline(catalog))
+            for q in ("Q1A", "Q2A", "Q3A", "Q4A")
+        }
+        assert len(sigs) == 4
+
+    def test_predicate_constant_changes_signature(self, catalog):
+        def build(size):
+            return (
+                scan(catalog, "part")
+                .filter(col("p_size").eq(size))
+                .join(scan(catalog, "partsupp"),
+                      on=[("p_partkey", "ps_partkey")])
+                .build()
+            )
+        assert plan_signature(build(1)) != plan_signature(build(2))
+
+    def test_magic_and_baseline_differ(self, catalog):
+        query = get_query("Q2A")
+        assert plan_signature(query.build_baseline(catalog)) != plan_signature(
+            query.build_magic(catalog)
+        )
+
+
+class TestPartyStateSignature:
+    def test_flowthrough_attr_keys_on_child(self, catalog):
+        plan = (
+            scan(catalog, "part")
+            .filter(col("p_size").eq(1))
+            .join(scan(catalog, "partsupp"), on=[("p_partkey", "ps_partkey")])
+            .build()
+        )
+        join = plan
+        left_sig = party_state_signature(join, 0, "p_partkey")
+        assert plan_signature(join.children[0]) in left_sig
+        # The same child built independently keys identically.
+        other = (
+            scan(catalog, "part")
+            .filter(col("p_size").eq(1))
+            .join(scan(catalog, "partsupp"), on=[("p_partkey", "ps_partkey")])
+            .build()
+        )
+        assert party_state_signature(other, 0, "p_partkey") == left_sig
+
+    def test_computed_attr_keys_on_operator(self, catalog):
+        plan = get_query("Q2A").build_baseline(catalog)
+        # Find a group-by with aggregate outputs.
+        from repro.plan.logical import GroupBy
+        groupby = next(
+            n for n in plan.walk() if isinstance(n, GroupBy) and n.keys
+        )
+        agg_attr = groupby.aggregates[0].output_name
+        sig = party_state_signature(groupby, 0, agg_attr)
+        assert plan_signature(groupby) in sig
+        key_attr = groupby.keys[0]
+        assert party_state_signature(groupby, 0, key_attr) != sig
+
+    def test_aggregate_aliased_to_child_column_keys_on_operator(self, catalog):
+        """``sum(x) as x`` must key on the group-by, never as the raw
+        column — reusing a sums-only set as raw values would be
+        unsound."""
+        from repro.expr.aggregates import AggregateSpec, SUM
+        from repro.expr.expressions import col
+        from repro.plan.logical import GroupBy
+        from repro.plan.builder import scan
+
+        child = scan(catalog, "lineitem").build()
+        groupby = GroupBy(
+            child, ["l_partkey"],
+            [AggregateSpec(SUM, col("l_quantity"), "l_quantity")],
+        )
+        sig = party_state_signature(groupby, 0, "l_quantity")
+        assert plan_signature(groupby) in sig
+        assert sig != "%s::l_quantity" % plan_signature(child)

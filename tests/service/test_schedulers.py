@@ -1,0 +1,43 @@
+"""Tests for batch schedulers."""
+
+import pytest
+
+from repro.service.schedulers import (
+    FifoScheduler, ShortestCostFirstScheduler, make_scheduler, SCHEDULERS,
+)
+
+
+class _Entry:
+    def __init__(self, seq, arrival, cost):
+        self.seq = seq
+        self.arrival = arrival
+        self.cost_estimate = cost
+
+
+class TestSchedulers:
+    def test_fifo_orders_by_arrival_then_seq(self):
+        entries = [
+            _Entry(1, 0.5, 10.0), _Entry(2, 0.0, 99.0), _Entry(3, 0.0, 1.0),
+        ]
+        ordered = FifoScheduler().order(entries)
+        assert [e.seq for e in ordered] == [2, 3, 1]
+
+    def test_sjf_orders_by_cost(self):
+        entries = [
+            _Entry(1, 0.0, 10.0), _Entry(2, 0.0, 1.0), _Entry(3, 0.0, 5.0),
+        ]
+        ordered = ShortestCostFirstScheduler().order(entries)
+        assert [e.seq for e in ordered] == [2, 3, 1]
+
+    def test_order_does_not_mutate_input(self):
+        entries = [_Entry(1, 1.0, 1.0), _Entry(2, 0.0, 2.0)]
+        FifoScheduler().order(entries)
+        assert [e.seq for e in entries] == [1, 2]
+
+    @pytest.mark.parametrize("name", SCHEDULERS)
+    def test_factory(self, name):
+        assert make_scheduler(name).describe() == name
+
+    def test_factory_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            make_scheduler("lottery")

@@ -1,0 +1,293 @@
+"""End-to-end tests for the query service."""
+
+import pytest
+
+from repro.data.tpch import cached_tpch
+from repro.exec.context import ExecutionContext
+from repro.exec.engine import execute_plan
+from repro.service import QueryService, WorkloadItem, parse_workload
+from repro.service.service import CACHED, OK, SHED_STATUS
+from repro.service.workload import parse_inline
+from repro.workloads.registry import get_query
+
+from tests.helpers import rows_equal
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return cached_tpch(scale_factor=0.002)
+
+
+def solo_rows(catalog, qid):
+    plan = get_query(qid).build_baseline(catalog)
+    return execute_plan(plan, ExecutionContext(catalog)).rows
+
+
+class TestWorkloadParsing:
+    def test_script_grammar(self):
+        items = parse_workload(
+            "# mixed stream\n"
+            "Q1A\n"
+            "Q2A *2\n"
+            "@0.5 Q3A !costbased\n"
+            "@1.0 select count(*) as n from part\n"
+        )
+        assert [i.label for i in items[:4]] == ["Q1A", "Q2A", "Q2A", "Q3A"]
+        assert items[3].arrival == 0.5
+        assert items[3].strategy == "costbased"
+        assert items[4].kind == "sql"
+        assert items[4].arrival == 1.0
+
+    def test_inline_ids(self):
+        items = parse_inline("Q1A,Q2A*2")
+        assert [i.text for i in items] == ["Q1A", "Q2A", "Q2A"]
+
+    def test_inline_sql_passthrough(self):
+        items = parse_inline("select count(*) as n from part")
+        assert len(items) == 1
+        assert items[0].kind == "sql"
+
+
+class TestServiceBasics:
+    def test_mixed_stream_matches_solo_runs(self, catalog):
+        service = QueryService(catalog, strategy="feedforward")
+        qids = ["Q1A", "Q3A", "Q2A"]
+        report = service.run_workload(
+            [WorkloadItem("qid", q) for q in qids]
+        )
+        assert len(report.completed) == 3
+        for qid, outcome in zip(qids, report.outcomes):
+            assert outcome.status == OK
+            assert rows_equal(outcome.result.rows, solo_rows(catalog, qid))
+
+    def test_sql_front_door(self, catalog):
+        service = QueryService(catalog)
+        result = service.execute("select count(*) as n from part")
+        assert len(result) == 1
+
+    def test_latency_accounting(self, catalog):
+        service = QueryService(catalog, max_concurrent=1, aip_cache=False,
+                               result_cache=False)
+        service.submit("Q1A")
+        service.submit("Q3A")
+        report = service.run()
+        first, second = report.outcomes
+        assert first.queue_wait == 0.0
+        # Sequential batches: the second query waits for the first.
+        assert second.queue_wait == pytest.approx(first.finish)
+        assert second.latency == pytest.approx(
+            second.queue_wait + (second.finish - second.start)
+        )
+        assert report.total_virtual_seconds == pytest.approx(second.finish)
+
+    def test_arrival_times_respected(self, catalog):
+        service = QueryService(catalog, aip_cache=False, result_cache=False)
+        service.submit("Q1A", arrival=0.75)
+        report = service.run()
+        outcome = report.outcomes[0]
+        assert outcome.start >= 0.75
+        assert outcome.queue_wait == pytest.approx(0.0)
+
+    def test_result_cache_hit(self, catalog):
+        service = QueryService(catalog, aip_cache=False)
+        service.submit("Q1A")
+        service.submit("Q1A")
+        report = service.run()
+        statuses = sorted(o.status for o in report.outcomes)
+        assert statuses == [CACHED, OK]
+        hit = next(o for o in report.outcomes if o.status == CACHED)
+        assert rows_equal(hit.result.rows, solo_rows(catalog, "Q1A"))
+        assert report.result_cache_stats["hits"] == 1
+
+    def test_cached_results_immune_to_caller_mutation(self, catalog):
+        """A caller sorting or clearing its rows must not corrupt the
+        cache, and two hits must not share one list."""
+        service = QueryService(catalog, aip_cache=False)
+        first = service.execute("Q1A")
+        expected = list(first.rows)
+        first.rows.clear()
+        second = service.execute("Q1A")
+        assert rows_equal(second.rows, expected)
+        third = service.execute("Q1A")
+        second.rows.clear()
+        assert rows_equal(third.rows, expected)
+
+    def test_all_cached_run_has_finite_throughput(self, catalog):
+        service = QueryService(catalog, aip_cache=False)
+        service.submit("Q1A")
+        service.run()
+        service.submit("Q1A")
+        service.submit("Q1A")
+        report = service.run()
+        assert all(o.status == CACHED for o in report.outcomes)
+        assert report.total_virtual_seconds > 0
+        assert report.queries_per_second > 0
+
+    def test_shedding_oversized_query(self, catalog):
+        service = QueryService(catalog, memory_budget_bytes=16.0)
+        service.submit("Q2A")
+        report = service.run()
+        assert report.outcomes[0].status == SHED_STATUS
+        assert report.outcomes[0].result is None
+        assert len(report.shed) == 1
+
+    def test_budget_serialises_batches(self, catalog):
+        unbounded = QueryService(catalog, aip_cache=False,
+                                 result_cache=False)
+        for q in ("Q1A", "Q3A"):
+            unbounded.submit(q)
+        unbounded.run()
+        assert unbounded.batches_run == 1
+
+        from repro.optimizer.cost import PlanCoster
+        from repro.service.admission import estimate_query_state_bytes
+        coster = PlanCoster(catalog)
+        estimates = [
+            estimate_query_state_bytes(
+                get_query(q).build_baseline(catalog), coster
+            )
+            for q in ("Q1A", "Q3A")
+        ]
+        # Each query fits alone but the pair exceeds the budget, so the
+        # batches must serialise.
+        budget = max(estimates) * 1.01
+        assert budget < sum(estimates)
+        tight = QueryService(
+            catalog, aip_cache=False, result_cache=False,
+            memory_budget_bytes=budget,
+        )
+        for q in ("Q1A", "Q3A"):
+            tight.submit(q)
+        report = tight.run()
+        assert tight.batches_run == 2
+        assert len(report.completed) == 2
+
+    def test_sjf_reorders_cheap_first(self, catalog):
+        service = QueryService(
+            catalog, scheduler="sjf", max_concurrent=1,
+            aip_cache=False, result_cache=False,
+        )
+        heavy = service.submit("Q2A")
+        light = service.submit("select p_partkey from part where p_size = 1")
+        report = service.run()
+        by_seq = {o.seq: o for o in report.outcomes}
+        assert by_seq[light].start < by_seq[heavy].start
+
+    def test_baseline_twins_pack_concurrently(self, catalog):
+        """Baseline queries publish nothing reusable, so identical
+        twins must not be serialised when only the AIP cache is on."""
+        service = QueryService(catalog, strategy="baseline",
+                               result_cache=False)
+        for _ in range(3):
+            service.submit("Q1A")
+        service.run()
+        assert service.batches_run == 1
+
+    def test_feedforward_twins_defer_for_reuse(self, catalog):
+        service = QueryService(catalog, strategy="feedforward",
+                               result_cache=False)
+        for _ in range(2):
+            service.submit("Q1A")
+        service.run()
+        assert service.batches_run == 2
+
+    def test_baseline_queries_left_uncontaminated(self, catalog):
+        """The service never injects cached AIP sets into baseline or
+        magic queries — they are the paper's no-AIP comparison points."""
+        service = QueryService(catalog, strategy="feedforward",
+                               result_cache=False)
+        service.submit("Q2A")  # warms the cache
+        service.submit("Q2A", strategy="baseline")
+        report = service.run()
+        baseline = next(
+            o for o in report.outcomes if o.strategy == "baseline"
+        )
+        assert baseline.aip_filters_injected == 0
+        assert rows_equal(baseline.result.rows, solo_rows(catalog, "Q2A"))
+        # And it is not pointlessly deferred behind its twin: it can
+        # reap nothing, so both pack into one batch.
+        assert service.batches_run == 1
+
+    def test_aip_cache_accelerates_repeats(self, catalog):
+        service = QueryService(catalog, strategy="feedforward",
+                               result_cache=False)
+        for _ in range(2):
+            service.submit("Q2A")
+        report = service.run()
+        first, second = report.outcomes
+        assert second.aip_filters_injected > 0
+        assert second.aip_tuples_pruned > 0
+        assert (second.finish - second.start) < (first.finish - first.start)
+        assert rows_equal(second.result.rows, solo_rows(catalog, "Q2A"))
+
+    def test_reused_service_reports_per_run(self, catalog):
+        """A second run on the same service must report its own window,
+        not the service's cumulative clock."""
+        service = QueryService(catalog, aip_cache=False, result_cache=False)
+        service.submit("Q1A")
+        first = service.run()
+        service.submit("Q1A")
+        second = service.run()
+        assert second.total_virtual_seconds == pytest.approx(
+            first.total_virtual_seconds, rel=0.01
+        )
+        assert second.queries_per_second == pytest.approx(
+            first.queries_per_second, rel=0.01
+        )
+        # Arrivals date from the current clock, so latency is not
+        # inflated by the first run.
+        assert second.outcomes[0].latency == pytest.approx(
+            first.outcomes[0].latency, rel=0.01
+        )
+        assert second.outcomes[0].queue_wait == pytest.approx(0.0)
+
+    def test_reused_service_scopes_cache_stats_per_run(self, catalog):
+        service = QueryService(catalog, aip_cache=False)
+        service.submit("Q1A")
+        service.run()
+        service.submit("Q1A")
+        report = service.run()
+        # Run 2 is a single cache hit; run 1's miss must not leak in.
+        assert report.result_cache_stats["hits"] == 1
+        assert report.result_cache_stats["misses"] == 0
+        assert report.summary()["result_cache_hit_rate"] == pytest.approx(1.0)
+
+    def test_report_render_mentions_everything(self, catalog):
+        service = QueryService(catalog)
+        service.submit("Q1A")
+        report = service.run()
+        text = report.render()
+        for needle in ("wait (vs)", "latency", "peak aggregate state",
+                       "result cache", "AIP cache"):
+            assert needle in text
+
+    def test_bad_strategy_rejected_at_submit(self, catalog):
+        """An invalid strategy must fail fast, not leak admission slots
+        mid-batch and wedge the service."""
+        service = QueryService(catalog)
+        with pytest.raises(ValueError):
+            service.submit("Q1A", strategy="typo")
+        # The service stays fully usable afterwards.
+        service.submit("Q1A")
+        report = service.run()
+        assert report.outcomes[0].status == OK
+        assert service.admission.in_flight_queries == 0
+
+    def test_aip_hit_rate_counts_plans(self, catalog):
+        """One hit/miss per plan, not per probed party-attribute."""
+        service = QueryService(catalog, strategy="feedforward",
+                               result_cache=False)
+        for _ in range(2):
+            service.submit("Q2A")
+        report = service.run()
+        stats = report.aip_cache_stats
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+        assert report.summary()["aip_cache_hit_rate"] == pytest.approx(0.5)
+
+    def test_peak_state_tracked(self, catalog):
+        service = QueryService(catalog)
+        service.submit("Q2A")
+        report = service.run()
+        assert report.peak_state_bytes > 0
+        assert report.summary()["peak_state_mb"] > 0

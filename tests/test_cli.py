@@ -65,6 +65,118 @@ class TestCommands:
         assert "SemiJoin" in out
 
 
+class TestWorkloadCommand:
+    def test_inline_stream(self, capsys):
+        assert main([
+            "workload", "Q2A*2,Q1A", "--scale", "0.002",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "wait (vs)" in out
+        assert "latency" in out
+        assert "peak aggregate state" in out
+        assert "result cache" in out
+        assert "AIP cache" in out
+        assert "cached" in out  # the repeated Q2A hits the result cache
+
+    def test_script_file(self, capsys, tmp_path):
+        script = tmp_path / "stream.txt"
+        script.write_text(
+            "# demo stream\nQ1A\n@0.01 Q3A\n"
+            "select count(*) as n from part\n"
+        )
+        assert main([
+            "workload", str(script), "--scale", "0.002",
+            "--scheduler", "sjf", "--no-result-cache",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "3 queries (3 completed, 0 shed)" in out
+
+    def test_budget_sheds(self, capsys):
+        assert main([
+            "workload", "Q2A", "--scale", "0.002", "--budget-mb", "0.000001",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "shed" in out
+        assert "1 shed" in out
+
+    def test_skewed_stream_uses_skewed_catalog(self, capsys):
+        # Q1B rows must match `repro run Q1B`, which builds Zipf data.
+        assert main(["workload", "Q1B", "--scale", "0.002"]) == 0
+        out = capsys.readouterr().out
+        from repro.data.tpch import cached_tpch
+        from repro.exec.context import ExecutionContext
+        from repro.exec.engine import execute_plan
+        from repro.workloads.registry import get_query
+        catalog = cached_tpch(scale_factor=0.002, skew=0.5)
+        plan = get_query("Q1B").build_baseline(catalog)
+        solo = execute_plan(plan, ExecutionContext(catalog))
+        row_line = next(l for l in out.splitlines() if "Q1B" in l)
+        assert int(row_line.split()[3]) == len(solo.rows)
+
+    def test_mixed_skew_stream_rejected(self, capsys):
+        assert main(["workload", "Q1A,Q1B", "--scale", "0.002"]) == 2
+        assert "mixes data skews" in capsys.readouterr().err
+
+    def test_repeat_shifts_arrivals_by_span(self, capsys, tmp_path):
+        script = tmp_path / "stream.txt"
+        script.write_text("Q1A\n@0.05 Q1A\n")
+        assert main([
+            "workload", str(script), "--scale", "0.002", "--repeat", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "4 queries (4 completed" in out
+
+    def test_missing_script_path_reported(self, capsys):
+        assert main(["workload", "no/such/stream.txt"]) == 2
+        assert "no such workload script" in capsys.readouterr().err
+
+    def test_unknown_qid_reported_not_sql_error(self, capsys):
+        assert main(["workload", "Q9Z"]) == 2
+        err = capsys.readouterr().err
+        assert "no such workload script or query id: Q9Z" in err
+
+    def test_sql_with_division_is_not_mistaken_for_path(self, capsys):
+        assert main([
+            "workload",
+            "select count(*) as n from part where p_size = 8/2",
+            "--scale", "0.002",
+        ]) == 0
+        assert "1 queries (1 completed" in capsys.readouterr().out
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["workload", "Q1A"])
+        assert args.strategy == "feedforward"
+        assert args.scheduler == "fifo"
+        assert args.max_concurrent == 4
+        assert not args.no_aip_cache
+
+
+class TestServeCommand:
+    def test_serve_session(self, capsys, monkeypatch):
+        import io
+        monkeypatch.setattr(
+            "sys.stdin",
+            io.StringIO(
+                "# comment\nselect count(*) as n from part\nQ1A\nquit\n"
+            ),
+        )
+        assert main(["serve", "--scale", "0.002"]) == 0
+        out = capsys.readouterr().out
+        assert "query service" in out
+        assert "latency" in out
+        assert "served" in out
+
+    def test_serve_reports_errors_and_continues(self, capsys, monkeypatch):
+        import io
+        monkeypatch.setattr(
+            "sys.stdin", io.StringIO("select nonsense(\nQ1A\n"),
+        )
+        assert main(["serve", "--scale", "0.002"]) == 0
+        captured = capsys.readouterr()
+        assert "error:" in captured.err
+        assert "latency" in captured.out
+
+
 class TestSqlCommand:
     def test_sql_run(self, capsys):
         assert main([
