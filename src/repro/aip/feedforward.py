@@ -95,6 +95,14 @@ class FeedForwardStrategy(ExecutionStrategy):
     def describe(self) -> str:
         return "feed-forward"
 
+    @property
+    def batch_safe(self) -> bool:
+        # Budget enforcement sheds working sets on a per-row countdown
+        # whose interleaving across operators the operator-at-a-time
+        # batch path cannot reproduce; budgeted runs stay per-tuple so
+        # shedding decisions are identical.
+        return self.memory_budget is None
+
     # -- initialization -----------------------------------------------------
 
     def attach(self, ctx: ExecutionContext, plan: PhysicalPlan) -> None:
@@ -271,6 +279,23 @@ class FeedForwardStrategy(ExecutionStrategy):
             if self._budget_check_countdown <= 0:
                 self._budget_check_countdown = 256
                 self._enforce_budget()
+
+    def after_tuples(self, op: Operator, port: int, rows) -> None:
+        """Bulk working-set maintenance for the batch path: identical
+        set contents and tick-exact charge totals, one call per batch.
+        (Budgeted runs never reach here — ``batch_safe`` keeps them on
+        the per-tuple path so shed decisions keep their row cadence.)"""
+        sets = self._working.get((op.op_id, port))
+        if not sets:
+            return
+        self.ctx.charge_events(
+            len(rows) * len(sets), self.ctx.cost_model.aip_insert
+        )
+        for ws in sets:
+            add = ws.aip_set.add
+            idx = ws.key_index
+            for row in rows:
+                add(row[idx])
 
     def _enforce_budget(self) -> None:
         """Shed working-set state until under the configured budget.

@@ -20,6 +20,8 @@ from __future__ import annotations
 
 from typing import Callable, List, Optional, Tuple
 
+from repro.exec.metrics import seconds_to_ticks
+
 Row = Tuple
 
 
@@ -190,6 +192,48 @@ class ArrivalModel:
             self.rows_transferred += 1
             return (i, self._link_time, row)
         return None
+
+    def next_batch(
+        self,
+        rows,
+        start: int,
+        now_ticks: int,
+        boundary_when: Optional[float] = None,
+        boundary_first: bool = False,
+    ) -> Tuple[int, List[Row], Optional[Tuple[float, Row]]]:
+        """Consume every row from index ``start`` that has **already
+        arrived** (arrival time, in clock ticks, at or before
+        ``now_ticks``) and precedes the next cross-scan arrival
+        boundary, returning ``(next_index, batch_rows, pending)``.
+
+        ``boundary_when`` is the arrival time of the earliest event on
+        any *other* source; ``boundary_first`` breaks ties the way the
+        engine's heap does (True when the other source wins an equal
+        arrival time).  ``pending`` is the first ``(when, row)`` beyond
+        the batch — it has been computed but not delivered, exactly like
+        the tuple path's one-ahead pending tuple — or None when the
+        source is exhausted.
+
+        Restricting the batch to rows at or before ``now_ticks`` keeps
+        the virtual clock bit-identical to tuple-at-a-time execution:
+        every ``wait_until`` the tuple path would issue for these rows
+        is a no-op there too, so bulk CPU charges commute with them.
+        """
+        batch: List[Row] = []
+        cursor = start
+        while True:
+            found = self.next_arrival(rows, cursor)
+            if found is None:
+                return cursor, batch, None
+            cursor, when, row = found
+            if seconds_to_ticks(when) <= now_ticks and (
+                boundary_when is None
+                or when < boundary_when
+                or (when == boundary_when and not boundary_first)
+            ):
+                batch.append(row)
+                continue
+            return cursor, batch, (when, row)
 
     @property
     def bytes_transferred(self) -> int:

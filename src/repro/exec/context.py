@@ -30,6 +30,13 @@ class ExecutionStrategy:
     hooks they need; all hooks are optional.
     """
 
+    #: Whether the engine may drive this strategy's plans on the
+    #: batch-vectorized path.  Strategies whose mid-stream decisions
+    #: depend on per-row cadence (e.g. Feed-Forward's memory-budget
+    #: enforcement every N tuples) must report False so execution stays
+    #: observably identical to the tuple path.
+    batch_safe = True
+
     def attach(self, ctx: "ExecutionContext", plan) -> None:
         """Called once after physical translation, before execution.
 
@@ -43,6 +50,17 @@ class ExecutionStrategy:
     def after_tuple(self, op: "Operator", input_idx: int, row: Row) -> None:
         """Called after a stateful operator accepted and processed a
         tuple (i.e. the tuple passed all injected filters)."""
+
+    def after_tuples(self, op: "Operator", input_idx: int, rows) -> None:
+        """Batch form of :meth:`after_tuple`, invoked once per accepted
+        batch on the vectorized path.  The default delegates to
+        :meth:`after_tuple` row by row so strategies only overriding the
+        per-tuple hook keep working; strategies with per-tuple charges
+        should override this with a bulk implementation."""
+        if type(self).after_tuple is ExecutionStrategy.after_tuple:
+            return  # per-tuple hook not overridden: nothing to do
+        for row in rows:
+            self.after_tuple(op, input_idx, row)
 
     def on_input_finished(self, op: "Operator", input_idx: int) -> None:
         """Called when one input of a stateful operator has completed;
@@ -66,11 +84,18 @@ class ExecutionContext:
         strategy: Optional[ExecutionStrategy] = None,
         short_circuit: bool = True,
         trace: bool = False,
+        batch_execution: bool = True,
     ):
         self.catalog = catalog
         self.cost_model = cost_model or CostModel()
         self.metrics = Metrics()
         self.strategy = strategy or ExecutionStrategy()
+        #: Drive sources in arrival-boundary batches (the vectorized
+        #: dataflow path) where the plan supports it.  Observably
+        #: identical to tuple-at-a-time execution — same rows, clock,
+        #: peak state and counters — so it is on by default; the
+        #: equivalence suite runs both paths and compares.
+        self.batch_execution = batch_execution
         #: Pipelined-hash-join optimisation from Section VI-A: when one
         #: join input completes, the other side stops buffering.  The
         #: Q2C magic-sets anomaly depends on this; ablation benches turn
@@ -92,6 +117,11 @@ class ExecutionContext:
 
     def charge(self, seconds: float) -> None:
         self.metrics.charge(seconds)
+
+    def charge_events(self, count: int, seconds_each: float) -> None:
+        """Charge ``count`` per-event costs in one call (tick-exact
+        equivalent of ``count`` individual :meth:`charge` calls)."""
+        self.metrics.charge_events(count, seconds_each)
 
     def log(self, message: str) -> None:
         if self.trace:

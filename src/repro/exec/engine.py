@@ -52,6 +52,38 @@ class QueryResult:
         )
 
 
+def plan_batchable(ctx: ExecutionContext, strategy, physical) -> bool:
+    """Whether one translated plan may be driven in batches: the
+    context opts in, the plan's strategy has no per-row-cadence
+    decisions, and the plan's shape supports it.  Shared by the
+    single-query and concurrent loops so eligibility cannot fork."""
+    return (
+        ctx.batch_execution
+        and (strategy is None or strategy.batch_safe)
+        and physical.supports_batching()
+    )
+
+
+def drive_scan(scan: PScan, seq: int, heap, metrics, batching: bool):
+    """Deliver a popped scan's pending work and return its next arrival
+    time (None when exhausted).
+
+    Shared by the single-query and concurrent engine loops — the
+    boundary tie-break (``b_seq < seq`` means the other source wins an
+    equal arrival time, exactly as the heap would order the entries) is
+    the subtlest invariant of batch-mode equivalence and must not fork.
+    """
+    if batching:
+        if heap:
+            b_when, b_seq, _ = heap[0]
+            return scan.emit_pending_batch(
+                metrics.clock_ticks, b_when, b_seq < seq
+            )
+        return scan.emit_pending_batch(metrics.clock_ticks)
+    scan.emit_pending()
+    return scan.advance()
+
+
 class Engine:
     """Runs one translated physical plan to completion."""
 
@@ -75,11 +107,11 @@ class Engine:
                 heapq.heappush(heap, (when, seq, scan))
 
         metrics = self.ctx.metrics
+        batching = plan_batchable(self.ctx, self.ctx.strategy, plan)
         while heap:
             when, seq, scan = heapq.heappop(heap)
             metrics.wait_until(when)
-            scan.emit_pending()
-            nxt = scan.advance()
+            nxt = drive_scan(scan, seq, heap, metrics, batching)
             if nxt is None:
                 scan.finish()
             else:

@@ -6,11 +6,32 @@ all stateful operators and AIP sets) — plus the cardinality counters
 Tukwila exposes to its optimizer ("All query operators are supplemented
 with cardinality counters", Section V-A) and AIP-specific counters used
 in the experiment write-ups.
+
+Time is accounted in integer **ticks** (one tick = 1 picosecond) rather
+than accumulated floats.  Two execution paths that perform the same
+multiset of per-event charges in different orders — the tuple-at-a-time
+engine loop and the batch-vectorized one — must report bit-identical
+clocks, and float summation is grouping-sensitive.  Integer ticks make
+``charge_events(n, c)`` exactly equal to ``n`` repetitions of
+``charge(c)``: both add ``n * round(c / TICK)`` ticks.
 """
 
 from __future__ import annotations
 
 from typing import Dict
+
+#: One clock tick in seconds.  All charges and arrival times are
+#: quantised to this resolution; per-event costs in the default
+#: :class:`~repro.exec.costs.CostModel` are whole multiples of it.
+TICK = 1e-12
+
+#: Ticks per second (exactly representable as a float: 10**12 < 2**53).
+_TICKS_PER_SECOND = 1e12
+
+
+def seconds_to_ticks(seconds: float) -> int:
+    """Quantise a duration (or absolute virtual time) to clock ticks."""
+    return round(seconds * _TICKS_PER_SECOND)
 
 
 class OperatorCounters:
@@ -28,10 +49,11 @@ class Metrics:
     """Mutable metric store owned by one query execution."""
 
     def __init__(self):
-        self.clock: float = 0.0
-        self.idle_time: float = 0.0
-        self.cpu_time: float = 0.0
+        self._clock_ticks: int = 0
+        self._idle_ticks: int = 0
+        self._cpu_ticks: int = 0
         self._state_bytes: Dict[int, int] = {}
+        self._total_state_bytes: int = 0
         self.peak_state_bytes: int = 0
         self.operators: Dict[int, OperatorCounters] = {}
         self.aip_sets_created: int = 0
@@ -42,30 +64,69 @@ class Metrics:
 
     # -- time ----------------------------------------------------------
 
+    @property
+    def clock(self) -> float:
+        return self._clock_ticks / _TICKS_PER_SECOND
+
+    @property
+    def cpu_time(self) -> float:
+        return self._cpu_ticks / _TICKS_PER_SECOND
+
+    @property
+    def idle_time(self) -> float:
+        return self._idle_ticks / _TICKS_PER_SECOND
+
+    @property
+    def clock_ticks(self) -> int:
+        """The clock in raw ticks (used by the batch path to decide
+        which pending arrivals count as "already arrived")."""
+        return self._clock_ticks
+
     def charge(self, seconds: float) -> None:
         """Advance the clock by CPU work."""
-        self.clock += seconds
-        self.cpu_time += seconds
+        ticks = round(seconds * _TICKS_PER_SECOND)
+        self._clock_ticks += ticks
+        self._cpu_ticks += ticks
+
+    def charge_events(self, count: int, seconds_each: float) -> None:
+        """Advance the clock by ``count`` events of ``seconds_each``.
+
+        Exactly equivalent — to the tick — to calling
+        :meth:`charge` ``count`` times, which is what makes bulk
+        charging on the batch path observably identical to per-tuple
+        charging.
+        """
+        ticks = count * round(seconds_each * _TICKS_PER_SECOND)
+        self._clock_ticks += ticks
+        self._cpu_ticks += ticks
 
     def wait_until(self, when: float) -> None:
         """Advance the clock to an arrival time, recording idleness."""
-        if when > self.clock:
-            self.idle_time += when - self.clock
-            self.clock = when
+        ticks = round(when * _TICKS_PER_SECOND)
+        if ticks > self._clock_ticks:
+            self._idle_ticks += ticks - self._clock_ticks
+            self._clock_ticks = ticks
 
     # -- state accounting ------------------------------------------------
 
     def adjust_state(self, owner_id: int, delta: int) -> None:
-        """Add ``delta`` bytes to an owner's buffered state."""
-        current = self._state_bytes.get(owner_id, 0) + delta
-        self._state_bytes[owner_id] = current
-        total = self.total_state_bytes
+        """Add ``delta`` bytes to an owner's buffered state.
+
+        The aggregate is maintained incrementally (exact, since deltas
+        are integers) — a full ``sum()`` over every stateful owner per
+        tuple used to dominate the insert hot path.
+        """
+        self._state_bytes[owner_id] = (
+            self._state_bytes.get(owner_id, 0) + delta
+        )
+        total = self._total_state_bytes + delta
+        self._total_state_bytes = total
         if total > self.peak_state_bytes:
             self.peak_state_bytes = total
 
     @property
     def total_state_bytes(self) -> int:
-        return sum(self._state_bytes.values())
+        return self._total_state_bytes
 
     def state_bytes_of(self, owner_id: int) -> int:
         return self._state_bytes.get(owner_id, 0)

@@ -57,6 +57,16 @@ class Operator:
     n_inputs = 1
     #: Whether this operator buffers state usable for AIP.
     stateful = False
+    #: Whether the engine may drive plans containing this operator on
+    #: the batch-vectorized path.  Batching processes a whole arrival
+    #: run operator-at-a-time, which reorders state-accounting deltas
+    #: *across* operators; that is observably identical only while every
+    #: mid-stream delta is non-negative (peak state is then reached at
+    #: the end of the run under any ordering).  Operators that release
+    #: state mid-stream (the pipelined semijoin's pending-buffer
+    #: flushes) must set this False so such plans keep the per-tuple
+    #: path and peak-state accounting stays bit-identical.
+    batch_safe = True
 
     def __init__(
         self,
@@ -152,10 +162,40 @@ class Operator:
                 return False
         return True
 
+    def passes_filters_batch(self, rows: List[Row], port: int) -> List[Row]:
+        """Vet a whole batch against the injected filters in one call,
+        returning the surviving rows in order.  Charging matches the
+        per-row form exactly: each filter bills one probe per row still
+        alive when it is reached (pruned rows never probe later
+        filters)."""
+        filters = self._filters[port]
+        if not filters:
+            return rows
+        cost = self.ctx.cost_model.semijoin_probe
+        alive = rows
+        for f in filters:
+            self.ctx.charge_events(len(alive), cost)
+            passes = f.passes
+            alive = [row for row in alive if passes(row)]
+        pruned = len(rows) - len(alive)
+        if pruned:
+            self.ctx.metrics.counters(self.op_id).tuples_pruned += pruned
+        return alive
+
     # -- dataflow --------------------------------------------------------
 
     def push(self, row: Row, port: int = 0) -> None:
         raise NotImplementedError
+
+    def push_batch(self, rows: List[Row], port: int = 0) -> None:
+        """Process a batch of rows arriving on ``port`` in order.
+
+        The default delegates to :meth:`push` row by row, so custom
+        operators participate in batch-driven plans unchanged; the
+        built-in operators override it with vectorized bodies that
+        charge costs in bulk."""
+        for row in rows:
+            self.push(row, port)
 
     def finish(self, port: int = 0) -> None:
         raise NotImplementedError
@@ -164,6 +204,25 @@ class Operator:
         self.ctx.metrics.counters(self.op_id).tuples_out += 1
         for parent, port in self.parents:
             parent.push(row, port)
+
+    def emit_batch(self, rows: List[Row]) -> None:
+        """Forward a batch of output rows, preserving order.
+
+        With several parents (DAG plans) the batch is unrolled row by
+        row so each parent observes the exact interleaving the tuple
+        path would produce; the engine only batches tree-shaped plans,
+        so this branch is a safety net for direct callers."""
+        if not rows:
+            return
+        self.ctx.metrics.counters(self.op_id).tuples_out += len(rows)
+        parents = self.parents
+        if len(parents) == 1:
+            parent, port = parents[0]
+            parent.push_batch(rows, port)
+        else:
+            for row in rows:
+                for parent, port in parents:
+                    parent.push(row, port)
 
     def finish_output(self) -> None:
         if self._output_done:

@@ -28,9 +28,12 @@ class PDistinct(Operator):
     def push(self, row: Row, port: int = 0) -> None:
         cm = self.ctx.cost_model
         self.ctx.metrics.counters(self.op_id).tuples_in += 1
-        self.ctx.charge(cm.tuple_base + cm.hash_probe)
+        # ``hash_probe`` only when the seen-set is actually probed: a
+        # row pruned by an injected AIP filter never reaches it.
+        self.ctx.charge(cm.tuple_base)
         if not self.passes_filters(row, 0):
             return
+        self.ctx.charge(cm.hash_probe)
         if row in self._seen:
             return
         self.ctx.charge(cm.hash_insert)
@@ -38,6 +41,31 @@ class PDistinct(Operator):
         self.ctx.metrics.adjust_state(self.op_id, self._row_bytes)
         self.ctx.strategy.after_tuple(self, 0, row)
         self.emit(row)
+
+    def push_batch(self, rows, port: int = 0) -> None:
+        """Deduplicate a whole batch: first occurrences are forwarded in
+        order, with bulk cost charging matching :meth:`push`."""
+        cm = self.ctx.cost_model
+        metrics = self.ctx.metrics
+        metrics.counters(self.op_id).tuples_in += len(rows)
+        self.ctx.charge_events(len(rows), cm.tuple_base)
+        rows = self.passes_filters_batch(rows, 0)
+        if not rows:
+            return
+        self.ctx.charge_events(len(rows), cm.hash_probe)
+        seen = self._seen
+        add = seen.add
+        fresh = []
+        append = fresh.append
+        for row in rows:
+            if row not in seen:
+                add(row)
+                append(row)
+        if fresh:
+            self.ctx.charge_events(len(fresh), cm.hash_insert)
+            metrics.adjust_state(self.op_id, len(fresh) * self._row_bytes)
+            self.ctx.strategy.after_tuples(self, 0, fresh)
+            self.emit_batch(fresh)
 
     def finish(self, port: int = 0) -> None:
         self._mark_input_done(port)

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from typing import List
+
 from repro.data.schema import Schema
 from repro.exec.context import ExecutionContext
 from repro.exec.operators.base import Operator, Row
@@ -20,16 +22,34 @@ class PFilter(Operator):
         predicate: Expr,
     ):
         super().__init__(ctx, op_id, schema, [schema], "Filter")
-        self._predicate = compile_predicate(predicate, schema)
+        predicate_fn = self._predicate = compile_predicate(predicate, schema)
+        #: Batch closure: one call filters a whole batch in order.
+        self._predicate_batch = (
+            lambda rows: [row for row in rows if predicate_fn(row)]
+        )
 
     def push(self, row: Row, port: int = 0) -> None:
         cm = self.ctx.cost_model
         self.ctx.metrics.counters(self.op_id).tuples_in += 1
-        self.ctx.charge(cm.tuple_base + cm.predicate_eval)
+        # Bill predicate evaluation only when the predicate actually
+        # runs: rows pruned by an injected AIP filter below never reach
+        # it, and charging them would understate AIP's CPU savings.
+        self.ctx.charge(cm.tuple_base)
         if not self.passes_filters(row, 0):
             return
+        self.ctx.charge(cm.predicate_eval)
         if self._predicate(row):
             self.emit(row)
+
+    def push_batch(self, rows: List[Row], port: int = 0) -> None:
+        cm = self.ctx.cost_model
+        self.ctx.metrics.counters(self.op_id).tuples_in += len(rows)
+        self.ctx.charge_events(len(rows), cm.tuple_base)
+        rows = self.passes_filters_batch(rows, 0)
+        if not rows:
+            return
+        self.ctx.charge_events(len(rows), cm.predicate_eval)
+        self.emit_batch(self._predicate_batch(rows))
 
     def finish(self, port: int = 0) -> None:
         self._mark_input_done(port)

@@ -107,6 +107,62 @@ class PHashJoin(Operator):
 
         self.ctx.strategy.after_tuple(self, port, row)
 
+    def push_batch(self, rows, port: int = 0) -> None:
+        """Probe and insert a whole batch: same per-row decisions and
+        tick-exact charge totals as :meth:`push`, without the per-tuple
+        call chain."""
+        cm = self.ctx.cost_model
+        metrics = self.ctx.metrics
+        metrics.counters(self.op_id).tuples_in += len(rows)
+        self.ctx.charge_events(len(rows), cm.tuple_base)
+        rows = self.passes_filters_batch(rows, port)
+        if not rows:
+            return
+
+        other = 1 - port
+        indices = self._key_indices[port]
+        single = len(indices) == 1
+        idx0 = indices[0] if single else None
+        probe_get = self._tables[other].get
+        table = self._tables[port]
+        buffering = self._buffering[port]
+        residual = self._residual
+        left = port == 0
+        out = []
+        append_out = out.append
+        n_residual = 0
+
+        for row in rows:
+            key = row[idx0] if single else tuple(row[i] for i in indices)
+            matches = probe_get(key)
+            if matches:
+                for match in matches:
+                    combined = row + match if left else match + row
+                    if residual is not None:
+                        n_residual += 1
+                        if not residual(combined):
+                            continue
+                    append_out(combined)
+            if buffering:
+                bucket = table.get(key)
+                if bucket is None:
+                    table[key] = [row]
+                else:
+                    bucket.append(row)
+
+        self.ctx.charge_events(len(rows), cm.hash_probe)
+        if n_residual:
+            self.ctx.charge_events(n_residual, cm.predicate_eval)
+        if out:
+            self.ctx.charge_events(len(out), cm.output_build)
+        if buffering:
+            self.ctx.charge_events(len(rows), cm.hash_insert)
+            metrics.adjust_state(
+                self.op_id, len(rows) * self._row_bytes[port]
+            )
+        self.ctx.strategy.after_tuples(self, port, rows)
+        self.emit_batch(out)
+
     def finish(self, port: int = 0) -> None:
         self._mark_input_done(port)
         other = 1 - port

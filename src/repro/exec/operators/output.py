@@ -26,6 +26,12 @@ class POutput(Operator):
         self.rows.append(row)
         self.ctx.metrics.result_rows += 1
 
+    def push_batch(self, rows: List[Row], port: int = 0) -> None:
+        self.ctx.metrics.counters(self.op_id).tuples_in += len(rows)
+        self.ctx.charge_events(len(rows), self.ctx.cost_model.tuple_base)
+        self.rows.extend(rows)
+        self.ctx.metrics.result_rows += len(rows)
+
     def finish(self, port: int = 0) -> None:
         self._mark_input_done(port)
         self.finished = True

@@ -23,15 +23,31 @@ class PProject(Operator):
         outputs: Sequence[Tuple[str, Expr]],
     ):
         super().__init__(ctx, op_id, out_schema, [in_schema], "Project")
-        self._fns = [compile_expr(expr, in_schema) for _, expr in outputs]
+        fns = self._fns = [compile_expr(expr, in_schema) for _, expr in outputs]
+        #: Batch closure: one call projects a whole batch in order.
+        self._project_batch = (
+            lambda rows: [tuple(fn(row) for fn in fns) for row in rows]
+        )
 
     def push(self, row: Row, port: int = 0) -> None:
         cm = self.ctx.cost_model
         self.ctx.metrics.counters(self.op_id).tuples_in += 1
-        self.ctx.charge(cm.tuple_base + cm.output_build)
+        # ``output_build`` only for rows actually projected: a row
+        # pruned by an injected AIP filter never builds an output tuple.
+        self.ctx.charge(cm.tuple_base)
         if not self.passes_filters(row, 0):
             return
+        self.ctx.charge(cm.output_build)
         self.emit(tuple(fn(row) for fn in self._fns))
+
+    def push_batch(self, rows, port: int = 0) -> None:
+        cm = self.ctx.cost_model
+        self.ctx.metrics.counters(self.op_id).tuples_in += len(rows)
+        self.ctx.charge_events(len(rows), cm.tuple_base)
+        rows = self.passes_filters_batch(rows, 0)
+        if rows:
+            self.ctx.charge_events(len(rows), cm.output_build)
+            self.emit_batch(self._project_batch(rows))
 
     def finish(self, port: int = 0) -> None:
         self._mark_input_done(port)

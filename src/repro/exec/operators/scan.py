@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Tuple
 
+from repro.common.errors import ExecutionError
 from repro.data.schema import Schema
 from repro.exec.arrival import ArrivalModel, SourceFilter
 from repro.exec.context import ExecutionContext
@@ -67,7 +68,12 @@ class PScan(Operator):
 
     def emit_pending(self) -> None:
         """Push the pending tuple into the consumer chain."""
-        assert self._pending is not None, "no pending tuple"
+        if self._pending is None:
+            # Not an assert: under ``python -O`` a bare assert vanishes
+            # and a driver bug would silently drop rows.
+            raise ExecutionError(
+                "%s driven with no pending tuple" % self.name
+            )
         _, row = self._pending
         self._pending = None
         counters = self.ctx.metrics.counters(self.op_id)
@@ -76,6 +82,41 @@ class PScan(Operator):
         if not self.passes_filters(row, 0):
             return
         self.emit(row)
+
+    def emit_pending_batch(
+        self,
+        now_ticks: int,
+        boundary_when: Optional[float] = None,
+        boundary_first: bool = False,
+    ) -> Optional[float]:
+        """Push the pending tuple plus every further row arriving up to
+        the cross-scan boundary (see ``ArrivalModel.next_batch``) as one
+        batch; returns the next pending arrival time, or None when the
+        source is exhausted."""
+        if self._pending is None:
+            raise ExecutionError(
+                "%s driven with no pending tuple" % self.name
+            )
+        _, first = self._pending
+        cursor, more, pending = self.arrival.next_batch(
+            self.rows, self._cursor, now_ticks, boundary_when, boundary_first
+        )
+        self._cursor = cursor
+        if pending is None:
+            self._pending = None
+            self.exhausted = True
+            nxt = None
+        else:
+            self._pending = pending
+            nxt = pending[0]
+        rows = [first]
+        rows.extend(more)
+        counters = self.ctx.metrics.counters(self.op_id)
+        counters.tuples_in += len(rows)
+        self.ctx.charge_events(len(rows), self.ctx.cost_model.scan_read)
+        rows = self.passes_filters_batch(rows, 0)
+        self.emit_batch(rows)
+        return nxt
 
     # -- source-side filters (distributed AIP) ----------------------------
 

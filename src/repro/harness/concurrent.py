@@ -20,7 +20,7 @@ from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.common.errors import ExecutionError
 from repro.exec.context import ExecutionContext, ExecutionStrategy
-from repro.exec.engine import QueryResult
+from repro.exec.engine import QueryResult, drive_scan, plan_batchable
 from repro.exec.translate import PhysicalPlan, translate
 from repro.plan.logical import LogicalNode
 
@@ -48,6 +48,11 @@ class CompositeStrategy(ExecutionStrategy):
         strategy = self._by_op.get(op.op_id)
         if strategy is not None:
             strategy.after_tuple(op, input_idx, row)
+
+    def after_tuples(self, op, input_idx, rows) -> None:
+        strategy = self._by_op.get(op.op_id)
+        if strategy is not None:
+            strategy.after_tuples(op, input_idx, rows)
 
     def on_input_finished(self, op, input_idx) -> None:
         strategy = self._by_op.get(op.op_id)
@@ -96,6 +101,7 @@ def run_concurrent(
     ctx.strategy = composite
 
     translated: List[PhysicalPlan] = []
+    batchable = {}  # scan op_id -> its plan may be driven in batches
     for index, (plan, strategy) in enumerate(zip(plans, strategies)):
         physical = translate(plan, ctx, arrival_resolver)
         if strategy is not None:
@@ -107,6 +113,9 @@ def run_concurrent(
             )
         if on_plan_translated is not None:
             on_plan_translated(index, physical)
+        plan_batches = plan_batchable(ctx, strategy, physical)
+        for scan in physical.scans:
+            batchable[scan.op_id] = plan_batches
         translated.append(physical)
 
     composite.on_query_start()
@@ -126,8 +135,12 @@ def run_concurrent(
     while heap:
         when, tie, scan = heapq.heappop(heap)
         metrics.wait_until(when)
-        scan.emit_pending()
-        nxt = scan.advance()
+        # The arrival boundary spans ALL concurrent plans' sources: a
+        # batch never reorders this query's rows past another query's
+        # earlier arrivals on the shared clock.
+        nxt = drive_scan(
+            scan, tie, heap, metrics, batchable[scan.op_id]
+        )
         if nxt is None:
             scan.finish()
         else:

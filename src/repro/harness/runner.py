@@ -53,6 +53,7 @@ def run_workload_query(
     seed: int = 7,
     strategy_kwargs: Optional[dict] = None,
     short_circuit: bool = True,
+    batch_execution: bool = True,
 ) -> RunRecord:
     """Execute ``qid`` under ``strategy`` and return its metrics.
 
@@ -60,6 +61,9 @@ def run_workload_query(
     large input relation gets a 100 ms initial delay plus 5 ms per 1000
     tuples.  Distributed variants (Q1C/Q3C) fetch their remote tables
     over the simulated 100 Mb Ethernet regardless of ``delayed``.
+    ``batch_execution=False`` forces the tuple-at-a-time engine loop
+    (the vectorized path is observably identical; benchmarks compare
+    their wall-clock cost).
     """
     query = get_query(qid)
     catalog = cached_tpch(scale_factor=scale_factor, skew=query.skew, seed=seed)
@@ -72,6 +76,7 @@ def run_workload_query(
         catalog,
         strategy=make_strategy(strategy, **(strategy_kwargs or {})),
         short_circuit=short_circuit,
+        batch_execution=batch_execution,
     )
 
     if query.is_distributed:

@@ -263,6 +263,7 @@ class QueryService:
         result_cache: bool = True,
         strategy_kwargs: Optional[dict] = None,
         short_circuit: bool = True,
+        batch_execution: bool = True,
     ):
         self.catalog = catalog
         self.default_strategy = strategy
@@ -277,6 +278,9 @@ class QueryService:
         self.result_cache = ResultCache() if result_cache else None
         self.strategy_kwargs = dict(strategy_kwargs or {})
         self.short_circuit = short_circuit
+        #: Batch-vectorized engine loop for every dispatched batch
+        #: (observably identical to tuple-at-a-time; on by default).
+        self.batch_execution = batch_execution
         self.coster = PlanCoster(catalog)
         #: The service's virtual clock, advanced batch by batch.
         self.clock = 0.0
@@ -475,7 +479,11 @@ class QueryService:
         return remote_arrival_resolver(NetworkModel())
 
     def _run_batch(self, batch: List[_PendingQuery]) -> List[QueryOutcome]:
-        ctx = ExecutionContext(self.catalog, short_circuit=self.short_circuit)
+        ctx = ExecutionContext(
+            self.catalog,
+            short_circuit=self.short_circuit,
+            batch_execution=self.batch_execution,
+        )
         if self.aip_cache is not None:
             ctx.aip_publish_hooks.append(self.aip_cache.recorder(ctx))
 

@@ -1,0 +1,190 @@
+"""Cross-path equivalence: the batch-vectorized engine loop must be
+*observably identical* to tuple-at-a-time execution.
+
+For every registered workload x strategy — including delayed-arrival
+and distributed (source-filter) configurations, plus concurrent
+(composite-strategy) batches and the service layer — the two paths must
+produce bit-identical rows (including order), virtual clock, peak
+intermediate state, and per-operator counters.  The clock guarantee
+rests on integer-tick accounting (``Metrics.charge_events``); the
+peak-state guarantee rests on the engine only batching plans whose
+mid-stream state deltas are all non-negative (``supports_batching``).
+"""
+
+import pytest
+
+from repro.data.tpch import cached_tpch
+from repro.exec.context import ExecutionContext
+from repro.harness.concurrent import run_concurrent
+from repro.harness.runner import run_workload_query
+from repro.harness.strategies import make_strategy
+from repro.workloads.registry import QUERIES, get_query
+
+SCALE = 0.001
+
+#: Runtime strategies plus the magic-sets plan rewrite where available.
+STRATEGY_NAMES = ("baseline", "feedforward", "costbased")
+
+
+def _counter_rows(metrics):
+    """Per-operator counters in id-allocation order (node ids differ
+    across builds, but their relative order is deterministic)."""
+    return [
+        (c.tuples_in, c.tuples_out, c.tuples_pruned)
+        for _, c in sorted(metrics.operators.items())
+    ]
+
+
+def _assert_identical(tuple_record, batch_record):
+    t, b = tuple_record.result, batch_record.result
+    assert b.rows == t.rows  # same rows in the same order
+    assert b.metrics.clock == t.metrics.clock
+    assert b.metrics.cpu_time == t.metrics.cpu_time
+    assert b.metrics.idle_time == t.metrics.idle_time
+    assert b.metrics.peak_state_bytes == t.metrics.peak_state_bytes
+    assert b.metrics.network_bytes == t.metrics.network_bytes
+    assert _counter_rows(b.metrics) == _counter_rows(t.metrics)
+
+
+def _matrix():
+    cells = []
+    for qid in sorted(QUERIES):
+        for strategy in STRATEGY_NAMES:
+            cells.append((qid, strategy, False))
+        if get_query(qid).has_magic:
+            cells.append((qid, "magic", False))
+    # Delayed-arrival configurations (Section VI-B regime: the clock is
+    # arrival dominated, so batches split at every idle gap).
+    for qid in ("Q2A", "Q4A", "Q5A"):
+        for strategy in STRATEGY_NAMES:
+            cells.append((qid, strategy, True))
+    return cells
+
+
+@pytest.mark.parametrize("qid,strategy,delayed", _matrix())
+def test_workload_strategy_equivalence(qid, strategy, delayed):
+    tuple_record = run_workload_query(
+        qid, strategy, scale_factor=SCALE, delayed=delayed,
+        batch_execution=False,
+    )
+    batch_record = run_workload_query(
+        qid, strategy, scale_factor=SCALE, delayed=delayed,
+        batch_execution=True,
+    )
+    _assert_identical(tuple_record, batch_record)
+
+
+class TestConcurrentComposite:
+    """Mixed-strategy concurrent batches on one shared clock."""
+
+    def _run(self, batch_execution):
+        catalog = cached_tpch(scale_factor=SCALE)
+        plans = [
+            get_query("Q4A").build_baseline(catalog),
+            get_query("Q1A").build_baseline(catalog),
+            get_query("Q1A").build_magic(catalog),
+        ]
+        strategies = [
+            make_strategy("feedforward"),
+            make_strategy("costbased"),
+            None,
+        ]
+        ctx = ExecutionContext(catalog, batch_execution=batch_execution)
+        results = run_concurrent(plans, ctx, strategies=strategies)
+        return ctx, results
+
+    def test_composite_equivalence(self):
+        ctx_t, results_t = self._run(batch_execution=False)
+        ctx_b, results_b = self._run(batch_execution=True)
+        for t, b in zip(results_t, results_b):
+            assert b.rows == t.rows
+        assert ctx_b.metrics.clock == ctx_t.metrics.clock
+        assert (
+            ctx_b.metrics.peak_state_bytes == ctx_t.metrics.peak_state_bytes
+        )
+        assert _counter_rows(ctx_b.metrics) == _counter_rows(ctx_t.metrics)
+
+
+class TestServiceLayer:
+    """The service layer runs the batch path by default and reports the
+    same outcomes either way."""
+
+    def _report(self, batch_execution):
+        from repro.service.service import QueryService
+
+        catalog = cached_tpch(scale_factor=SCALE)
+        service = QueryService(
+            catalog, strategy="feedforward",
+            batch_execution=batch_execution,
+        )
+        service.submit("Q1A", arrival=0.0)
+        service.submit("Q4A", arrival=0.0)
+        service.submit("Q3A", arrival=0.5, strategy="costbased")
+        return service.run()
+
+    def test_service_equivalence(self):
+        tuple_report = self._report(batch_execution=False)
+        batch_report = self._report(batch_execution=True)
+        assert (
+            batch_report.total_virtual_seconds
+            == tuple_report.total_virtual_seconds
+        )
+        assert (
+            batch_report.peak_state_bytes == tuple_report.peak_state_bytes
+        )
+        for t, b in zip(batch_report.outcomes, tuple_report.outcomes):
+            assert b.status == t.status
+            assert b.latency == t.latency
+            assert b.rows == t.rows
+
+    def test_service_batches_by_default(self):
+        from repro.service.service import QueryService
+
+        catalog = cached_tpch(scale_factor=SCALE)
+        assert QueryService(catalog).batch_execution
+
+
+class TestBudgetedFeedForward:
+    """A memory-budgeted Feed-Forward run sheds working sets on a
+    per-row countdown; it must decline batching (batch_safe=False) so
+    shed decisions keep their cadence — and thus stay equivalent."""
+
+    def _run(self, batch_execution):
+        return run_workload_query(
+            "Q1A", "feedforward", scale_factor=SCALE,
+            strategy_kwargs={"memory_budget": 4096},
+            batch_execution=batch_execution,
+        )
+
+    def test_budgeted_ff_is_not_batch_safe(self):
+        strategy = make_strategy("feedforward", memory_budget=4096)
+        assert not strategy.batch_safe
+        assert make_strategy("feedforward").batch_safe
+
+    def test_budgeted_ff_equivalence(self):
+        _assert_identical(
+            self._run(batch_execution=False), self._run(batch_execution=True)
+        )
+
+
+class TestBatchGate:
+    """Plans with mid-stream state releases or shared subexpressions
+    must decline batching (the per-tuple path is the reference)."""
+
+    def test_tree_plan_batchable(self):
+        from repro.exec.translate import translate
+
+        catalog = cached_tpch(scale_factor=SCALE)
+        plan = get_query("Q4A").build_baseline(catalog)
+        physical = translate(plan, ExecutionContext(catalog))
+        assert physical.supports_batching()
+
+    def test_magic_plan_not_batchable(self):
+        from repro.exec.translate import translate
+
+        catalog = cached_tpch(scale_factor=SCALE)
+        plan = get_query("Q1A").build_magic(catalog)
+        physical = translate(plan, ExecutionContext(catalog))
+        # Magic rewrites share the outer query (DAG) and pipe it through
+        # a semijoin whose pending buffer flushes mid-stream.
+        assert not physical.supports_batching()

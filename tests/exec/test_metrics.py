@@ -44,6 +44,46 @@ class TestState:
         assert m.state_bytes_of(7) == 42
         assert m.state_bytes_of(8) == 0
 
+    def test_running_total_matches_dict_sum(self):
+        # Regression: the total is maintained incrementally (the old
+        # code re-summed every owner on each insert — O(#owners) on the
+        # hottest path); it must stay exactly equal to the per-owner sum
+        # under arbitrary interleaved deltas.
+        import random
+
+        rng = random.Random(7)
+        m = Metrics()
+        owners = list(range(12))
+        for _ in range(2000):
+            owner = rng.choice(owners)
+            delta = rng.randint(-300, 500)
+            m.adjust_state(owner, delta)
+            assert m.total_state_bytes == sum(
+                m.state_bytes_of(o) for o in owners
+            )
+        assert m.peak_state_bytes >= m.total_state_bytes
+
+
+class TestChargeEvents:
+    def test_bulk_equals_repeated_charges(self):
+        # The contract the batch path relies on: n bulk events are
+        # bit-identical to n individual charges, for costs that are not
+        # exactly representable in binary floating point.
+        a, b = Metrics(), Metrics()
+        cost = 3.0e-7
+        for _ in range(1017):
+            a.charge(cost)
+        b.charge_events(1017, cost)
+        assert a.clock == b.clock
+        assert a.cpu_time == b.cpu_time
+
+    def test_grouping_insensitive(self):
+        a, b = Metrics(), Metrics()
+        a.charge_events(500, 1.0e-6)
+        a.charge_events(500, 1.0e-6)
+        b.charge_events(1000, 1.0e-6)
+        assert a.clock == b.clock
+
 
 class TestCounters:
     def test_lazy_creation(self):

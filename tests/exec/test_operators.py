@@ -220,11 +220,278 @@ class TestSemiJoinMechanics:
         assert sj.state_complete(1)
 
 
+class TestFilterCostAccounting:
+    """Regression: rows pruned by an injected AIP filter must not be
+    billed for a predicate they never evaluate (the old code charged
+    ``predicate_eval`` up front, understating AIP's CPU savings)."""
+
+    def _filter(self, ctx):
+        from repro.exec.operators.filter import PFilter
+        f = PFilter(ctx, 60, LEFT, col("a").gt(0))
+        sink = POutput(ctx, 61, LEFT)
+        sink.connect_child(f, 0)
+        return f, sink
+
+    def test_pruned_row_skips_predicate_charge(self, ctx):
+        cm = ctx.cost_model
+        f, _ = self._filter(ctx)
+        f.register_filter(0, "a", HashSetSummary.from_values([99]))
+        before = ctx.metrics.cpu_time
+        f.push((1, "pruned"), 0)
+        charged = ctx.metrics.cpu_time - before
+        # One touch plus one filter probe; no predicate evaluation.
+        assert charged == pytest.approx(cm.tuple_base + cm.semijoin_probe)
+        assert charged < cm.tuple_base + cm.semijoin_probe + cm.predicate_eval
+
+    def test_surviving_row_still_pays_predicate(self, ctx):
+        cm = ctx.cost_model
+        f, sink = self._filter(ctx)
+        f.register_filter(0, "a", HashSetSummary.from_values([1]))
+        before = ctx.metrics.cpu_time
+        f.push((1, "kept"), 0)
+        charged = ctx.metrics.cpu_time - before
+        # Filter's own charges plus the sink's touch of the emitted row.
+        assert charged == pytest.approx(
+            cm.tuple_base + cm.semijoin_probe + cm.predicate_eval
+            + cm.tuple_base
+        )
+        assert sink.rows == [(1, "kept")]
+
+    def test_no_filter_unchanged(self, ctx):
+        cm = ctx.cost_model
+        f, _ = self._filter(ctx)
+        before = ctx.metrics.cpu_time
+        f.push((1, "x"), 0)
+        charged = ctx.metrics.cpu_time - before
+        assert charged == pytest.approx(
+            cm.tuple_base + cm.predicate_eval + cm.tuple_base
+        )
+
+    def test_project_pruned_row_skips_output_build(self, ctx):
+        from repro.exec.operators.project import PProject
+        from repro.expr.expressions import Col
+
+        cm = ctx.cost_model
+        p = PProject(ctx, 62, LEFT, LEFT, [("a", Col("a")), ("a_name", Col("a_name"))])
+        sink = POutput(ctx, 63, LEFT)
+        sink.connect_child(p, 0)
+        p.register_filter(0, "a", HashSetSummary.from_values([99]))
+        before = ctx.metrics.cpu_time
+        p.push((1, "pruned"), 0)
+        charged = ctx.metrics.cpu_time - before
+        # Touch plus filter probe; no output tuple was built.
+        assert charged == pytest.approx(cm.tuple_base + cm.semijoin_probe)
+
+    def test_distinct_pruned_row_skips_hash_probe(self, ctx):
+        cm = ctx.cost_model
+        d = PDistinct(ctx, 64, LEFT)
+        sink = POutput(ctx, 65, LEFT)
+        sink.connect_child(d, 0)
+        d.register_filter(0, "a", HashSetSummary.from_values([99]))
+        before = ctx.metrics.cpu_time
+        d.push((1, "pruned"), 0)
+        charged = ctx.metrics.cpu_time - before
+        # Touch plus filter probe; the seen-set was never probed.
+        assert charged == pytest.approx(cm.tuple_base + cm.semijoin_probe)
+
+
+class TestPushBatchMatchesPush:
+    """Operator-level cross-check: push_batch must reproduce push's
+    rows, charges and state for the same input sequence."""
+
+    def _fresh_ctx(self):
+        from repro.data.catalog import Catalog
+        return ExecutionContext(Catalog())
+
+    def _compare(self, build, feed):
+        """``build(ctx) -> (op, sink)``; ``feed`` maps port->rows."""
+        ctx_a, ctx_b = self._fresh_ctx(), self._fresh_ctx()
+        op_a, sink_a = build(ctx_a)
+        op_b, sink_b = build(ctx_b)
+        for port, rows in feed:
+            for row in rows:
+                op_a.push(row, port)
+            op_b.push_batch(list(rows), port)
+        assert sink_b.rows == sink_a.rows
+        assert ctx_b.metrics.clock == ctx_a.metrics.clock
+        assert (
+            ctx_b.metrics.peak_state_bytes == ctx_a.metrics.peak_state_bytes
+        )
+        assert (
+            ctx_b.metrics.total_state_bytes == ctx_a.metrics.total_state_bytes
+        )
+        ca = ctx_a.metrics.counters(op_a.op_id)
+        cb = ctx_b.metrics.counters(op_b.op_id)
+        assert (cb.tuples_in, cb.tuples_out, cb.tuples_pruned) == (
+            ca.tuples_in, ca.tuples_out, ca.tuples_pruned
+        )
+
+    def test_hash_join_batch(self):
+        def build(ctx):
+            return join_with_sink(ctx)
+
+        self._compare(build, [
+            (0, [(1, "l1"), (2, "l2"), (1, "l3")]),
+            (1, [(1, "r1"), (3, "r2"), (1, "r3")]),
+            (0, [(1, "l4"), (3, "l5")]),
+        ])
+
+    def test_hash_join_batch_with_residual(self):
+        def build(ctx):
+            join = PHashJoin(
+                ctx, 1, LEFT, RIGHT, ["a"], ["b"],
+                residual=col("a_name").ne(col("b_name")),
+            )
+            sink = POutput(ctx, 2, join.out_schema)
+            sink.connect_child(join, 0)
+            return join, sink
+
+        self._compare(build, [
+            (0, [(1, "same"), (1, "diff")]),
+            (1, [(1, "same"), (1, "other")]),
+        ])
+
+    def test_semijoin_batch(self):
+        def build(ctx):
+            sj = PSemiJoin(ctx, 40, LEFT, RIGHT, ["a"], ["b"])
+            sink = POutput(ctx, 41, LEFT)
+            sink.connect_child(sj, 0)
+            return sj, sink
+
+        self._compare(build, [
+            (0, [(1, "w1"), (2, "w2"), (1, "w3")]),
+            (1, [(1, "s1"), (1, "dup"), (3, "s2")]),
+            (0, [(1, "hit"), (4, "miss")]),
+        ])
+
+    def test_groupby_batch(self):
+        def build(ctx):
+            gb = PGroupBy(
+                ctx, 20, LEFT,
+                Schema.of(("a", INT), ("total", INT)),
+                ["a"], [AggregateSpec(SUM, col("a"), "total")],
+            )
+            sink = POutput(ctx, 21, gb.out_schema)
+            sink.connect_child(gb, 0)
+            return gb, sink
+
+        self._compare(build, [
+            (0, [(1, "x"), (1, "y"), (2, "z"), (1, "w")]),
+        ])
+
+    def test_distinct_batch(self):
+        def build(ctx):
+            d = PDistinct(ctx, 30, LEFT)
+            sink = POutput(ctx, 31, LEFT)
+            sink.connect_child(d, 0)
+            return d, sink
+
+        self._compare(build, [
+            (0, [(1, "x"), (1, "x"), (2, "y"), (1, "x"), (3, "z")]),
+        ])
+
+    def test_batch_vets_injected_filters(self):
+        def build(ctx):
+            join, sink = join_with_sink(ctx)
+            join.register_filter(0, "a", HashSetSummary.from_values([1, 3]))
+            join.register_filter(0, "a", HashSetSummary.from_values([1]))
+            return join, sink
+
+        self._compare(build, [
+            (0, [(1, "kept"), (2, "cut-first"), (3, "cut-second")]),
+            (1, [(1, "r")]),
+        ])
+
+    def test_semijoin_batch_after_tuples_skips_duplicate_source_keys(self):
+        # The per-tuple path returns before ``after_tuple`` for
+        # duplicate source keys; the batch path must hand the strategy
+        # the same row set.
+        from repro.exec.context import ExecutionStrategy
+
+        class Recorder(ExecutionStrategy):
+            def __init__(self):
+                self.rows = []
+
+            def after_tuple(self, op, port, row):
+                self.rows.append((port, row))
+
+        def run(driver):
+            ctx = self._fresh_ctx()
+            recorder = ctx.strategy = Recorder()
+            sj = PSemiJoin(ctx, 40, LEFT, RIGHT, ["a"], ["b"])
+            sink = POutput(ctx, 41, LEFT)
+            sink.connect_child(sj, 0)
+            driver(sj)
+            return recorder.rows
+
+        source_rows = [(1, "s1"), (1, "dup"), (2, "s2")]
+        tuple_seen = run(lambda sj: [sj.push(r, 1) for r in source_rows])
+        batch_seen = run(lambda sj: sj.push_batch(list(source_rows), 1))
+        assert batch_seen == tuple_seen
+        assert len(tuple_seen) == 2  # the duplicate never reaches the hook
+
+    def test_default_push_batch_falls_back_to_push(self):
+        from repro.exec.operators.base import Operator
+
+        calls = []
+
+        class Custom(Operator):
+            def push(self, row, port=0):
+                calls.append(row)
+                self.emit(row)
+
+            def finish(self, port=0):
+                self.finish_output()
+
+        ctx = self._fresh_ctx()
+        op = Custom(ctx, 70, LEFT, [LEFT], "Custom")
+        sink = POutput(ctx, 71, LEFT)
+        sink.connect_child(op, 0)
+        op.push_batch([(1, "a"), (2, "b")], 0)
+        assert calls == [(1, "a"), (2, "b")]
+        assert sink.rows == [(1, "a"), (2, "b")]
+        assert Custom.batch_safe  # custom operators batch by default
+
+
 class TestScanMechanics:
     def test_scan_rejects_push(self, ctx):
         s = PScan(ctx, 50, LEFT, [(1, "x")])
         with pytest.raises(AssertionError):
             s.push((1, "x"), 0)
+
+    def test_emit_without_pending_raises_execution_error(self, ctx):
+        # Not a bare assert: must survive ``python -O`` — a silent pass
+        # here would turn a driver bug into row loss.
+        s = PScan(ctx, 56, LEFT, [(1, "x")])
+        with pytest.raises(ExecutionError):
+            s.emit_pending()
+        with pytest.raises(ExecutionError):
+            s.emit_pending_batch(0)
+
+    def test_emit_pending_batch_drains_immediate_rows(self, ctx):
+        s = PScan(ctx, 57, LEFT, [(1, "a"), (2, "b"), (3, "c")])
+        sink = POutput(ctx, 58, LEFT)
+        sink.connect_child(s, 0)
+        when = s.prime()
+        ctx.metrics.wait_until(when)
+        nxt = s.emit_pending_batch(ctx.metrics.clock_ticks)
+        assert nxt is None  # immediate arrivals: one batch drains all
+        assert s.exhausted
+        assert sink.rows == [(1, "a"), (2, "b"), (3, "c")]
+
+    def test_emit_pending_batch_respects_boundary(self, ctx):
+        s = PScan(ctx, 59, LEFT, [(1, "a"), (2, "b"), (3, "c")])
+        sink = POutput(ctx, 60, LEFT)
+        sink.connect_child(s, 0)
+        when = s.prime()
+        ctx.metrics.wait_until(when)
+        # A competing event at time zero that wins the heap tie stops
+        # the batch after the already-pending row.
+        nxt = s.emit_pending_batch(
+            ctx.metrics.clock_ticks, boundary_when=0.0, boundary_first=True
+        )
+        assert nxt == 0.0
+        assert sink.rows == [(1, "a")]
 
     def test_scan_engine_side_filter(self, ctx):
         s = PScan(ctx, 51, LEFT, [(1, "x"), (2, "y")])
