@@ -1,0 +1,142 @@
+"""Summary-layer throughput: word-indexed bitset vs big-int reference.
+
+Measures Bloom build and probe throughput at paper-scale filter
+geometries (default: a filter sized for 1M keys at the paper's 5% FP
+rate, ~20M bits), across two axes:
+
+* **storage** — the production word-indexed ``array('Q')`` bitset vs
+  the retained big-int reference (``BigIntBloomFilter``), whose every
+  ``add``/probe copies or shifts the whole bit array;
+* **call shape** — per-element ``add``/``might_contain`` vs the batch
+  ``add_many``/``might_contain_many`` forms the engine's vectorized
+  path uses.
+
+The big-int baseline is *sampled*: its per-operation cost is
+O(``n_bits``) regardless of how many keys have been inserted, so timing
+a subset of keys at the full 1M-key geometry measures the same
+per-operation cost without waiting minutes for a full quadratic build.
+Throughputs are keys/second either way.
+
+Usage:
+    PYTHONPATH=src python benchmarks/bench_summary_layer.py
+    PYTHONPATH=src python benchmarks/bench_summary_layer.py --smoke
+
+Exits non-zero when the word-indexed batch forms fail the regression
+floors (build ≥ 5x, probe ≥ 2x over the big-int baseline) — ``--smoke``
+runs a reduced geometry for CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.summaries.bloom import BigIntBloomFilter, BloomFilter, bits_for
+
+#: Regression floors from the issue: the word-indexed batch layer must
+#: beat the big-int baseline by at least this much.
+BUILD_FLOOR = 5.0
+PROBE_FLOOR = 2.0
+
+
+def _time(fn) -> float:
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+def bench_impl(cls, n_keys: int, n_bits: int, sample: int, repeat: int):
+    """Best-of-``repeat`` build/probe throughputs (keys/s) for one
+    storage class, in per-element and batch call shapes.
+
+    ``sample`` bounds how many keys are actually timed; the filter
+    geometry (and so the per-operation cost) stays at the full
+    ``n_bits``.  Probes run against a filter holding ``sample`` keys —
+    per-probe cost depends only on geometry, not fill.
+    """
+    keys = list(range(sample))
+    probes = list(range(sample // 2, sample // 2 + sample))
+    out = {}
+    for shape in ("element", "batch"):
+        build_best = probe_best = float("inf")
+        for _ in range(repeat):
+            bloom = cls(0, n_bits=n_bits)
+            if shape == "batch":
+                build_best = min(build_best, _time(lambda: bloom.add_many(keys)))
+                probe_best = min(
+                    probe_best, _time(lambda: bloom.might_contain_many(probes))
+                )
+            else:
+                def build():
+                    add = bloom.add
+                    for k in keys:
+                        add(k)
+
+                def probe():
+                    mc = bloom.might_contain
+                    for p in probes:
+                        mc(p)
+
+                build_best = min(build_best, _time(build))
+                probe_best = min(probe_best, _time(probe))
+        out[shape] = (len(keys) / build_best, len(probes) / probe_best)
+    return out
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--keys", type=int, default=1_000_000,
+                        help="keys the filter is sized for (default 1M)")
+    parser.add_argument("--sample", type=int, default=20_000,
+                        help="keys actually timed for the big-int "
+                             "baseline (default 20k)")
+    parser.add_argument("--repeat", type=int, default=3,
+                        help="repetitions; best-of is reported")
+    parser.add_argument("--smoke", action="store_true",
+                        help="reduced geometry for CI; same floors")
+    args = parser.parse_args(argv)
+
+    n_keys = 100_000 if args.smoke else args.keys
+    sample = min(5_000 if args.smoke else args.sample, n_keys)
+    n_bits = bits_for(n_keys, 0.05, 1)
+
+    print("summary layer: word-indexed vs big-int Bloom "
+          "(%d-key geometry, %d bits, sample=%d, best of %d)"
+          % (n_keys, n_bits, sample, args.repeat))
+    print("%-28s %16s %16s" % ("configuration", "build keys/s", "probe keys/s"))
+
+    word_full = bench_impl(
+        BloomFilter, n_keys, n_bits, sample=n_keys, repeat=args.repeat
+    )
+    ref = bench_impl(
+        BigIntBloomFilter, n_keys, n_bits, sample=sample, repeat=args.repeat
+    )
+    rows = [
+        ("bigint / per-element", ref["element"]),
+        ("bigint / batch", ref["batch"]),
+        ("word / per-element", word_full["element"]),
+        ("word / batch", word_full["batch"]),
+    ]
+    for label, (build, probe) in rows:
+        print("%-28s %16.0f %16.0f" % (label, build, probe))
+
+    base_build, base_probe = ref["element"]
+    batch_build, batch_probe = word_full["batch"]
+    build_x = batch_build / base_build
+    probe_x = batch_probe / base_probe
+    print("word-batch vs bigint-element: build %.1fx, probe %.1fx"
+          % (build_x, probe_x))
+    print("word batch vs word per-element: build %.2fx, probe %.2fx"
+          % (batch_build / word_full["element"][0],
+             batch_probe / word_full["element"][1]))
+
+    if build_x < BUILD_FLOOR or probe_x < PROBE_FLOOR:
+        print("FAIL: below regression floors (build ≥ %gx, probe ≥ %gx)"
+              % (BUILD_FLOOR, PROBE_FLOOR))
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -292,10 +292,8 @@ class FeedForwardStrategy(ExecutionStrategy):
             len(rows) * len(sets), self.ctx.cost_model.aip_insert
         )
         for ws in sets:
-            add = ws.aip_set.add
             idx = ws.key_index
-            for row in rows:
-                add(row[idx])
+            ws.aip_set.add_many([row[idx] for row in rows])
 
     def _enforce_budget(self) -> None:
         """Shed working-set state until under the configured budget.
@@ -359,11 +357,14 @@ class FeedForwardStrategy(ExecutionStrategy):
                 self.prune_uninterested and not self.registry.is_wanted(attr)
             ):
                 continue
-            values = list(op.state_values(port, attr))
-            self.ctx.charge(len(values) * cm.aip_build_per_row)
+            # Build straight from the state iterator — one pass, no
+            # intermediate list — then charge from the element count the
+            # summary recorded (identical to pre-counting the values).
             aip_set = AIPSet.from_values(
-                attr, spec, "%s:%d!" % (op.name, port), values
+                attr, spec, "%s:%d!" % (op.name, port),
+                op.state_values(port, attr),
             )
+            self.ctx.charge(aip_set.summary.n_added * cm.aip_build_per_row)
             self.ctx.metrics.adjust_state(self._state_owner, aip_set.byte_size())
             self.ctx.metrics.aip_sets_created += 1
             self.ctx.notify_aip_publish(op, port, aip_set)
@@ -403,10 +404,7 @@ class FeedForwardStrategy(ExecutionStrategy):
         cm = self.ctx.cost_model
         for completed_attr, streaming_attr, streaming_op in opportunities:
             minmax = MinMaxSummary()
-            n = 0
-            for value in op.state_values(port, completed_attr):
-                minmax.add(value)
-                n += 1
+            n = minmax.add_many(op.state_values(port, completed_attr))
             self.ctx.charge(n * cm.aip_build_per_row)
             bound = BoundSummary.for_predicate(streaming_op, minmax)
             if bound is None:

@@ -357,7 +357,14 @@ class CostBasedStrategy(ExecutionStrategy):
         self, scan: PScan, attr: str, aip_set: AIPSet
     ) -> None:
         """Distributed AIP: send the filter to the remote site; it takes
-        effect after polling staleness plus transfer time."""
+        effect after polling staleness plus transfer time.
+
+        Bloom filters cross the simulated wire by value — geometry plus
+        the word buffer (:meth:`BloomFilter.to_payload`) — so the remote
+        site holds its own copy, exactly as a real deployment would.
+        The copy is built from completed state and never mutated, so
+        probe outcomes are identical to sharing the object.
+        """
         ship_key = (scan.op_id, aip_set.eq_root)
         if ship_key in self._shipped:
             return
@@ -370,7 +377,10 @@ class CostBasedStrategy(ExecutionStrategy):
             + cm.network_latency
             + cm.transfer_time(size)
         )
-        scan.install_source_filter(attr, aip_set.summary, activation)
+        summary = aip_set.summary
+        if isinstance(summary, BloomFilter):
+            summary = type(summary).from_payload(summary.to_payload())
+        scan.install_source_filter(attr, summary, activation)
         self.ctx.metrics.aip_bytes_shipped += size
         self.ctx.log(
             "shipped %d-byte filter on %s to site %s (active t=%g)"

@@ -12,10 +12,15 @@ intersection, as Section IV-A prescribes.
 
 from __future__ import annotations
 
-from typing import Hashable, Iterable, Optional
+from typing import Hashable, Iterable, List, Optional
 
 from repro.summaries.base import Summary
-from repro.summaries.bloom import DEFAULT_FP_RATE, BloomFilter, bits_for
+from repro.summaries.bloom import (
+    DEFAULT_FP_RATE,
+    BloomFilter,
+    active_bloom_impl,
+    bits_for,
+)
 from repro.summaries.hashset import HashSetSummary
 
 BLOOM = "bloom"
@@ -48,7 +53,9 @@ class AIPSetSpec:
     def new_summary(self) -> Summary:
         if self.kind == HASHSET:
             return HashSetSummary()
-        return BloomFilter(
+        # ``active_bloom_impl`` is the word-indexed BloomFilter except
+        # under the equivalence suite's big-int reference mode.
+        return active_bloom_impl()(
             0,
             fp_rate=self.fp_rate,
             n_hashes=self.n_hashes,
@@ -84,14 +91,23 @@ class AIPSet:
         source_label: str,
         values: Iterable[Hashable],
     ) -> "AIPSet":
+        """Build a completed set in one ``add_many`` pass.  ``values``
+        may be a lazy iterator — it is consumed exactly once, and the
+        element count is afterwards available as ``summary.n_added``."""
         aip_set = cls(attr, spec, source_label)
-        for v in values:
-            aip_set.summary.add(v)
+        aip_set.summary.add_many(values)
         aip_set.complete = True
         return aip_set
 
     def add(self, value: Hashable) -> None:
         self.summary.add(value)
+
+    def add_many(self, values: Iterable[Hashable]) -> None:
+        self.summary.add_many(values)
+
+    def probe_many(self, values: Iterable[Hashable]) -> List[bool]:
+        """Batch membership, one verdict per value in order."""
+        return self.summary.might_contain_many(values)
 
     def __contains__(self, value: Hashable) -> bool:
         return value in self.summary

@@ -15,12 +15,27 @@ import zlib
 from typing import Hashable
 
 
+#: Bounded memo for string CRCs.  Summary probes hash the same join-key
+#: strings over and over (every injected filter re-keys every arriving
+#: tuple), so the encode+CRC pair dominates the probe path; the memo is
+#: cleared wholesale at the cap rather than tracking recency, which
+#: keeps the hit path to a single dict lookup.
+_STR_KEYS: dict = {}
+_STR_KEYS_CAP = 1 << 16
+
+
 def stable_key(value: Hashable) -> Hashable:
     """Map a value to an equal-semantics key whose ``hash()`` is stable
     across processes.  Distinct strings map to distinct-ish CRC32 keys;
     collisions only cost summary precision, never correctness."""
     if isinstance(value, str):
-        return zlib.crc32(value.encode("utf-8"))
+        key = _STR_KEYS.get(value)
+        if key is None:
+            key = zlib.crc32(value.encode("utf-8"))
+            if len(_STR_KEYS) >= _STR_KEYS_CAP:
+                _STR_KEYS.clear()
+            _STR_KEYS[value] = key
+        return key
     if isinstance(value, bytes):
         return zlib.crc32(value)
     if isinstance(value, tuple):

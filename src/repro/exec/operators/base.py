@@ -49,6 +49,23 @@ class InjectedFilter:
         self.pruned += 1
         return False
 
+    def passes_many(self, rows: List[Row]) -> List[Row]:
+        """Probe a whole batch in one summary call, returning the
+        surviving rows in order.  ``probed``/``pruned`` advance exactly
+        as ``passes`` called per row would advance them."""
+        if not rows:
+            return rows
+        self.probed += len(rows)
+        idx = self.key_index
+        verdicts = self.summary.might_contain_many(
+            [row[idx] for row in rows]
+        )
+        if all(verdicts):
+            return rows
+        survivors = [row for row, ok in zip(rows, verdicts) if ok]
+        self.pruned += len(rows) - len(survivors)
+        return survivors
+
 
 class Operator:
     """Base class for all physical operators."""
@@ -175,8 +192,9 @@ class Operator:
         alive = rows
         for f in filters:
             self.ctx.charge_events(len(alive), cost)
-            passes = f.passes
-            alive = [row for row in alive if passes(row)]
+            alive = f.passes_many(alive)
+            if not alive:
+                break
         pruned = len(rows) - len(alive)
         if pruned:
             self.ctx.metrics.counters(self.op_id).tuples_pruned += pruned

@@ -11,7 +11,7 @@ semijoin ``E_Pu ⋉ E_A``.
 from __future__ import annotations
 
 import abc
-from typing import Hashable
+from typing import Hashable, Iterable, List
 
 
 class Summary(abc.ABC):
@@ -24,6 +24,19 @@ class Summary(abc.ABC):
     @abc.abstractmethod
     def might_contain(self, value: Hashable) -> bool:
         """True if ``value`` may have been added (no false negatives)."""
+
+    def add_many(self, values: Iterable[Hashable]) -> None:
+        """Record a batch of values; must leave the summary in exactly
+        the state ``add`` called per element would.  Subclasses override
+        with bodies that hoist hashing and bookkeeping out of the loop."""
+        for v in values:
+            self.add(v)
+
+    def might_contain_many(self, values: Iterable[Hashable]) -> List[bool]:
+        """Batch membership probe, one verdict per value in order;
+        element-wise identical to ``might_contain``."""
+        mc = self.might_contain
+        return [mc(v) for v in values]
 
     @abc.abstractmethod
     def byte_size(self) -> int:

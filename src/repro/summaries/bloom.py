@@ -10,13 +10,35 @@ bitwise **intersection** tightens two filters over the same key to
 their common values (used by the AIP Registry when several completed
 subexpressions constrain the same attribute), and **union** combines
 filters built over partitions of the same relation.
+
+Storage layout
+--------------
+
+:class:`BloomFilter` keeps its bits in a flat ``array('Q')`` of 64-bit
+words — bit ``pos`` lives at ``words[pos >> 6], 1 << (pos & 63)`` — so
+``add`` and ``might_contain`` touch one machine word instead of
+shifting one Python big int of ``n_bits`` bits (which copies the whole
+bit array per operation, making builds quadratic).  Bit *positions* are
+unchanged from the original big-int layout: ``bits_as_int()`` of the
+word array equals the big int the original implementation would hold,
+which the equivalence suite and :class:`BigIntBloomFilter` (the
+retained reference implementation) verify bit-for-bit.
+
+Filters cross process boundaries in the distributed simulation by
+value: :meth:`to_payload` / :meth:`from_payload` serialize geometry
+plus the little-endian word buffer, and both implementations speak the
+same wire format.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Hashable, Iterable, Optional
+import sys
+from array import array
+from contextlib import contextmanager
+from typing import Hashable, Iterable, List, Optional
 
+from repro.common.hashing import stable_key
 from repro.summaries.base import Summary
 
 #: Paper configuration: one hash function, 5% target false positives.
@@ -46,11 +68,12 @@ def bits_for(expected_items: int, fp_rate: float, hash_count: int) -> int:
 class BloomFilter(Summary):
     """A classic Bloom filter over hashable values.
 
-    The bit array is a Python ``int`` used as a bitset; bitwise AND/OR
-    give constant-simplicity intersection and union.
+    The bit array is a flat ``array('Q')`` word buffer; word-wise
+    AND/OR give linear-in-words intersection and union, and single-bit
+    operations touch exactly one word.
     """
 
-    __slots__ = ("n_bits", "n_hashes", "seed", "_bits", "n_added")
+    __slots__ = ("n_bits", "n_hashes", "seed", "_words", "n_added")
 
     def __init__(
         self,
@@ -73,8 +96,11 @@ class BloomFilter(Summary):
             raise ValueError("n_bits must be positive")
         self.n_hashes = n_hashes
         self.seed = seed
-        self._bits = 0
+        self._init_storage()
         self.n_added = 0
+
+    def _init_storage(self) -> None:
+        self._words = array("Q", bytes(8 * ((self.n_bits + 63) >> 6)))
 
     @classmethod
     def from_values(
@@ -88,35 +114,97 @@ class BloomFilter(Summary):
         values = list(values) if expected_items is None else values
         n = expected_items if expected_items is not None else len(values)
         bloom = cls(n, fp_rate=fp_rate, n_hashes=n_hashes, seed=seed)
-        for v in values:
-            bloom.add(v)
+        bloom.add_many(values)
         return bloom
 
     def _positions(self, value: Hashable):
-        from repro.common.hashing import stable_key
-
         key = stable_key(value)
         for i in range(self.n_hashes):
             yield hash((self.seed, i, key)) % self.n_bits
 
     def add(self, value: Hashable) -> None:
-        for pos in self._positions(value):
-            self._bits |= 1 << pos
+        words = self._words
+        n_bits = self.n_bits
+        seed = self.seed
+        if self.n_hashes == 1:
+            pos = hash((seed, 0, stable_key(value))) % n_bits
+            words[pos >> 6] |= 1 << (pos & 63)
+        else:
+            key = stable_key(value)
+            for i in range(self.n_hashes):
+                pos = hash((seed, i, key)) % n_bits
+                words[pos >> 6] |= 1 << (pos & 63)
         self.n_added += 1
 
+    def add_many(self, values: Iterable[Hashable]) -> None:
+        words = self._words
+        n_bits = self.n_bits
+        seed = self.seed
+        n = 0
+        if self.n_hashes == 1:
+            for value in values:
+                pos = hash((seed, 0, stable_key(value))) % n_bits
+                words[pos >> 6] |= 1 << (pos & 63)
+                n += 1
+        else:
+            n_hashes = self.n_hashes
+            for value in values:
+                key = stable_key(value)
+                for i in range(n_hashes):
+                    pos = hash((seed, i, key)) % n_bits
+                    words[pos >> 6] |= 1 << (pos & 63)
+                n += 1
+        self.n_added += n
+
     def might_contain(self, value: Hashable) -> bool:
-        for pos in self._positions(value):
-            if not (self._bits >> pos) & 1:
+        words = self._words
+        n_bits = self.n_bits
+        seed = self.seed
+        if self.n_hashes == 1:
+            pos = hash((seed, 0, stable_key(value))) % n_bits
+            return bool((words[pos >> 6] >> (pos & 63)) & 1)
+        key = stable_key(value)
+        for i in range(self.n_hashes):
+            pos = hash((seed, i, key)) % n_bits
+            if not (words[pos >> 6] >> (pos & 63)) & 1:
                 return False
         return True
+
+    def might_contain_many(self, values: Iterable[Hashable]) -> List[bool]:
+        words = self._words
+        n_bits = self.n_bits
+        seed = self.seed
+        if self.n_hashes == 1:
+            return [
+                (words[pos >> 6] >> (pos & 63)) & 1 == 1
+                for pos in (
+                    hash((seed, 0, stable_key(v))) % n_bits for v in values
+                )
+            ]
+        mc = self.might_contain
+        return [mc(v) for v in values]
 
     def byte_size(self) -> int:
         return self.n_bits // 8 + 1
 
+    def bits_as_int(self) -> int:
+        """The bit array as one big int — the original storage layout;
+        used by merge/equivalence checks, never on the hot path."""
+        words = self._words
+        if sys.byteorder != "little":  # pragma: no cover - BE hosts
+            words = array("Q", words)
+            words.byteswap()
+        return int.from_bytes(words.tobytes(), "little")
+
     @property
     def fill_fraction(self) -> float:
-        """Fraction of bits set; the expected FP rate with one hash."""
-        return bin(self._bits).count("1") / self.n_bits
+        """Fraction of bits set; the expected FP rate with one hash.
+
+        Per-word popcount — the big-int form (``bin(bits).count("1")``)
+        materialised an ``n_bits``-character string per call, which the
+        FP-rate ablation invokes at multi-megabit geometries.
+        """
+        return sum(word.bit_count() for word in self._words) / self.n_bits
 
     def compatible_with(self, other: "BloomFilter") -> bool:
         """True when the two filters share geometry and hash family,
@@ -127,15 +215,22 @@ class BloomFilter(Summary):
             and self.seed == other.seed
         )
 
+    def _merge_blank(self) -> "BloomFilter":
+        merged = type(self).__new__(type(self))
+        merged.n_bits = self.n_bits
+        merged.n_hashes = self.n_hashes
+        merged.seed = self.seed
+        return merged
+
     def intersect(self, other: "BloomFilter") -> "BloomFilter":
         """Bitwise intersection: superset of the true value intersection."""
         if not self.compatible_with(other):
             raise ValueError("cannot intersect incompatible Bloom filters")
-        merged = BloomFilter.__new__(BloomFilter)
-        merged.n_bits = self.n_bits
-        merged.n_hashes = self.n_hashes
-        merged.seed = self.seed
-        merged._bits = self._bits & other._bits
+        merged = self._merge_blank()
+        theirs = other._word_view()
+        merged._words = array(
+            "Q", (a & b for a, b in zip(self._words, theirs))
+        )
         merged.n_added = min(self.n_added, other.n_added)
         return merged
 
@@ -143,15 +238,169 @@ class BloomFilter(Summary):
         """Bitwise union: exactly the filter of the value union."""
         if not self.compatible_with(other):
             raise ValueError("cannot union incompatible Bloom filters")
-        merged = BloomFilter.__new__(BloomFilter)
-        merged.n_bits = self.n_bits
-        merged.n_hashes = self.n_hashes
-        merged.seed = self.seed
-        merged._bits = self._bits | other._bits
+        merged = self._merge_blank()
+        theirs = other._word_view()
+        merged._words = array(
+            "Q", (a | b for a, b in zip(self._words, theirs))
+        )
         merged.n_added = self.n_added + other.n_added
         return merged
 
+    def _word_view(self) -> array:
+        """This filter's bits as an ``array('Q')`` (merge interchange)."""
+        return self._words
+
+    # -- wire format (distributed shipping) -----------------------------
+
+    def to_payload(self) -> dict:
+        """Geometry plus the little-endian word buffer; both storage
+        implementations produce and accept the same format."""
+        words = self._words
+        if sys.byteorder != "little":  # pragma: no cover - BE hosts
+            words = array("Q", words)
+            words.byteswap()
+        return {
+            "kind": "bloom",
+            "n_bits": self.n_bits,
+            "n_hashes": self.n_hashes,
+            "seed": self.seed,
+            "n_added": self.n_added,
+            "words": words.tobytes(),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "BloomFilter":
+        if payload.get("kind") != "bloom":
+            raise ValueError("not a Bloom filter payload")
+        if payload["n_bits"] < 1 or payload["n_hashes"] < 1:
+            raise ValueError("invalid Bloom filter geometry")
+        # Bypass __init__: it would zero-fill a word buffer only for
+        # _load_words to replace it — dead work at paper-scale sizes.
+        bloom = cls.__new__(cls)
+        bloom.n_bits = payload["n_bits"]
+        bloom.n_hashes = payload["n_hashes"]
+        bloom.seed = payload["seed"]
+        bloom._load_words(payload["words"])
+        bloom.n_added = payload["n_added"]
+        return bloom
+
+    def _load_words(self, raw: bytes) -> None:
+        words = array("Q", raw)
+        if sys.byteorder != "little":  # pragma: no cover - BE hosts
+            words.byteswap()
+        if len(words) != (self.n_bits + 63) >> 6:
+            raise ValueError("payload does not match filter geometry")
+        self._words = words
+
     def __repr__(self) -> str:
-        return "BloomFilter(bits=%d, hashes=%d, added=%d)" % (
-            self.n_bits, self.n_hashes, self.n_added,
+        return "%s(bits=%d, hashes=%d, added=%d)" % (
+            type(self).__name__, self.n_bits, self.n_hashes, self.n_added,
         )
+
+
+class BigIntBloomFilter(BloomFilter):
+    """The original big-int-bitset implementation, kept as the reference
+    the word-indexed filter is checked against.
+
+    Bit positions, merge results, ``byte_size`` and ``n_added``
+    bookkeeping are identical to :class:`BloomFilter`; only the storage
+    differs (one Python int, so every ``add`` copies the whole bit
+    array).  The equivalence suite runs entire workloads under this
+    class via :func:`bloom_impl` and demands bit-identical metrics.
+    """
+
+    __slots__ = ("_bits",)
+
+    def _init_storage(self) -> None:
+        self._bits = 0
+
+    def add(self, value: Hashable) -> None:
+        for pos in self._positions(value):
+            self._bits |= 1 << pos
+        self.n_added += 1
+
+    def add_many(self, values: Iterable[Hashable]) -> None:
+        n = 0
+        for value in values:
+            for pos in self._positions(value):
+                self._bits |= 1 << pos
+            n += 1
+        self.n_added += n
+
+    def might_contain(self, value: Hashable) -> bool:
+        for pos in self._positions(value):
+            if not (self._bits >> pos) & 1:
+                return False
+        return True
+
+    def might_contain_many(self, values: Iterable[Hashable]) -> List[bool]:
+        mc = self.might_contain
+        return [mc(v) for v in values]
+
+    def bits_as_int(self) -> int:
+        return self._bits
+
+    @property
+    def fill_fraction(self) -> float:
+        return bin(self._bits).count("1") / self.n_bits
+
+    def _word_view(self) -> array:
+        n_words = (self.n_bits + 63) >> 6
+        words = array("Q", self._bits.to_bytes(8 * n_words, "little"))
+        if sys.byteorder != "little":  # pragma: no cover - BE hosts
+            words.byteswap()
+        return words
+
+    def intersect(self, other: "BloomFilter") -> "BloomFilter":
+        if not self.compatible_with(other):
+            raise ValueError("cannot intersect incompatible Bloom filters")
+        merged = self._merge_blank()
+        merged._bits = self._bits & other.bits_as_int()
+        merged.n_added = min(self.n_added, other.n_added)
+        return merged
+
+    def union(self, other: "BloomFilter") -> "BloomFilter":
+        if not self.compatible_with(other):
+            raise ValueError("cannot union incompatible Bloom filters")
+        merged = self._merge_blank()
+        merged._bits = self._bits | other.bits_as_int()
+        merged.n_added = self.n_added + other.n_added
+        return merged
+
+    def to_payload(self) -> dict:
+        n_words = (self.n_bits + 63) >> 6
+        return {
+            "kind": "bloom",
+            "n_bits": self.n_bits,
+            "n_hashes": self.n_hashes,
+            "seed": self.seed,
+            "n_added": self.n_added,
+            "words": self._bits.to_bytes(8 * n_words, "little"),
+        }
+
+    def _load_words(self, raw: bytes) -> None:
+        if len(raw) != 8 * ((self.n_bits + 63) >> 6):
+            raise ValueError("payload does not match filter geometry")
+        self._bits = int.from_bytes(raw, "little")
+
+
+#: The Bloom implementation new AIP-set specs instantiate.  Swapped to
+#: the big-int reference by the equivalence suite; production code never
+#: changes it.
+_ACTIVE_IMPL: List[type] = [BloomFilter]
+
+
+def active_bloom_impl() -> type:
+    return _ACTIVE_IMPL[0]
+
+
+@contextmanager
+def bloom_impl(cls: type):
+    """Temporarily make ``cls`` the implementation behind every newly
+    built AIP-set summary (see ``AIPSetSpec.new_summary``)."""
+    prev = _ACTIVE_IMPL[0]
+    _ACTIVE_IMPL[0] = cls
+    try:
+        yield
+    finally:
+        _ACTIVE_IMPL[0] = prev

@@ -42,11 +42,34 @@ class MinMaxSummary:
             self.max = value
         self.count += 1
 
+    def add_many(self, values: Iterable) -> int:
+        """Fold a batch into the running bounds in one streaming pass
+        (O(1) memory — ``values`` may be a huge state iterator); returns
+        the number of values consumed (including ``None`` entries, which
+        the bounds themselves skip) so callers can charge per value
+        scanned."""
+        lo = self.min
+        hi = self.max
+        present = 0
+        n = 0
+        for v in values:
+            n += 1
+            if v is None:
+                continue
+            if lo is None or v < lo:
+                lo = v
+            if hi is None or v > hi:
+                hi = v
+            present += 1
+        self.min = lo
+        self.max = hi
+        self.count += present
+        return n
+
     @classmethod
     def from_values(cls, values: Iterable) -> "MinMaxSummary":
         s = cls()
-        for v in values:
-            s.add(v)
+        s.add_many(values)
         return s
 
     def byte_size(self) -> int:
@@ -87,6 +110,9 @@ class BoundSummary(Summary):
     def add(self, value) -> None:  # pragma: no cover - bounds are static
         raise TypeError("BoundSummary is immutable")
 
+    def add_many(self, values) -> None:  # pragma: no cover - static
+        raise TypeError("BoundSummary is immutable")
+
     def might_contain(self, value) -> bool:
         if value is None:
             return True
@@ -97,6 +123,19 @@ class BoundSummary(Summary):
         if self.op == ">":
             return value > self.bound
         return value >= self.bound
+
+    def might_contain_many(self, values) -> list:
+        """One comparison per value with the operator dispatched once
+        per batch instead of once per probe."""
+        bound = self.bound
+        op = self.op
+        if op == "<":
+            return [v is None or v < bound for v in values]
+        if op == "<=":
+            return [v is None or v <= bound for v in values]
+        if op == ">":
+            return [v is None or v > bound for v in values]
+        return [v is None or v >= bound for v in values]
 
     def byte_size(self) -> int:
         return 16

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Hashable, Iterable, List, Set
 
+from repro.common.hashing import stable_key
 from repro.summaries.base import Summary
 
 _VALUE_BYTES = 12  # rough per-entry cost: value + set overhead share
@@ -35,13 +36,10 @@ class HashSetSummary(Summary):
         cls, values: Iterable[Hashable], n_buckets: int = 64
     ) -> "HashSetSummary":
         summary = cls(n_buckets)
-        for v in values:
-            summary.add(v)
+        summary.add_many(values)
         return summary
 
     def _bucket_of(self, value: Hashable) -> int:
-        from repro.common.hashing import stable_key
-
         return hash(stable_key(value)) % self.n_buckets
 
     def add(self, value: Hashable) -> None:
@@ -50,11 +48,34 @@ class HashSetSummary(Summary):
             self._buckets[b].add(value)
         self.n_added += 1
 
+    def add_many(self, values: Iterable[Hashable]) -> None:
+        buckets = self._buckets
+        discarded = self._discarded
+        n_buckets = self.n_buckets
+        n = 0
+        for value in values:
+            b = hash(stable_key(value)) % n_buckets
+            if not discarded[b]:
+                buckets[b].add(value)
+            n += 1
+        self.n_added += n
+
     def might_contain(self, value: Hashable) -> bool:
         b = self._bucket_of(value)
         if self._discarded[b]:
             return True  # pass-through: never a false negative
         return value in self._buckets[b]
+
+    def might_contain_many(self, values: Iterable[Hashable]) -> List[bool]:
+        buckets = self._buckets
+        discarded = self._discarded
+        n_buckets = self.n_buckets
+        out: List[bool] = []
+        append = out.append
+        for value in values:
+            b = hash(stable_key(value)) % n_buckets
+            append(True if discarded[b] else value in buckets[b])
+        return out
 
     def discard_bucket(self, bucket: int) -> int:
         """Drop one bucket's contents; returns bytes reclaimed."""

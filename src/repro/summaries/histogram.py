@@ -60,8 +60,7 @@ class HistogramSummary(Summary):
             if hi <= lo:
                 hi = math.nextafter(float(lo), math.inf)
         hist = cls(lo, hi, n_buckets)
-        for v in materialised:
-            hist.add(v)
+        hist.add_many(materialised)
         return hist
 
     def _bucket_of(self, value: Number) -> int:
@@ -73,8 +72,33 @@ class HistogramSummary(Summary):
         self._counts[self._bucket_of(value)] += 1
         self.n_added += 1
 
+    def add_many(self, values: Iterable[Number]) -> None:
+        counts = self._counts
+        lo = self.lo
+        span = self.hi - self.lo
+        n_buckets = self.n_buckets
+        top = n_buckets - 1
+        n = 0
+        for value in values:
+            bucket = int((float(value) - lo) / span * n_buckets)
+            counts[min(max(bucket, 0), top)] += 1
+            n += 1
+        self.n_added += n
+
     def might_contain(self, value: Number) -> bool:
         return self._counts[self._bucket_of(value)] > 0
+
+    def might_contain_many(self, values: Iterable[Number]) -> List[bool]:
+        counts = self._counts
+        lo = self.lo
+        span = self.hi - self.lo
+        n_buckets = self.n_buckets
+        top = n_buckets - 1
+        return [
+            counts[min(max(int((float(v) - lo) / span * n_buckets), 0), top)]
+            > 0
+            for v in values
+        ]
 
     def might_overlap(self, lo: Number, hi: Number) -> bool:
         """True if any value in ``[lo, hi]`` may be present."""

@@ -9,6 +9,13 @@ intermediate state, and per-operator counters.  The clock guarantee
 rests on integer-tick accounting (``Metrics.charge_events``); the
 peak-state guarantee rests on the engine only batching plans whose
 mid-stream state deltas are all non-negative (``supports_batching``).
+
+A second axis covers the summary layer: the word-indexed Bloom bitset
+(production) versus the retained big-int reference implementation
+(``BigIntBloomFilter``), crossed with per-element versus batch summary
+operations.  Identical bit positions mean every pruning decision — and
+therefore rows, clock, peak state and ``pruned``/``probed`` counters —
+must be bit-identical across all four combinations.
 """
 
 import pytest
@@ -18,6 +25,7 @@ from repro.exec.context import ExecutionContext
 from repro.harness.concurrent import run_concurrent
 from repro.harness.runner import run_workload_query
 from repro.harness.strategies import make_strategy
+from repro.summaries.bloom import BigIntBloomFilter, bloom_impl
 from repro.workloads.registry import QUERIES, get_query
 
 SCALE = 0.001
@@ -72,6 +80,91 @@ def test_workload_strategy_equivalence(qid, strategy, delayed):
         batch_execution=True,
     )
     _assert_identical(tuple_record, batch_record)
+
+
+@pytest.mark.parametrize("qid,strategy,delayed", _matrix())
+def test_summary_impl_equivalence(qid, strategy, delayed):
+    """(big-int reference vs word-indexed) × (per-element vs batch).
+
+    The word-indexed tuple-path run is the anchor; the big-int
+    reference must match it on the tuple path (storage axis) and match
+    itself across paths (batch axis).  Together with
+    ``test_workload_strategy_equivalence`` (word-indexed tuple vs
+    batch), all four combinations are pinned to one another.
+    """
+    word_tuple = run_workload_query(
+        qid, strategy, scale_factor=SCALE, delayed=delayed,
+        batch_execution=False,
+    )
+    with bloom_impl(BigIntBloomFilter):
+        ref_tuple = run_workload_query(
+            qid, strategy, scale_factor=SCALE, delayed=delayed,
+            batch_execution=False,
+        )
+        ref_batch = run_workload_query(
+            qid, strategy, scale_factor=SCALE, delayed=delayed,
+            batch_execution=True,
+        )
+    _assert_identical(ref_tuple, word_tuple)
+    _assert_identical(ref_tuple, ref_batch)
+
+
+class TestDistributedSummaryEquivalence:
+    """Distributed cost-based runs ship Bloom filters to remote scans
+    (serialized by geometry + words); rows, clock, shipped bytes and
+    counters must agree across storage implementations and paths."""
+
+    def _run(self, batch_execution):
+        from repro.aip.manager import CostBasedStrategy
+        from repro.distributed.coordinator import DistributedQuery
+        from repro.distributed.network import MBPS, NetworkModel
+        from repro.distributed.site import Placement, Site
+        from repro.expr.expressions import col
+        from repro.plan.builder import scan
+
+        catalog = cached_tpch(scale_factor=0.002)
+        plan = (
+            scan(catalog, "part")
+            .filter(col("p_size").le(5))
+            .join(scan(catalog, "partsupp"), on=[("p_partkey", "ps_partkey")])
+            .build()
+        )
+        ctx = ExecutionContext(
+            catalog,
+            strategy=CostBasedStrategy(poll_interval=0.01),
+            batch_execution=batch_execution,
+        )
+        result = DistributedQuery(
+            plan,
+            Placement([Site("s1", ["partsupp"])]),
+            NetworkModel(default_bandwidth=2 * MBPS),
+        ).execute(ctx)
+        return ctx, result
+
+    def test_distributed_equivalence(self):
+        records = {}
+        for impl in ("word", "bigint"):
+            for batch in (False, True):
+                if impl == "bigint":
+                    with bloom_impl(BigIntBloomFilter):
+                        records[(impl, batch)] = self._run(batch)
+                else:
+                    records[(impl, batch)] = self._run(batch)
+        ctx0, result0 = records[("word", False)]
+        # The cell is only meaningful if a filter actually shipped.
+        assert ctx0.metrics.aip_bytes_shipped > 0
+        for key, (ctx, result) in records.items():
+            assert result.rows == result0.rows, key
+            assert ctx.metrics.clock == ctx0.metrics.clock, key
+            assert ctx.metrics.network_bytes == ctx0.metrics.network_bytes
+            assert (
+                ctx.metrics.aip_bytes_shipped
+                == ctx0.metrics.aip_bytes_shipped
+            )
+            assert (
+                ctx.metrics.peak_state_bytes == ctx0.metrics.peak_state_bytes
+            )
+            assert _counter_rows(ctx.metrics) == _counter_rows(ctx0.metrics)
 
 
 class TestConcurrentComposite:
@@ -133,6 +226,23 @@ class TestServiceLayer:
             batch_report.peak_state_bytes == tuple_report.peak_state_bytes
         )
         for t, b in zip(batch_report.outcomes, tuple_report.outcomes):
+            assert b.status == t.status
+            assert b.latency == t.latency
+            assert b.rows == t.rows
+
+    def test_service_summary_impl_equivalence(self):
+        """Service runs (admission, schedulers, cross-query AIP cache
+        re-injection) under the big-int reference summaries report the
+        same outcomes as the word-indexed production path."""
+        word_report = self._report(batch_execution=True)
+        with bloom_impl(BigIntBloomFilter):
+            ref_report = self._report(batch_execution=True)
+        assert (
+            ref_report.total_virtual_seconds
+            == word_report.total_virtual_seconds
+        )
+        assert ref_report.peak_state_bytes == word_report.peak_state_bytes
+        for t, b in zip(word_report.outcomes, ref_report.outcomes):
             assert b.status == t.status
             assert b.latency == t.latency
             assert b.rows == t.rows

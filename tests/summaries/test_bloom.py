@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.summaries.bloom import BloomFilter, bits_for
+from repro.summaries.bloom import BigIntBloomFilter, BloomFilter, bits_for
 
 
 class TestSizing:
@@ -95,6 +95,103 @@ class TestAccounting:
         for v in range(50):
             bloom.add(v)
         assert bloom.fill_fraction > before
+
+
+def _pair(values, seed=3, n_bits=4096):
+    """The same value set in both storage implementations."""
+    word = BloomFilter(0, seed=seed, n_bits=n_bits)
+    ref = BigIntBloomFilter(0, seed=seed, n_bits=n_bits)
+    word.add_many(values)
+    ref.add_many(values)
+    return word, ref
+
+
+class TestWordBitsetEquivalence:
+    """The word-indexed bitset must hold *identical bit positions* to
+    the original big-int layout — the invariant every pruning-decision
+    equivalence guarantee rests on."""
+
+    def test_identical_bits_and_bookkeeping(self):
+        word, ref = _pair(list(range(700)) + ["FRANCE", ("k", 2)])
+        assert word.bits_as_int() == ref.bits_as_int()
+        assert word.n_added == ref.n_added
+        assert word.byte_size() == ref.byte_size()
+        assert word.fill_fraction == pytest.approx(ref.fill_fraction)
+
+    def test_probe_agreement(self):
+        word, ref = _pair(range(0, 600, 2))
+        probes = list(range(900)) + ["x"]
+        assert word.might_contain_many(probes) == ref.might_contain_many(probes)
+        assert [p in word for p in probes] == word.might_contain_many(probes)
+
+    def test_multi_hash_agreement(self):
+        word = BloomFilter(0, n_hashes=4, seed=9, n_bits=2048)
+        ref = BigIntBloomFilter(0, n_hashes=4, seed=9, n_bits=2048)
+        word.add_many(range(100))
+        ref.add_many(range(100))
+        assert word.bits_as_int() == ref.bits_as_int()
+        probes = range(400)
+        assert word.might_contain_many(probes) == ref.might_contain_many(probes)
+
+
+class TestMergeAcrossImplementations:
+    """``intersect``/``union`` over word arrays must equal the big-int
+    reference results bit-for-bit, including ``n_added`` bookkeeping and
+    ``byte_size`` — in all four operand-implementation pairings."""
+
+    def _quads(self):
+        a_vals, b_vals = list(range(0, 300)), list(range(200, 500))
+        wa, ra = _pair(a_vals, seed=7, n_bits=8192)
+        wb, rb = _pair(b_vals, seed=7, n_bits=8192)
+        return (wa, ra), (wb, rb)
+
+    @pytest.mark.parametrize("op", ["intersect", "union"])
+    def test_merge_bit_identical(self, op):
+        (wa, ra), (wb, rb) = self._quads()
+        reference = getattr(ra, op)(rb)
+        for left, right in ((wa, wb), (wa, rb), (ra, wb)):
+            merged = getattr(left, op)(right)
+            assert merged.bits_as_int() == reference.bits_as_int()
+            assert merged.n_added == reference.n_added
+            assert merged.byte_size() == reference.byte_size()
+
+    def test_merge_result_implementation_follows_left_operand(self):
+        (wa, ra), (wb, rb) = self._quads()
+        assert type(wa.intersect(rb)) is BloomFilter
+        assert type(ra.intersect(wb)) is BigIntBloomFilter
+
+    def test_incompatible_still_rejected_across_impls(self):
+        word = BloomFilter(100, seed=1)
+        ref = BigIntBloomFilter(100, seed=2)
+        with pytest.raises(ValueError):
+            word.intersect(ref)
+
+
+class TestPayloadRoundTrip:
+    """Distributed shipping serializes filters by geometry + words; both
+    implementations speak the same little-endian wire format."""
+
+    def test_round_trip_preserves_bits(self):
+        word, ref = _pair(range(250), seed=11)
+        assert word.to_payload() == ref.to_payload()
+        for cls in (BloomFilter, BigIntBloomFilter):
+            clone = cls.from_payload(word.to_payload())
+            assert clone.bits_as_int() == word.bits_as_int()
+            assert clone.n_added == word.n_added
+            assert clone.compatible_with(word)
+            assert clone.might_contain_many(range(400)) == \
+                word.might_contain_many(range(400))
+
+    def test_geometry_mismatch_rejected(self):
+        word, _ = _pair(range(10))
+        payload = word.to_payload()
+        payload["words"] = payload["words"][:-8]
+        with pytest.raises(ValueError):
+            BloomFilter.from_payload(payload)
+
+    def test_non_bloom_payload_rejected(self):
+        with pytest.raises(ValueError):
+            BloomFilter.from_payload({"kind": "hashset"})
 
 
 class TestBloomProperties:
