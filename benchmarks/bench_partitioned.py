@@ -1,0 +1,148 @@
+"""Partition-parallel scaling sweep: virtual clock vs partition count.
+
+Runs the TPC-H join workloads with their big relation hash-partitioned
+across N ∈ {1, 2, 4, 8} sites, each partition streaming over its own
+10 Mbps link (slow enough that scan arrival, not CPU, dominates — the
+regime where partition parallelism pays).  Reported times are *virtual*
+seconds on the simulation clock, so every cell is deterministic: the
+same code and cost model produce bit-identical numbers on any machine,
+which is what lets CI gate on them.
+
+Two strategies per query:
+
+* ``baseline`` isolates pure scatter/merge scaling — N partitions on N
+  links should shrink scan-dominated time roughly N-fold;
+* ``costbased`` layers distributed AIP on top: the manager ships a
+  Bloom filter to *every* partition, and the faster the parallel
+  streams drain, the less remains for the filter to prune — the
+  adaptive trade-off the paper's Section VI-C measures.
+
+Usage:
+    PYTHONPATH=src python benchmarks/bench_partitioned.py
+    PYTHONPATH=src python benchmarks/bench_partitioned.py --smoke
+    PYTHONPATH=src python benchmarks/bench_partitioned.py --json out.json
+
+``--smoke`` runs the reduced CI configuration and exits non-zero unless
+the baseline virtual clock strictly shrinks while partitions double (up
+to a small plateau tolerance at the CPU bound).  ``--json`` writes the
+cells as higher-is-better speeds (1 / virtual seconds) for
+``check_regression.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.distributed.network import MBPS, NetworkModel
+from repro.harness.runner import run_workload_query
+
+#: (qid, paper family) — the TPC-H join workloads of Figures 13/14.
+DEFAULT_QUERIES = (
+    ("Q2A", "TPC-H 17"),
+    ("Q4A", "TPC-H 5"),
+    ("Q5A", "TPC-H 9"),
+)
+PARTITION_COUNTS = (1, 2, 4, 8)
+STRATEGIES = ("baseline", "costbased")
+
+#: Consecutive doubling must not *grow* the baseline clock by more than
+#: this factor (allows an exact plateau once CPU-bound, catches any
+#: de-parallelisation).
+PLATEAU_TOLERANCE = 1.02
+
+
+def sweep(scale: float):
+    """All cells: {(qid, strategy, n): virtual_seconds}."""
+    network_bw = 10 * MBPS
+    cells = {}
+    for qid, _family in DEFAULT_QUERIES:
+        for strategy in STRATEGIES:
+            for n in PARTITION_COUNTS:
+                record = run_workload_query(
+                    qid, strategy, scale_factor=scale, partitions=n,
+                    network=NetworkModel(default_bandwidth=network_bw),
+                )
+                cells[(qid, strategy, n)] = record.virtual_seconds
+    return cells
+
+
+def check_scaling(cells) -> list:
+    """Baseline clock must shrink as partitions double; returns the
+    failure messages (empty = pass)."""
+    failures = []
+    for qid, _family in DEFAULT_QUERIES:
+        times = [cells[(qid, "baseline", n)] for n in PARTITION_COUNTS]
+        for prev, cur, n in zip(times, times[1:], PARTITION_COUNTS[1:]):
+            if cur > prev * PLATEAU_TOLERANCE:
+                failures.append(
+                    "%s baseline: %d partitions took %.4fvs > %d took %.4fvs"
+                    % (qid, n, cur, n // 2, prev)
+                )
+        if times[-1] >= times[0] / 2.0:
+            failures.append(
+                "%s baseline: %d partitions only improved %.2fx over 1"
+                % (qid, PARTITION_COUNTS[-1], times[0] / times[-1])
+            )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", type=float, default=0.01,
+                        help="TPC-H scale factor (default 0.01)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="reduced CI configuration; non-zero exit "
+                             "unless the clock shrinks with partitions")
+    parser.add_argument("--json", metavar="PATH",
+                        help="write cells as higher-is-better speeds "
+                             "for benchmarks/check_regression.py")
+    args = parser.parse_args(argv)
+
+    scale = min(args.scale, 0.002) if args.smoke else args.scale
+    cells = sweep(scale)
+
+    print("partition-parallel scaling (scale=%g, 10 Mbps links, "
+          "virtual seconds)" % scale)
+    header = "%-10s %-10s" + " %10s" * len(PARTITION_COUNTS)
+    print(header % (("query", "strategy")
+                    + tuple("N=%d" % n for n in PARTITION_COUNTS)))
+    for qid, family in DEFAULT_QUERIES:
+        for strategy in STRATEGIES:
+            row = tuple(
+                cells[(qid, strategy, n)] for n in PARTITION_COUNTS
+            )
+            print(("%-10s %-10s" + " %10.4f" * len(row))
+                  % ((qid, strategy) + row))
+
+    if args.json:
+        metrics = {
+            "%s/%s/n%d" % (qid, strategy, n): 1.0 / seconds
+            for (qid, strategy, n), seconds in cells.items()
+        }
+        payload = {
+            "benchmark": "partitioned",
+            "config": {"scale": scale, "smoke": bool(args.smoke)},
+            "metrics": metrics,
+        }
+        with open(args.json, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print("wrote %s" % args.json)
+
+    failures = check_scaling(cells)
+    if failures:
+        for message in failures:
+            print("FAIL: %s" % message)
+        return 1
+    for qid, _family in DEFAULT_QUERIES:
+        speedup = (cells[(qid, "baseline", 1)]
+                   / cells[(qid, "baseline", PARTITION_COUNTS[-1])])
+        print("%s baseline scan-time speedup at N=%d: %.2fx"
+              % (qid, PARTITION_COUNTS[-1], speedup))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -29,6 +29,7 @@ runs a reduced geometry for CI.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 
@@ -95,6 +96,9 @@ def main(argv=None) -> int:
                         help="repetitions; best-of is reported")
     parser.add_argument("--smoke", action="store_true",
                         help="reduced geometry for CI; same floors")
+    parser.add_argument("--json", metavar="PATH",
+                        help="write build/probe speedup ratios for "
+                             "benchmarks/check_regression.py")
     args = parser.parse_args(argv)
 
     n_keys = 100_000 if args.smoke else args.keys
@@ -130,6 +134,22 @@ def main(argv=None) -> int:
     print("word batch vs word per-element: build %.2fx, probe %.2fx"
           % (batch_build / word_full["element"][0],
              batch_probe / word_full["element"][1]))
+
+    if args.json:
+        payload = {
+            "benchmark": "summary_layer",
+            "config": {"keys": n_keys, "sample": sample,
+                       "smoke": bool(args.smoke)},
+            # Both sides of these ratios are wall-clock on the same
+            # machine, but the big-int baseline is sampled and jittery;
+            # allow a wide band.
+            "tolerance": 0.5,
+            "metrics": {"build_x": build_x, "probe_x": probe_x},
+        }
+        with open(args.json, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print("wrote %s" % args.json)
 
     if build_x < BUILD_FLOOR or probe_x < PROBE_FLOOR:
         print("FAIL: below regression floors (build ≥ %gx, probe ≥ %gx)"

@@ -20,6 +20,7 @@ catches a regression that de-vectorizes the hot path.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 
@@ -86,6 +87,9 @@ def main(argv=None) -> int:
     parser.add_argument("--smoke", action="store_true",
                         help="reduced run; non-zero exit if the batch "
                              "path is slower than tuple-at-a-time")
+    parser.add_argument("--json", metavar="PATH",
+                        help="write per-query speedups for "
+                             "benchmarks/check_regression.py")
     args = parser.parse_args(argv)
 
     #: CI-noise margin: a real de-vectorization regression lands far
@@ -103,15 +107,34 @@ def main(argv=None) -> int:
         "query", "family", "tuple (s)", "batch (s)", "speedup",
     ))
     worst = float("inf")
+    speedups = {}
     for qid, family in DEFAULT_QUERIES:
         tuple_wall, batch_wall = bench_cell(
             qid, args.strategy, scale, repeat
         )
         speedup = tuple_wall / batch_wall if batch_wall > 0 else float("inf")
+        speedups[qid] = speedup
         worst = min(worst, speedup)
         print("%-10s %-10s %12.4f %12.4f %8.2fx" % (
             qid, family, tuple_wall, batch_wall, speedup,
         ))
+    if args.json:
+        payload = {
+            "benchmark": "vectorized",
+            "config": {"scale": scale, "strategy": args.strategy,
+                       "smoke": bool(args.smoke)},
+            # Wall-clock ratios wobble on shared CI runners; allow a
+            # wider band than the deterministic virtual-clock cells.
+            "tolerance": 0.4,
+            "metrics": {
+                "speedup/%s" % qid: value
+                for qid, value in speedups.items()
+            },
+        }
+        with open(args.json, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print("wrote %s" % args.json)
     if args.smoke and worst < smoke_floor:
         print("FAIL: batch path slower than tuple-at-a-time "
               "(worst speedup %.2fx, floor %.2fx)" % (worst, smoke_floor))

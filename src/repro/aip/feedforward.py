@@ -24,7 +24,7 @@ which are only known once its input finishes.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.aip.registry import AIPRegistry, Party
 from repro.aip.sets import BLOOM, AIPSet, AIPSetSpec

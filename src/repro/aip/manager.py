@@ -18,7 +18,12 @@ The AIP Manager is then invoked; it
    registration, remotely (distributed AIP, Section V-B) by installing
    a source-side filter whose activation is delayed by the manager's
    polling interval plus the filter's transfer time — an adaptive
-   Bloomjoin.
+   Bloomjoin.  A *partitioned* source is one logical target with many
+   destinations: the benefit model aggregates the tuples still to
+   arrive across its live partitions, and shipping sends a copy of the
+   filter to **every** partition, each paying its own site link's
+   latency and transfer time (per-partition staleness and transfer
+   accounting).
 
 Existing filters over the same key are intersected where geometry
 allows rather than stacked (Section IV-B).
@@ -91,6 +96,16 @@ class CostBasedStrategy(ExecutionStrategy):
         from repro.plan.logical import fresh_node_id
         self._state_owner = fresh_node_id()
         self._map_plan(plan.logical_root)
+        # Partition scans register under fresh physical ids; they sit at
+        # their logical scan's depth so target ordering (deepest first)
+        # treats every partition exactly like the unpartitioned scan.
+        for scan in plan.scans:
+            if scan.op_id not in self._depth:
+                logical = getattr(scan, "logical", None)
+                if logical is not None:
+                    self._depth[scan.op_id] = self._depth.get(
+                        logical.node_id, 0
+                    )
 
     def _map_plan(self, root: LogicalNode) -> None:
         """Record parent links and node depths for benefit propagation."""
@@ -141,23 +156,71 @@ class CostBasedStrategy(ExecutionStrategy):
 
     # -- ESTIMATEBENEFIT ------------------------------------------------------
 
+    def _link_params(self, site: Optional[str]) -> Tuple[float, float]:
+        """(latency, bandwidth) toward ``site``: the run's network model
+        when one is attached, else the cost model's uniform constants."""
+        cm = self.ctx.cost_model
+        network = getattr(self.ctx, "network", None)
+        if network is not None and site is not None:
+            link = network.link_to(site)
+            return link.latency, link.bandwidth
+        return cm.network_latency, cm.network_bandwidth
+
+    @staticmethod
+    def _partition_group_id(target: Operator) -> Optional[int]:
+        """Logical-scan id grouping the partitions of one fanned-out
+        table, or None for ordinary targets."""
+        if (
+            isinstance(target, PScan)
+            and target.partition_index is not None
+            and getattr(target, "logical", None) is not None
+        ):
+            return target.logical.node_id
+        return None
+
     def _estimate_benefit(
         self, attr: str, op: Operator, port: int, stored: int
     ) -> bool:
         cm = self.ctx.cost_model
         create_cost = self.coster.aip_build_cost(stored)
         d_set = self._set_distinct(attr, op, port, stored)
+        filter_bytes = self._filter_bytes(attr, stored)
 
         savings = 0.0
         used: Set[int] = set()
+        grouped: Set[int] = set()
         targets = self._live_targets(attr, exclude=(op.op_id, port))
         # "for n in InterestedIn[A] in inverse order of depth" — deepest
         # first, so benefits at lower nodes claim their ancestors.
         targets.sort(key=lambda t: -self._depth.get(t[0].op_id, 0))
         for target_op, target_port, target_attr in targets:
-            remaining = self._remaining_tuples(target_op, target_port)
-            if remaining <= 0:
-                continue
+            group = self._partition_group_id(target_op)
+            if group is not None:
+                # All live partitions of one logical scan are ONE
+                # target with many destinations: their disjoint streams
+                # share the selectivity estimate and the downstream
+                # walk, and sum the tuples still to arrive.
+                if group in grouped:
+                    continue
+                grouped.add(group)
+                siblings = [
+                    t for t in targets
+                    if self._partition_group_id(t[0]) == group
+                ]
+                remaining = 0.0
+                live_parts = []
+                for sibling, _sport, _sattr in siblings:
+                    part_remaining = self._remaining_tuples(sibling, 0)
+                    if part_remaining > 0:
+                        remaining += part_remaining
+                        live_parts.append((sibling, part_remaining))
+                if remaining <= 0:
+                    continue
+            else:
+                remaining = self._remaining_tuples(target_op, target_port)
+                if remaining <= 0:
+                    continue
+                live_parts = None
             d_target = self._target_distinct(target_op, target_port, target_attr)
             sel = min(1.0, d_set / max(d_target, 1.0))
             sel_eff = sel + self.fp_rate * (1.0 - sel)
@@ -168,21 +231,38 @@ class CostBasedStrategy(ExecutionStrategy):
             downstream = self._downstream_per_tuple(target_op, used)
             use_benefit = pruned * (per_tuple + downstream) - probe_cost
 
-            if (
+            if self.distributed and live_parts is not None:
+                # Per-partition wire accounting: each partition's pruned
+                # share skips its own link's (fan-out multiplied)
+                # transfer, and shipping pays one filter copy per
+                # partition.
+                row_bytes = target_op.out_schema.row_byte_size()
+                for part_scan, part_remaining in live_parts:
+                    latency, bandwidth = self._link_params(part_scan.site)
+                    fanout = getattr(part_scan.arrival, "fanout", 1)
+                    part_pruned = part_remaining * (1.0 - sel_eff)
+                    use_benefit += part_pruned * (
+                        row_bytes * fanout / bandwidth
+                    )
+                    # Each shipped copy pays its link's latency plus
+                    # transfer — the same delay activation charges.
+                    create_cost += latency + filter_bytes / bandwidth
+            elif (
                 self.distributed
                 and isinstance(target_op, PScan)
                 and target_op.site is not None
             ):
                 row_bytes = target_op.out_schema.row_byte_size()
-                use_benefit += pruned * (row_bytes / cm.network_bandwidth)
-                create_cost += cm.transfer_time(
-                    self._filter_bytes(attr, stored)
-                )
+                latency, bandwidth = self._link_params(target_op.site)
+                fanout = getattr(target_op.arrival, "fanout", 1)
+                use_benefit += pruned * (row_bytes * fanout / bandwidth)
+                create_cost += latency + filter_bytes / bandwidth
 
             if use_benefit > 0:
                 savings += use_benefit
-                used.add(target_op.op_id)
-                used.update(self._ancestor_ids(target_op.op_id))
+                claim = group if group is not None else target_op.op_id
+                used.add(claim)
+                used.update(self._ancestor_ids(claim))
         return savings > create_cost * self.benefit_margin
 
     def _live_targets(
@@ -369,13 +449,13 @@ class CostBasedStrategy(ExecutionStrategy):
         if ship_key in self._shipped:
             return
         self._shipped.add(ship_key)
-        cm = self.ctx.cost_model
         size = aip_set.byte_size()
+        latency, bandwidth = self._link_params(scan.site)
         activation = (
             self.ctx.metrics.clock
             + self.poll_interval / 2.0
-            + cm.network_latency
-            + cm.transfer_time(size)
+            + latency
+            + size / bandwidth
         )
         summary = aip_set.summary
         if isinstance(summary, BloomFilter):

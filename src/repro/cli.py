@@ -62,9 +62,17 @@ def _cmd_run(args) -> int:
     query = get_query(args.qid)
     if not query.has_magic and "magic" in strategies:
         strategies = [s for s in strategies if s != "magic"]
+    if args.delayed and args.partitions:
+        print("error: --delayed and --partitions are different arrival "
+              "regimes; pick one", file=sys.stderr)
+        return 2
+    notes = ""
+    if args.delayed:
+        notes += ", delayed %s" % query.delayed_table
+    if args.partitions:
+        notes += ", %d partitions" % args.partitions
     print("%s — %s (scale %g%s)" % (
-        query.qid, query.title, args.scale,
-        ", delayed %s" % query.delayed_table if args.delayed else "",
+        query.qid, query.title, args.scale, notes,
     ))
     print("%-14s %8s %12s %12s %9s %7s" % (
         "strategy", "rows", "time (vs)", "state (MB)", "pruned", "sets",
@@ -73,6 +81,7 @@ def _cmd_run(args) -> int:
         record = run_workload_query(
             args.qid, strategy,
             scale_factor=args.scale, delayed=args.delayed,
+            partitions=args.partitions,
         )
         s = record.summary
         print("%-14s %8d %12.4f %12.4f %9d %7d" % (
@@ -258,6 +267,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--scale", type=float, default=0.01)
     p_run.add_argument("--delayed", action="store_true",
                        help="delay the query's large input (Section VI-B)")
+    p_run.add_argument("--partitions", type=int, default=0,
+                       help="hash partition the query's big relation "
+                            "across N remote sites (partition-parallel)")
 
     p_explain = sub.add_parser("explain", help="show a plan with estimates")
     p_explain.add_argument("qid")

@@ -10,7 +10,7 @@ distinct-value counts (computable exactly for generated data).
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.common.errors import OptimizerError, SchemaError
 from repro.data.table import Table

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import datetime
 import functools
-from typing import Dict, List, Optional, Tuple
+from typing import Optional, Tuple
 
 from repro.common.rng import DeterministicRng, ZipfSampler
 from repro.data import text

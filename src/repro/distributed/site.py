@@ -1,12 +1,27 @@
-"""Sites and table placement."""
+"""Sites, table placement, and horizontal partitioning.
+
+A table is either *master-local* (the default), placed **whole** at one
+remote site, or **partitioned** across several sites.  Partitioned
+tables are the substrate of partition-parallel execution: the
+coordinator fans a logical scan out into one per-partition remote scan,
+each paced by its own link, all merged under the single virtual clock —
+and the cost-based AIP manager ships beneficial filters to *every*
+partition of the table.
+"""
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Set
+from bisect import bisect_left
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.common.errors import NetworkError
+from repro.common.hashing import stable_key
 
 MASTER = "master"
+
+#: Supported partitioning schemes.
+HASH = "hash"
+RANGE = "range"
 
 
 class Site:
@@ -24,13 +39,102 @@ class Site:
         return "Site(%r, tables=%s)" % (self.name, sorted(self.tables))
 
 
+class PartitionSpec:
+    """How one table is split across sites.
+
+    ``scheme`` is ``"hash"`` (bucket ``i = stable_hash(key) % n``; the
+    same process-stable hashing the summaries use, so partition
+    assignment is deterministic across runs and machines) or
+    ``"range"`` (``bounds`` is a sorted list of ``n - 1`` upper-bound
+    split points; partition ``i`` holds keys in ``(bounds[i-1],
+    bounds[i]]``-style half-open ranges via ``bisect``).
+
+    Two specs *align* for a join when they would send equal keys to the
+    same partition index **and** partition indices live on the same
+    sites — that is what lets a co-partitioned join run partition-local
+    with no data crossing between sites.
+    """
+
+    __slots__ = ("table", "key", "sites", "scheme", "bounds")
+
+    def __init__(
+        self,
+        table: str,
+        key: str,
+        sites: Sequence[str],
+        scheme: str = HASH,
+        bounds: Optional[Sequence] = None,
+    ):
+        if not sites:
+            raise NetworkError("partitioning %r needs at least one site" % table)
+        if scheme not in (HASH, RANGE):
+            raise NetworkError("unknown partitioning scheme %r" % scheme)
+        if scheme == RANGE:
+            bounds = list(bounds or ())
+            if len(bounds) != len(sites) - 1:
+                raise NetworkError(
+                    "range partitioning over %d sites needs %d bounds, got %d"
+                    % (len(sites), len(sites) - 1, len(bounds))
+                )
+            if bounds != sorted(bounds):
+                raise NetworkError("range bounds must be sorted")
+        elif bounds is not None:
+            raise NetworkError("bounds only apply to range partitioning")
+        for name in sites:
+            if name == MASTER:
+                raise NetworkError("partitions cannot live at the master")
+            if not name:
+                raise NetworkError("site needs a name")
+        self.table = table
+        self.key = key
+        self.sites: Tuple[str, ...] = tuple(sites)
+        self.scheme = scheme
+        self.bounds = list(bounds) if bounds is not None else None
+
+    @property
+    def n_partitions(self) -> int:
+        return len(self.sites)
+
+    def partition_index(self, value) -> int:
+        """The partition a key value belongs to (deterministic)."""
+        if self.scheme == RANGE:
+            return bisect_left(self.bounds, value)
+        return hash(stable_key(value)) % len(self.sites)
+
+    def split(self, rows: Sequence, key_index: int) -> List[List]:
+        """Partition ``rows`` by the key at ``key_index``, preserving
+        within-partition row order.  Partitions may come back empty —
+        callers must treat an empty partition as a valid, immediately
+        exhausted source."""
+        parts: List[List] = [[] for _ in self.sites]
+        index_of = self.partition_index
+        for row in rows:
+            parts[index_of(row[key_index])].append(row)
+        return parts
+
+    def aligned_with(self, other: "PartitionSpec") -> bool:
+        """True when equal keys land on the same partition index *and*
+        site under both specs — the co-partitioned join condition."""
+        if self.scheme != other.scheme or self.sites != other.sites:
+            return False
+        if self.scheme == RANGE:
+            return self.bounds == other.bounds
+        return True  # same stable hash, same modulus, same site list
+
+    def __repr__(self) -> str:
+        return "PartitionSpec(%s by %s over %s, %s)" % (
+            self.table, self.key, list(self.sites), self.scheme,
+        )
+
+
 class Placement:
-    """Maps tables to the site that owns them; everything else is local
-    to the master node."""
+    """Maps tables to the site(s) that own them; everything else is
+    local to the master node."""
 
     def __init__(self, sites: Iterable[Site] = ()):
         self._site_of: Dict[str, str] = {}
         self._sites: Dict[str, Site] = {}
+        self._partition_of: Dict[str, PartitionSpec] = {}
         for site in sites:
             self.add_site(site)
 
@@ -46,14 +150,59 @@ class Placement:
                     "table %r is already placed at %r"
                     % (table, self._site_of[table])
                 )
+            if table in self._partition_of:
+                raise NetworkError(
+                    "table %r is already partitioned" % table
+                )
             self._site_of[table] = site.name
 
+    def partition_table(
+        self,
+        table: str,
+        key: str,
+        sites: Sequence[str],
+        scheme: str = HASH,
+        bounds: Optional[Sequence] = None,
+    ) -> PartitionSpec:
+        """Hash/range partition ``table`` across ``sites`` (names; sites
+        are created on first use).  Returns the registered spec."""
+        if table in self._site_of:
+            raise NetworkError(
+                "table %r is already placed whole at %r"
+                % (table, self._site_of[table])
+            )
+        if table in self._partition_of:
+            raise NetworkError("table %r is already partitioned" % table)
+        spec = PartitionSpec(table, key, sites, scheme=scheme, bounds=bounds)
+        for name in spec.sites:
+            site = self._sites.get(name)
+            if site is None:
+                site = Site(name)
+                self._sites[name] = site
+            site.tables.add(table)
+        self._partition_of[table] = spec
+        return spec
+
     def site_of(self, table: str) -> Optional[str]:
-        """Owning site name, or None when the table is master-local."""
+        """Owning site name for a whole-placed table, or None when the
+        table is master-local or partitioned."""
         return self._site_of.get(table)
 
+    def partitioning_of(self, table: str) -> Optional[PartitionSpec]:
+        """The partition spec of ``table``, or None when it is
+        master-local or placed whole."""
+        return self._partition_of.get(table)
+
+    def site(self, name: str) -> Site:
+        """Site lookup by name; unknown sites are an error, not a
+        silently empty default."""
+        try:
+            return self._sites[name]
+        except KeyError:
+            raise NetworkError("unknown site %r" % name) from None
+
     def remote_tables(self) -> List[str]:
-        return sorted(self._site_of)
+        return sorted(set(self._site_of) | set(self._partition_of))
 
     def sites(self) -> List[Site]:
         return [self._sites[name] for name in sorted(self._sites)]

@@ -80,9 +80,12 @@ class ArrivalModel:
         bandwidth: Optional[float] = None,
         row_bytes: int = 0,
         source_read: float = 0.0,
+        fanout: int = 1,
     ):
         if batch_size < 0 or (batch_size > 0 and batch_delay < 0):
             raise ValueError("invalid batching parameters")
+        if fanout < 1:
+            raise ValueError("fanout must be at least 1")
         self.initial_delay = initial_delay
         self.per_tuple = per_tuple
         self.batch_size = batch_size
@@ -90,6 +93,12 @@ class ArrivalModel:
         self.bandwidth = bandwidth
         self.row_bytes = row_bytes
         self.source_read = source_read
+        #: Wire fan-out: how many partition destinations each accepted
+        #: row must reach.  A broadcast join side pays its transfer once
+        #: per destination partition on its (serialising) uplink; rows a
+        #: shipped AIP filter rejects skip the whole fan-out — exactly
+        #: the multiplied saving the distributed benefit model counts.
+        self.fanout = fanout
         self._emitted = 0
         self._link_time = initial_delay
         self.filters: List[SourceFilter] = []
@@ -188,7 +197,7 @@ class ArrivalModel:
                 self.rows_filtered_at_source += 1
                 continue
             if self.bandwidth is not None:
-                self._link_time += self.row_bytes / self.bandwidth
+                self._link_time += (self.row_bytes * self.fanout) / self.bandwidth
             self.rows_transferred += 1
             return (i, self._link_time, row)
         return None
@@ -237,4 +246,4 @@ class ArrivalModel:
 
     @property
     def bytes_transferred(self) -> int:
-        return self.rows_transferred * self.row_bytes
+        return self.rows_transferred * self.row_bytes * self.fanout

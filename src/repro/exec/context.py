@@ -103,6 +103,11 @@ class ExecutionContext:
         self.short_circuit = short_circuit
         self.trace = trace
         self._trace_log = []
+        #: The distributed run's :class:`NetworkModel`, attached by the
+        #: coordinator/service so per-site link parameters (not just the
+        #: cost model's uniform constants) drive shipped-filter
+        #: staleness and transfer accounting.  None for local runs.
+        self.network = None
         #: Observers of AIP set publication, ``fn(op, port, aip_set)``.
         #: The service layer's cross-query AIP cache subscribes here to
         #: harvest completed sets for reuse in later queries; strategies

@@ -23,7 +23,6 @@ from repro.common.errors import ExecutionError
 from repro.data.schema import Schema
 from repro.exec.context import ExecutionContext
 from repro.exec.metrics import Metrics
-from repro.exec.operators.output import POutput
 from repro.exec.operators.scan import PScan
 from repro.exec.translate import ArrivalResolver, PhysicalPlan, translate
 from repro.plan.logical import LogicalNode

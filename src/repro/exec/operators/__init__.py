@@ -7,9 +7,10 @@ from repro.exec.operators.project import PProject
 from repro.exec.operators.hashjoin import PHashJoin
 from repro.exec.operators.groupby import PGroupBy
 from repro.exec.operators.distinct import PDistinct
+from repro.exec.operators.merge import PMerge
 from repro.exec.operators.output import POutput
 
 __all__ = [
     "Operator", "InjectedFilter", "PScan", "PFilter", "PProject",
-    "PHashJoin", "PGroupBy", "PDistinct", "POutput",
+    "PHashJoin", "PGroupBy", "PDistinct", "PMerge", "POutput",
 ]

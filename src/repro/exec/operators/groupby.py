@@ -9,7 +9,7 @@ in the aggregation operator").
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, Sequence
 
 from repro.data.schema import Schema
 from repro.exec.context import ExecutionContext

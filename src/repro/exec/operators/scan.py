@@ -35,12 +35,19 @@ class PScan(Operator):
         arrival: Optional[ArrivalModel] = None,
         table_name: str = "",
         site: Optional[str] = None,
+        partition_index: Optional[int] = None,
     ):
-        super().__init__(ctx, op_id, out_schema, [], "Scan(%s)" % table_name)
+        label = table_name
+        if partition_index is not None:
+            label = "%s[%d]" % (table_name, partition_index)
+        super().__init__(ctx, op_id, out_schema, [], "Scan(%s)" % label)
         self.rows = rows
         self.arrival = arrival or ArrivalModel.immediate()
         self.table_name = table_name
         self.site = site
+        #: Which partition of a fanned-out table this scan serves, or
+        #: None for a whole-table scan.
+        self.partition_index = partition_index
         self._cursor = 0
         self._pending: Optional[Tuple[float, Row]] = None
         self.exhausted = False

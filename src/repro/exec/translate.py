@@ -11,7 +11,7 @@ simulated network), then local streaming.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional
 
 from repro.common.errors import PlanError
 from repro.exec.arrival import ArrivalModel
@@ -21,6 +21,7 @@ from repro.exec.operators.distinct import PDistinct
 from repro.exec.operators.filter import PFilter
 from repro.exec.operators.groupby import PGroupBy
 from repro.exec.operators.hashjoin import PHashJoin
+from repro.exec.operators.merge import PMerge
 from repro.exec.operators.output import POutput
 from repro.exec.operators.project import PProject
 from repro.exec.operators.scan import PScan
@@ -31,7 +32,10 @@ from repro.plan.logical import (
 )
 
 #: Resolves the arrival model for a scan node; return None to fall back
-#: to the default resolution.
+#: to the default resolution.  A resolver with a truthy ``accepts_site``
+#: attribute is additionally called as ``resolver(node, site=name)``
+#: once per partition when a scan is fanned out, so per-site links (and
+#: pushed-down predicates) apply to every partition stream.
 ArrivalResolver = Callable[[Scan], Optional[ArrivalModel]]
 
 
@@ -85,6 +89,72 @@ def default_arrival(ctx: ExecutionContext, node: Scan) -> ArrivalModel:
     return ArrivalModel.streaming()
 
 
+def _partition_arrival(
+    ctx: ExecutionContext,
+    node: Scan,
+    site: str,
+    arrival_resolver: Optional[ArrivalResolver],
+) -> ArrivalModel:
+    """Arrival model for one partition of a fanned-out scan.
+
+    Site-aware resolvers (the coordinator's) pace each partition on its
+    own link and install pushed-down predicates.  A plain resolver
+    keeps the documented "explicit overrides first" contract: it is
+    called once per partition (arrival models carry mutable cursor
+    state, so partitions must never share one) and its model, if any,
+    wins.  With no resolver or no override, the context's network
+    constants apply uniformly.  The logical scan's broadcast fan-out
+    (non-co-partitioned join analysis) multiplies wire time either way.
+    """
+    arrival = None
+    if arrival_resolver is not None:
+        if getattr(arrival_resolver, "accepts_site", False):
+            arrival = arrival_resolver(node, site=site)
+        else:
+            arrival = arrival_resolver(node)
+    if arrival is None:
+        arrival = ArrivalModel.remote(
+            bandwidth=ctx.cost_model.network_bandwidth,
+            row_bytes=node.schema.row_byte_size(),
+            latency=ctx.cost_model.network_latency,
+        )
+    arrival.fanout = max(arrival.fanout, node.broadcast_fanout)
+    return arrival
+
+
+def _build_partitioned_scan(
+    ctx: ExecutionContext,
+    node: Scan,
+    arrival_resolver: Optional[ArrivalResolver],
+    scans: List[PScan],
+    by_node_id: Dict[int, Operator],
+) -> PMerge:
+    """Fan a partitioned scan out into per-partition scans + a merge."""
+    spec = node.partition
+    table = ctx.catalog.table(node.table_name)
+    # Partitioning keys address the base schema (pre-rename).
+    key_index = table.schema.index_of(spec.key)
+    parts = spec.split(table.rows, key_index)
+    merge = PMerge(
+        ctx, node.node_id, node.schema, spec.n_partitions,
+        table_name=node.table_name,
+    )
+    for index, (site, rows) in enumerate(zip(spec.sites, parts)):
+        scan = PScan(
+            ctx, fresh_node_id(), node.schema, rows,
+            arrival=_partition_arrival(ctx, node, site, arrival_resolver),
+            table_name=node.table_name, site=site, partition_index=index,
+        )
+        # Partition scans resolve by their own (fresh) ids — the AIP
+        # layer addresses each partition individually when shipping —
+        # and share the logical scan for estimates and depth lookups.
+        scan.logical = node
+        by_node_id[scan.op_id] = scan
+        scans.append(scan)
+        merge.connect_child(scan, index)
+    return merge
+
+
 def translate(
     root: LogicalNode,
     ctx: ExecutionContext,
@@ -101,17 +171,23 @@ def translate(
         if existing is not None:
             return existing
         if isinstance(node, Scan):
-            table = ctx.catalog.table(node.table_name)
-            arrival = None
-            if arrival_resolver is not None:
-                arrival = arrival_resolver(node)
-            if arrival is None:
-                arrival = default_arrival(ctx, node)
-            op = PScan(
-                ctx, node.node_id, node.schema, table.rows,
-                arrival=arrival, table_name=node.table_name, site=node.site,
-            )
-            scans.append(op)
+            if node.partition is not None:
+                op = _build_partitioned_scan(
+                    ctx, node, arrival_resolver, scans, by_node_id
+                )
+            else:
+                table = ctx.catalog.table(node.table_name)
+                arrival = None
+                if arrival_resolver is not None:
+                    arrival = arrival_resolver(node)
+                if arrival is None:
+                    arrival = default_arrival(ctx, node)
+                op = PScan(
+                    ctx, node.node_id, node.schema, table.rows,
+                    arrival=arrival, table_name=node.table_name,
+                    site=node.site,
+                )
+                scans.append(op)
         elif isinstance(node, Filter):
             child = build(node.child)
             op = PFilter(ctx, node.node_id, node.schema, node.predicate)

@@ -7,7 +7,7 @@ workload needs SUM, MIN and AVG; COUNT and MAX complete the usual set.
 
 from __future__ import annotations
 
-from typing import Callable, Optional, Tuple
+from typing import Optional
 
 from repro.common.errors import PlanError
 from repro.data.schema import FLOAT, INT, Schema

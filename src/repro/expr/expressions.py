@@ -14,10 +14,10 @@ references to row positions once per operator rather than per tuple.
 
 from __future__ import annotations
 
-from typing import FrozenSet, List, Optional, Sequence, Tuple, Union
+from typing import FrozenSet, List, Optional, Tuple, Union
 
 from repro.common.errors import PlanError
-from repro.data.schema import DATE, FLOAT, INT, STR, Schema
+from repro.data.schema import FLOAT, INT, STR, Schema
 
 #: Comparison operators supported by :class:`Cmp`.
 CMP_OPS = ("=", "!=", "<", "<=", ">", ">=")

@@ -148,6 +148,13 @@ def run_concurrent(
 
     composite.on_query_end()
 
+    metrics.network_bytes += sum(
+        scan.arrival.bytes_transferred
+        for physical in translated
+        for scan in physical.scans
+        if scan.arrival.bandwidth is not None
+    )
+
     results = []
     for physical in translated:
         if not physical.sink.finished:

@@ -7,7 +7,7 @@ records the comparison)."""
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 
 class FigureTable:

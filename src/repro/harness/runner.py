@@ -16,7 +16,42 @@ from repro.exec.arrival import ArrivalModel
 from repro.exec.context import ExecutionContext
 from repro.exec.engine import QueryResult, execute_plan
 from repro.harness.strategies import make_strategy, uses_magic_plan
+from repro.workloads.base import WorkloadQuery
 from repro.workloads.registry import get_query
+
+#: Default partition key per TPC-H table: the join attribute the Table I
+#: workloads filter most, so shipped AIP filters prune every partition.
+PARTITION_KEYS = {
+    "lineitem": "l_partkey",
+    "partsupp": "ps_partkey",
+    "orders": "o_orderkey",
+    "customer": "c_custkey",
+    "supplier": "s_suppkey",
+    "part": "p_partkey",
+    "nation": "n_nationkey",
+    "region": "r_regionkey",
+}
+
+
+def partitioned_placement(
+    query: WorkloadQuery, partitions: int, tables=None
+) -> Placement:
+    """Placement hash-partitioning a workload query's big relation(s)
+    across ``partitions`` sites named ``shard-0..N-1``.
+
+    ``tables`` overrides which tables are partitioned; the default is
+    the query's remote tables (Q1C/Q3C) or, for local workloads, its
+    large input (``delayed_table``).
+    """
+    if partitions < 1:
+        raise ValueError("need at least one partition")
+    if tables is None:
+        tables = query.remote_tables or (query.delayed_table,)
+    placement = Placement()
+    sites = ["shard-%d" % i for i in range(partitions)]
+    for table in tables:
+        placement.partition_table(table, PARTITION_KEYS[table], sites)
+    return placement
 
 
 class RunRecord:
@@ -54,6 +89,8 @@ def run_workload_query(
     strategy_kwargs: Optional[dict] = None,
     short_circuit: bool = True,
     batch_execution: bool = True,
+    partitions: int = 0,
+    network: Optional[NetworkModel] = None,
 ) -> RunRecord:
     """Execute ``qid`` under ``strategy`` and return its metrics.
 
@@ -61,10 +98,20 @@ def run_workload_query(
     large input relation gets a 100 ms initial delay plus 5 ms per 1000
     tuples.  Distributed variants (Q1C/Q3C) fetch their remote tables
     over the simulated 100 Mb Ethernet regardless of ``delayed``.
+    ``partitions=N`` runs partition-parallel: the query's big relation
+    (remote tables for Q1C/Q3C, else its ``delayed_table``) is hash
+    partitioned across N sites, each streaming over its own link.
+    Partitioned pacing replaces the delayed-source model, so combining
+    the two is rejected rather than silently mislabelled.
     ``batch_execution=False`` forces the tuple-at-a-time engine loop
     (the vectorized path is observably identical; benchmarks compare
     their wall-clock cost).
     """
+    if partitions and delayed:
+        raise ValueError(
+            "delayed sources and partition-parallel placement are "
+            "different arrival regimes; pick one"
+        )
     query = get_query(qid)
     catalog = cached_tpch(scale_factor=scale_factor, skew=query.skew, seed=seed)
     plan = (
@@ -79,11 +126,19 @@ def run_workload_query(
         batch_execution=batch_execution,
     )
 
+    if partitions:
+        dq = DistributedQuery(
+            plan, partitioned_placement(query, partitions),
+            network or NetworkModel(),
+        )
+        result = dq.execute(ctx)
+        return RunRecord(qid, strategy, result)
+
     if query.is_distributed:
         dq = DistributedQuery(
             plan,
             Placement([Site("remote-1", query.remote_tables)]),
-            NetworkModel(),
+            network or NetworkModel(),
         )
         result = dq.execute(ctx)
         return RunRecord(qid, strategy, result)

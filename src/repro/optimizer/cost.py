@@ -11,7 +11,7 @@ query (``ESTIMATEBENEFIT``, Figure 4 of the paper).
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Optional
 
 from repro.common.errors import OptimizerError
 from repro.data.catalog import Catalog

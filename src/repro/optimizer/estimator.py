@@ -280,11 +280,11 @@ def _fraction_below(value, lo, hi) -> Optional[float]:
     try:
         if isinstance(value, str):
             v = _date_ordinal(value)
-            l = _date_ordinal(lo)
-            h = _date_ordinal(hi)
-            if v is None or l is None or h is None:
+            low = _date_ordinal(lo)
+            high = _date_ordinal(hi)
+            if v is None or low is None or high is None:
                 return None
-            return (v - l) / (h - l) if h != l else None
+            return (v - low) / (high - low) if high != low else None
         return (float(value) - float(lo)) / (float(hi) - float(lo))
     except (TypeError, ValueError):
         return None

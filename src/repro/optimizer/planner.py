@@ -16,11 +16,11 @@ may be combined, which is the property push-style AIP depends on.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import List, Optional, Sequence, Set, Tuple
 
 from repro.common.errors import PlanError
 from repro.data.catalog import Catalog
-from repro.expr.expressions import And, Cmp, Expr, conjuncts_of
+from repro.expr.expressions import Cmp, Expr, conjuncts_of
 from repro.optimizer.estimator import CardinalityEstimator
 from repro.plan.logical import Filter, Join, LogicalNode, Scan
 
@@ -89,8 +89,8 @@ def plan_query(
             )
         i, j, join_pairs, used = best
         left, right = components[i], components[j]
-        left_keys = [l for l, _ in join_pairs]
-        right_keys = [r for _, r in join_pairs]
+        left_keys = [lk for lk, _ in join_pairs]
+        right_keys = [rk for _, rk in join_pairs]
         joined = Join(left.node, right.node, left_keys, right_keys)
         remaining = [c for c in conjuncts if c not in used]
 
@@ -159,7 +159,7 @@ def _best_pair(
                 continue
             trial = Join(
                 components[i].node, components[j].node,
-                [l for l, _ in pairs], [r for _, r in pairs],
+                [lk for lk, _ in pairs], [rk for _, rk in pairs],
             )
             rows = estimator.estimate(trial).rows
             if best_rows is None or rows < best_rows:

@@ -20,7 +20,7 @@ equivalence is sound.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, List, Set, Tuple
+from typing import Dict, FrozenSet, List, Set, Tuple
 
 from repro.expr.expressions import Col, conjuncts_of
 from repro.plan.logical import (
@@ -104,8 +104,8 @@ class SourcePredicateGraph:
                 self.attr_scans.setdefault(name, set()).add(node.node_id)
             return
         if isinstance(node, Join):
-            for l, r in node.key_pairs():
-                self._add_equality(l, r, node.node_id)
+            for lk, rk in node.key_pairs():
+                self._add_equality(lk, rk, node.node_id)
             for conjunct in conjuncts_of(node.residual):
                 self._maybe_equality(conjunct, node.node_id)
             return

@@ -57,8 +57,8 @@ class PlanBuilder:
         right = other.node if isinstance(other, PlanBuilder) else other
         if not on:
             raise PlanError("join requires at least one key pair")
-        left_keys = [l for l, _ in on]
-        right_keys = [r for _, r in on]
+        left_keys = [lk for lk, _ in on]
+        right_keys = [rk for _, rk in on]
         return PlanBuilder(
             Join(self.node, right, left_keys, right_keys, residual)
         )

@@ -17,7 +17,7 @@ from __future__ import annotations
 import itertools
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
-from repro.common.errors import PlanError, SchemaError
+from repro.common.errors import PlanError
 from repro.data.schema import Schema
 from repro.expr.aggregates import AggregateSpec
 from repro.expr.expressions import Expr
@@ -93,7 +93,13 @@ class Scan(LogicalNode):
     Renaming serves table aliases: the paper's running example scans
     PARTSUPP twice (PS1, PS2), and the Q2 variants scan LINEITEM twice.
     ``site`` marks which simulated site owns the data (None = local);
-    the distributed experiments place PARTSUPP remotely.
+    the distributed experiments place PARTSUPP remotely.  ``partition``
+    (a :class:`~repro.distributed.site.PartitionSpec`) marks the table
+    as hash/range partitioned across several sites instead; translation
+    then fans the scan out into one physical scan per partition, and
+    ``broadcast_fanout`` (set by the coordinator's join analysis) is the
+    number of partition destinations each row must additionally reach
+    when this side of a non-co-partitioned join is broadcast.
     """
 
     def __init__(
@@ -102,6 +108,7 @@ class Scan(LogicalNode):
         schema: Schema,
         renames: Optional[Dict[str, str]] = None,
         site: Optional[str] = None,
+        partition=None,
     ):
         renames = dict(renames or {})
         out_schema = schema.renamed(renames) if renames else schema
@@ -113,10 +120,16 @@ class Scan(LogicalNode):
         self.table_name = table_name
         self.renames = renames
         self.site = site
+        self.partition = partition
+        self.broadcast_fanout = 1
 
     def _label(self) -> str:
         alias = " renames=%s" % self.renames if self.renames else ""
         site = " @%s" % self.site if self.site else ""
+        if self.partition is not None:
+            site = " @%s[%d]" % (
+                "|".join(self.partition.sites), self.partition.n_partitions,
+            )
         return "Scan(%s%s%s) #%d" % (self.table_name, alias, site, self.node_id)
 
 

@@ -9,8 +9,6 @@ the outer query) but must be acyclic.
 
 from __future__ import annotations
 
-from typing import Set
-
 from repro.common.errors import PlanError
 from repro.data.catalog import Catalog
 from repro.plan.logical import (

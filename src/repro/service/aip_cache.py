@@ -29,7 +29,7 @@ cache extends the paper's algorithms across query boundaries:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from repro.aip.candidates import aip_candidates
 from repro.aip.sets import AIPSet

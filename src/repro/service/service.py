@@ -264,9 +264,20 @@ class QueryService:
         strategy_kwargs: Optional[dict] = None,
         short_circuit: bool = True,
         batch_execution: bool = True,
+        placement=None,
+        network=None,
     ):
         self.catalog = catalog
         self.default_strategy = strategy
+        #: Service-wide table placement: when set, every submitted plan
+        #: is marked against it (whole-site and partitioned tables
+        #: alike), overriding workload-built-in placements, and the
+        #: broadcast/co-partitioning join analysis is applied.  The
+        #: optional network model supplies per-site links for arrival
+        #: pacing and per-partition AIP shipping accounting.
+        self.placement = placement
+        from repro.distributed.network import NetworkModel
+        self.network = network or NetworkModel()
         self.scheduler = (
             scheduler if isinstance(scheduler, Scheduler)
             else make_scheduler(scheduler)
@@ -313,6 +324,12 @@ class QueryService:
         # would leak acquired admission slots and wedge the service.
         make_strategy(strategy_name, **self.strategy_kwargs)
         plan, label = self._build_plan(query, strategy_name, label)
+        if self.placement is not None:
+            from repro.distributed.coordinator import (
+                apply_broadcast_fanouts, mark_remote_scans,
+            )
+            mark_remote_scans(plan, self.placement)
+            apply_broadcast_fanouts(plan, self.catalog)
         self._seq += 1
         self._pending.append(_PendingQuery(
             self._seq, label, plan, plan_signature(plan),
@@ -470,13 +487,12 @@ class QueryService:
         return outcomes
 
     def _arrival_resolver(self):
-        """Remote scans pace on the simulated network's links via the
+        """Remote scans pace on the service's network links via the
         coordinator's shared resolver (no predicate pushdown, matching
         the runner's `repro run` defaults)."""
         from repro.distributed.coordinator import remote_arrival_resolver
-        from repro.distributed.network import NetworkModel
 
-        return remote_arrival_resolver(NetworkModel())
+        return remote_arrival_resolver(self.network)
 
     def _run_batch(self, batch: List[_PendingQuery]) -> List[QueryOutcome]:
         ctx = ExecutionContext(
@@ -484,6 +500,12 @@ class QueryService:
             short_circuit=self.short_circuit,
             batch_execution=self.batch_execution,
         )
+        # Align the batch context with the service's network, exactly as
+        # the coordinator does for one-shot distributed runs.
+        default_link = self.network.link_to("__default__")
+        ctx.cost_model.network_bandwidth = default_link.bandwidth
+        ctx.cost_model.network_latency = default_link.latency
+        ctx.network = self.network
         if self.aip_cache is not None:
             ctx.aip_publish_hooks.append(self.aip_cache.recorder(ctx))
 

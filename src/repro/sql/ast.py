@@ -8,7 +8,7 @@ calls and scalar subqueries only make sense before decorrelation.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import Optional, Sequence, Union
 
 
 class SqlExpr:

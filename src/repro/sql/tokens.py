@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import re
-from typing import Iterator, List, NamedTuple
+from typing import List, NamedTuple
 
 from repro.common.errors import ReproError
 

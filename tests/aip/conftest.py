@@ -5,7 +5,7 @@ import pytest
 from repro.data.tpch import cached_tpch
 from repro.expr.aggregates import MIN, SUM, AggregateSpec
 from repro.expr.expressions import col, lit
-from repro.plan.builder import PlanBuilder, scan
+from repro.plan.builder import scan
 
 
 @pytest.fixture(scope="session")

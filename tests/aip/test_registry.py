@@ -3,9 +3,8 @@
 import pytest
 
 from repro.aip.registry import AIPRegistry
-from repro.aip.sets import BLOOM, HASHSET, AIPSet, AIPSetSpec
+from repro.aip.sets import HASHSET, AIPSet, AIPSetSpec
 from repro.data.tpch import cached_tpch
-from repro.expr.expressions import col
 from repro.optimizer.predicate_graph import SourcePredicateGraph
 from repro.plan.builder import scan
 

@@ -6,7 +6,6 @@ equality of result multisets across strategies, over randomised data,
 plan shapes and arrival timings.
 """
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

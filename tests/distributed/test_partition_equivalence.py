@@ -1,0 +1,152 @@
+"""Partition-equivalence acceptance suite.
+
+Every Table I workload × strategy must produce identical result rows
+under (single-site) vs (N=1 partition), and row-set-identical results
+for N ∈ {2, 4} — partitioning is a *physical* placement choice and
+must never change answers.  For the natively distributed variants
+(Q1C/Q3C) the N=1 check is strengthened to bit-identical virtual
+clock, peak state and network bytes: one partition at one site over
+the same default link IS the whole-table remote placement.
+
+Service and concurrent paths run the same invariant end-to-end.
+"""
+
+import pytest
+
+from repro.data.tpch import cached_tpch
+from repro.distributed.site import Placement
+from repro.exec.context import ExecutionContext
+from repro.harness.concurrent import run_concurrent
+from repro.harness.runner import (
+    partitioned_placement, run_workload_query,
+)
+from repro.harness.strategies import make_strategy
+from repro.service import QueryService
+from repro.workloads.registry import QUERIES, get_query
+
+SCALE = 0.002
+STRATEGIES = ("baseline", "feedforward", "costbased", "magic")
+
+
+def _cells():
+    for qid in sorted(QUERIES):
+        for strategy in STRATEGIES:
+            if strategy == "magic" and not QUERIES[qid].has_magic:
+                continue
+            yield qid, strategy
+
+
+def sorted_rows(record):
+    return record.result.sorted_rows()
+
+
+@pytest.mark.parametrize("qid,strategy", list(_cells()))
+def test_partitioned_rows_identical(qid, strategy):
+    base = run_workload_query(qid, strategy, scale_factor=SCALE)
+    expected = sorted_rows(base)
+    for n in (1, 2, 4):
+        part = run_workload_query(
+            qid, strategy, scale_factor=SCALE, partitions=n,
+        )
+        assert sorted_rows(part) == expected, (
+            "%s/%s diverged at %d partitions" % (qid, strategy, n)
+        )
+        if n == 1 and get_query(qid).is_distributed:
+            # Same rows at the same times over the same link: N=1 is
+            # bit-identical to the whole-table remote placement.
+            assert part.result.metrics.clock == base.result.metrics.clock
+            assert (
+                part.result.metrics.peak_state_bytes
+                == base.result.metrics.peak_state_bytes
+            )
+            assert (
+                part.result.metrics.network_bytes
+                == base.result.metrics.network_bytes
+            )
+
+
+@pytest.mark.parametrize("strategy", ["baseline", "feedforward", "costbased"])
+def test_concurrent_partitioned_rows_identical(strategy):
+    catalog = cached_tpch(scale_factor=SCALE)
+    qids = ["Q2A", "Q1A"]
+
+    def run(placement):
+        plans = []
+        for qid in qids:
+            plan = get_query(qid).build_baseline(catalog)
+            if placement is not None:
+                from repro.distributed.coordinator import (
+                    apply_broadcast_fanouts, mark_remote_scans,
+                )
+                mark_remote_scans(plan, placement)
+                apply_broadcast_fanouts(plan, catalog)
+            plans.append(plan)
+        ctx = ExecutionContext(catalog)
+        resolver = None
+        if placement is not None:
+            from repro.distributed.coordinator import (
+                remote_arrival_resolver,
+            )
+            from repro.distributed.network import NetworkModel
+            resolver = remote_arrival_resolver(NetworkModel())
+        strategies = [make_strategy(strategy) for _ in plans]
+        return run_concurrent(
+            plans, ctx, strategies=strategies, arrival_resolver=resolver,
+        )
+
+    placement = Placement()
+    placement.partition_table("lineitem", "l_partkey",
+                              ["shard-0", "shard-1"])
+    placement.partition_table("partsupp", "ps_partkey",
+                              ["shard-0", "shard-1"])
+    for base, part in zip(run(None), run(placement)):
+        assert base.sorted_rows() == part.sorted_rows()
+
+
+@pytest.mark.parametrize("strategy", ["feedforward", "costbased"])
+def test_service_partitioned_rows_identical(strategy):
+    catalog = cached_tpch(scale_factor=SCALE)
+    placement = Placement()
+    placement.partition_table("lineitem", "l_partkey",
+                              ["shard-0", "shard-1", "shard-2"])
+    placement.partition_table("partsupp", "ps_partkey",
+                              ["shard-0", "shard-1", "shard-2"])
+
+    def run(**kwargs):
+        service = QueryService(
+            catalog, strategy=strategy, result_cache=False, **kwargs
+        )
+        for qid in ("Q2A", "Q1A", "Q1C"):
+            service.submit(qid)
+        report = service.run()
+        assert [o.status for o in report.outcomes] == ["ok"] * 3
+        return [o.result.sorted_rows() for o in report.outcomes]
+
+    assert run() == run(placement=placement)
+
+
+def test_partitioned_service_moves_bytes():
+    catalog = cached_tpch(scale_factor=SCALE)
+    placement = partitioned_placement(get_query("Q2A"), 2)
+    service = QueryService(catalog, strategy="baseline",
+                           placement=placement)
+    result = service.execute("Q2A")
+    assert result.metrics.network_bytes > 0
+
+
+def test_batch_and_tuple_paths_identical_when_partitioned():
+    for strategy in ("baseline", "costbased"):
+        batch = run_workload_query(
+            "Q2A", strategy, scale_factor=SCALE, partitions=4,
+            batch_execution=True,
+        )
+        tup = run_workload_query(
+            "Q2A", strategy, scale_factor=SCALE, partitions=4,
+            batch_execution=False,
+        )
+        assert batch.result.rows == tup.result.rows
+        assert batch.result.metrics.clock == tup.result.metrics.clock
+        assert (
+            batch.result.metrics.peak_state_bytes
+            == tup.result.metrics.peak_state_bytes
+        )

@@ -7,7 +7,7 @@ from repro.exec.arrival import ArrivalModel
 from repro.exec.context import ExecutionContext
 from repro.exec.engine import execute_plan
 from repro.expr.aggregates import AVG, COUNT, MIN, SUM, AggregateSpec
-from repro.expr.expressions import And, col, lit
+from repro.expr.expressions import col, lit
 from repro.plan.builder import scan
 
 from tests.helpers import reference_execute, rows_equal

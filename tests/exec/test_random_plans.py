@@ -6,7 +6,6 @@ comparisons against sampled literals), equi-joins along the TPC-H
 foreign-key graph, group-bys on join keys, projections and distincts.
 """
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -15,7 +14,7 @@ from repro.aip.manager import CostBasedStrategy
 from repro.data.tpch import cached_tpch
 from repro.exec.context import ExecutionContext
 from repro.exec.engine import execute_plan
-from repro.expr.aggregates import COUNT, SUM, AggregateSpec
+from repro.expr.aggregates import COUNT, AggregateSpec
 from repro.expr.expressions import col, lit
 from repro.plan.builder import scan
 from repro.plan.validate import validate_plan

@@ -6,7 +6,6 @@ from repro.common.errors import PlanError
 from repro.data.tpch import cached_tpch
 from repro.exec.context import ExecutionContext
 from repro.exec.operators.groupby import PGroupBy
-from repro.exec.operators.hashjoin import PHashJoin
 from repro.exec.operators.scan import PScan
 from repro.exec.translate import translate
 from repro.expr.aggregates import SUM, AggregateSpec

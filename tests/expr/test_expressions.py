@@ -5,7 +5,7 @@ import pytest
 from repro.common.errors import PlanError
 from repro.data.schema import Schema, INT, FLOAT, STR, DATE
 from repro.expr.expressions import (
-    And, Arith, Cmp, Col, Func, Like, Lit, Not, Or, col, conjuncts_of, lit,
+    And, Arith, Cmp, Func, Lit, Not, Or, col, conjuncts_of, lit,
 )
 
 SCHEMA = Schema.of(("a", INT), ("b", FLOAT), ("s", STR), ("d", DATE))

@@ -48,10 +48,10 @@ def reference_execute(node: LogicalNode, catalog: Catalog) -> List[Row]:
             key = tuple(r[i] for i in ri)
             index.setdefault(key, []).append(r)
         out = []
-        for l in left:
-            key = tuple(l[i] for i in li)
+        for lrow in left:
+            key = tuple(lrow[i] for i in li)
             for r in index.get(key, ()):
-                combined = l + r
+                combined = lrow + r
                 if residual is None or residual(combined):
                     out.append(combined)
         return out

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.data.tpch import cached_tpch
-from repro.expr.aggregates import MIN, SUM, AggregateSpec
+from repro.expr.aggregates import SUM, AggregateSpec
 from repro.expr.expressions import col, lit
 from repro.optimizer.estimator import CardinalityEstimator
 from repro.plan.builder import scan

@@ -107,12 +107,6 @@ class TestPlanQuery:
         # Root join must have the supplier scan on one side (joined last).
         root = plan
         assert isinstance(root, Join)
-        scan_tables = {
-            n.table_name
-            for child in root.children
-            for n in child.walk()
-            if isinstance(n, Scan)
-        }
         side_tables = [
             {n.table_name for n in child.walk() if isinstance(n, Scan)}
             for child in root.children

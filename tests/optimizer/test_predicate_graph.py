@@ -6,7 +6,7 @@ from hypothesis import strategies as st
 
 from repro.data.tpch import cached_tpch
 from repro.expr.aggregates import SUM, AggregateSpec
-from repro.expr.expressions import col, lit
+from repro.expr.expressions import col
 from repro.optimizer.predicate_graph import SourcePredicateGraph, UnionFind
 from repro.plan.builder import scan
 

@@ -7,7 +7,7 @@ from repro.data.tpch import cached_tpch
 from repro.expr.aggregates import SUM, AggregateSpec
 from repro.expr.expressions import col, lit
 from repro.plan.builder import scan
-from repro.plan.logical import Distinct, Filter, GroupBy, Join, Project, Scan
+from repro.plan.logical import Distinct, Filter, GroupBy, Join, Scan
 
 
 @pytest.fixture(scope="module")

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.cli import build_parser, main
+from repro.harness.runner import run_workload_query
 
 
 class TestParser:
@@ -44,6 +45,20 @@ class TestCommands:
         out = capsys.readouterr().out
         for name in ("baseline", "magic", "feedforward", "costbased"):
             assert name in out
+
+    def test_run_partitioned(self, capsys):
+        assert main([
+            "run", "Q2A", "--strategy", "costbased", "--scale", "0.002",
+            "--partitions", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "2 partitions" in out
+        # Same answer as the local run, from the partitioned placement.
+        local = run_workload_query("Q2A", "costbased", scale_factor=0.002)
+        row_line = next(
+            ln for ln in out.splitlines() if ln.startswith("costbased")
+        )
+        assert int(row_line.split()[1]) == len(local.result.rows)
 
     def test_run_join_query_skips_magic(self, capsys):
         assert main(["run", "Q4A", "--scale", "0.002"]) == 0
@@ -110,7 +125,7 @@ class TestWorkloadCommand:
         catalog = cached_tpch(scale_factor=0.002, skew=0.5)
         plan = get_query("Q1B").build_baseline(catalog)
         solo = execute_plan(plan, ExecutionContext(catalog))
-        row_line = next(l for l in out.splitlines() if "Q1B" in l)
+        row_line = next(ln for ln in out.splitlines() if "Q1B" in ln)
         assert int(row_line.split()[3]) == len(solo.rows)
 
     def test_mixed_skew_stream_rejected(self, capsys):
