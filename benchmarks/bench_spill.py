@@ -1,0 +1,172 @@
+"""Spill-path benchmark: throughput and residency under memory budgets.
+
+Runs the state-heavy TPC-H join workloads three times each: un-governed
+(∞), and governed at 50% and 10% of the peak resident bytes a
+calibration run observes.  Reported times are *virtual* seconds on the
+simulation clock — deterministic, so CI can gate on them — and each
+governed cell also reports the governor's peak resident bytes and the
+spill traffic that bought the reduction.
+
+The interesting shape: a 10% budget must still complete every workload
+with an identical result multiset, paying for the lost memory with
+spill I/O on the virtual clock.  The regression gate covers both
+dimensions:
+
+* ``speed/<qid>/<strategy>/<budget>`` — 1 / virtual seconds;
+* ``enforced/<qid>/<strategy>/<budget>`` — min(1, budget / peak
+  resident): exactly 1.0 while the governor keeps its promise, and a
+  drop below the gate's tolerance means enforcement broke.
+
+Usage:
+    PYTHONPATH=src python benchmarks/bench_spill.py
+    PYTHONPATH=src python benchmarks/bench_spill.py --smoke
+    PYTHONPATH=src python benchmarks/bench_spill.py --json out.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.harness.runner import run_workload_query
+
+DEFAULT_QUERIES = ("Q2A", "Q4A", "Q5A")
+STRATEGIES = ("baseline", "costbased")
+#: Budget levels as fractions of the calibrated peak (None = ∞).
+BUDGET_LEVELS = (("inf", None), ("b50", 0.5), ("b10", 0.1))
+
+
+def _rows_multiset(record):
+    return sorted(
+        tuple(round(v, 6) if isinstance(v, float) else v for v in row)
+        for row in record.result.rows
+    )
+
+
+def sweep(scale: float):
+    """All cells: {(qid, strategy, level): {seconds, peak, budget,
+    spilled, rows_ok}}."""
+    cells = {}
+    for qid in DEFAULT_QUERIES:
+        for strategy in STRATEGIES:
+            reference = run_workload_query(
+                qid, strategy, scale_factor=scale,
+            )
+            reference_rows = _rows_multiset(reference)
+            peak = run_workload_query(
+                qid, strategy, scale_factor=scale, memory_budget=1 << 40,
+            ).storage["peak_resident_bytes"]
+            for level, fraction in BUDGET_LEVELS:
+                if fraction is None:
+                    cells[(qid, strategy, level)] = {
+                        "seconds": reference.virtual_seconds,
+                        "budget": None,
+                        # The calibration run's governor-observed peak:
+                        # comparable with the governed cells' peaks
+                        # (table pages included), unlike the paper's
+                        # operator-state metric.
+                        "peak": peak,
+                        "spilled": 0,
+                        "rows_ok": True,
+                    }
+                    continue
+                budget = max(int(peak * fraction), 4096)
+                record = run_workload_query(
+                    qid, strategy, scale_factor=scale, memory_budget=budget,
+                )
+                cells[(qid, strategy, level)] = {
+                    "seconds": record.virtual_seconds,
+                    "budget": budget,
+                    "peak": record.storage["peak_resident_bytes"],
+                    "spilled": record.storage["spilled_bytes"],
+                    "rows_ok": _rows_multiset(record) == reference_rows,
+                }
+    return cells
+
+
+def check(cells) -> list:
+    """Self-check: identical rows everywhere, budgets enforced, and the
+    10% run actually spilled (otherwise the bench measures nothing)."""
+    failures = []
+    for (qid, strategy, level), cell in sorted(cells.items()):
+        if not cell["rows_ok"]:
+            failures.append(
+                "%s/%s/%s: governed rows diverged from the un-governed run"
+                % (qid, strategy, level)
+            )
+        if cell["budget"] is not None and cell["peak"] > cell["budget"]:
+            failures.append(
+                "%s/%s/%s: peak resident %d exceeded budget %d"
+                % (qid, strategy, level, cell["peak"], cell["budget"])
+            )
+        if level == "b10" and cell["spilled"] == 0:
+            failures.append(
+                "%s/%s/%s: a 10%% budget produced no spill traffic"
+                % (qid, strategy, level)
+            )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", type=float, default=0.005,
+                        help="TPC-H scale factor (default 0.005)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="reduced CI configuration; non-zero exit on "
+                             "row divergence or budget violation")
+    parser.add_argument("--json", metavar="PATH",
+                        help="write cells as higher-is-better metrics "
+                             "for benchmarks/check_regression.py")
+    args = parser.parse_args(argv)
+
+    scale = min(args.scale, 0.002) if args.smoke else args.scale
+    cells = sweep(scale)
+
+    print("spill path under memory budgets (scale=%g, virtual seconds)"
+          % scale)
+    print("%-6s %-10s %-5s %10s %12s %12s %12s" % (
+        "query", "strategy", "bud", "time (vs)", "budget (B)",
+        "peak (B)", "spilled (B)",
+    ))
+    for (qid, strategy, level), cell in sorted(cells.items()):
+        print("%-6s %-10s %-5s %10.4f %12s %12d %12d" % (
+            qid, strategy, level, cell["seconds"],
+            cell["budget"] if cell["budget"] is not None else "-",
+            cell["peak"], cell["spilled"],
+        ))
+
+    if args.json:
+        metrics = {}
+        for (qid, strategy, level), cell in cells.items():
+            key = "%s/%s/%s" % (qid, strategy, level)
+            metrics["speed/" + key] = 1.0 / cell["seconds"]
+            if cell["budget"] is not None:
+                metrics["enforced/" + key] = min(
+                    1.0, cell["budget"] / max(cell["peak"], 1)
+                )
+        payload = {
+            "benchmark": "spill",
+            "config": {"scale": scale, "smoke": bool(args.smoke)},
+            "metrics": metrics,
+        }
+        with open(args.json, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print("wrote %s" % args.json)
+
+    failures = check(cells)
+    if failures:
+        for message in failures:
+            print("FAIL: %s" % message)
+        return 1
+    for qid in DEFAULT_QUERIES:
+        unbounded = cells[(qid, "baseline", "inf")]["peak"]
+        tight = cells[(qid, "baseline", "b10")]["peak"]
+        print("%s baseline: resident state cut %.1fx at the 10%% budget"
+              % (qid, unbounded / max(tight, 1)))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

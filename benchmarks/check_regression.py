@@ -1,7 +1,8 @@
 """Benchmark regression gate: compare bench JSON output to a baseline.
 
 Every perf benchmark (``bench_vectorized.py``, ``bench_summary_layer.py``,
-``bench_partitioned.py``) has a ``--json <path>`` mode writing::
+``bench_partitioned.py``, ``bench_spill.py``) has a ``--json <path>``
+mode writing::
 
     {"benchmark": "<name>",
      "config": {...},                 # informational
@@ -20,8 +21,9 @@ Regenerating the baseline after an intentional perf change::
     PYTHONPATH=src python benchmarks/bench_vectorized.py --smoke --json /tmp/v.json
     PYTHONPATH=src python benchmarks/bench_summary_layer.py --smoke --json /tmp/s.json
     PYTHONPATH=src python benchmarks/bench_partitioned.py --smoke --json /tmp/p.json
+    PYTHONPATH=src python benchmarks/bench_spill.py --smoke --json /tmp/sp.json
     python benchmarks/check_regression.py benchmarks/baseline.json \
-        /tmp/v.json /tmp/s.json /tmp/p.json --update
+        /tmp/v.json /tmp/s.json /tmp/p.json /tmp/sp.json --update
 
 (the same invocation CI uses, plus ``--update``; commit the rewritten
 ``baseline.json`` with a line in the PR explaining the shift).

@@ -19,6 +19,16 @@ that re-injects completed AIP sets into later queries — inter-query
 sideways information passing.  See ``examples/query_service.py`` for a
 runnable mixed Q1/Q17 stream demonstrating cross-query reuse.
 
+Beneath the engine sits a paged storage layer (:mod:`repro.storage`):
+a buffer manager streams base tables as evictable column pages, and a
+:class:`~repro.storage.MemoryGovernor` enforces a process-wide state
+budget — stateful operators spill hash partitions to disk Grace-style
+and replay them on completion, with spill I/O charged to the virtual
+clock.  Pass ``memory_budget=`` to ``run_workload_query`` /
+``QueryService`` (or ``repro run --memory-budget``) to turn it on;
+without it, execution is bit-identical to the storage-free engine.
+DESIGN.md section 8 has the full protocol.
+
 Quickstart::
 
     from repro import (
@@ -56,6 +66,7 @@ from repro.distributed.network import NetworkModel
 from repro.distributed.site import Placement, Site
 from repro.harness.runner import run_workload_query
 from repro.harness.concurrent import CompositeStrategy, run_concurrent
+from repro.storage.governor import MemoryGovernor
 from repro.optimizer.explain import explain
 from repro.optimizer.planner import ConjunctiveQuery, plan_query
 from repro.sql import parse as parse_sql, sql_to_plan
@@ -78,7 +89,7 @@ __all__ = [
     "apply_magic", "magic_filter_set",
     "DistributedQuery", "NetworkModel", "Placement", "Site",
     "run_workload_query", "QUERIES", "get_query",
-    "run_concurrent", "CompositeStrategy",
+    "run_concurrent", "CompositeStrategy", "MemoryGovernor",
     "explain", "ConjunctiveQuery", "plan_query",
     "parse_sql", "sql_to_plan",
     "QueryService", "ServiceReport", "AdmissionController",

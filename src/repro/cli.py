@@ -25,6 +25,24 @@ from repro.optimizer.explain import explain
 from repro.workloads.registry import QUERIES, get_query
 
 
+def _parse_nbytes(text: str) -> int:
+    """Parse a byte count with an optional k/m/g suffix ('64m')."""
+    raw = text.strip().lower()
+    multiplier = 1
+    if raw and raw[-1] in "kmg":
+        multiplier = {"k": 1 << 10, "m": 1 << 20, "g": 1 << 30}[raw[-1]]
+        raw = raw[:-1]
+    try:
+        value = int(float(raw) * multiplier)
+    except (ValueError, OverflowError):  # OverflowError: 'inf', '1e400'
+        raise argparse.ArgumentTypeError(
+            "expected bytes like 500000, 512k or 8m; got %r" % text
+        ) from None
+    if value < 0:
+        raise argparse.ArgumentTypeError("memory budget must be >= 0")
+    return value
+
+
 def _cmd_list(args) -> int:
     print("%-6s %-28s %-8s %-6s %s" % (
         "id", "title", "family", "skew", "notes",
@@ -71,23 +89,40 @@ def _cmd_run(args) -> int:
         notes += ", delayed %s" % query.delayed_table
     if args.partitions:
         notes += ", %d partitions" % args.partitions
+    if args.memory_budget is not None:
+        notes += ", %d-byte memory budget" % args.memory_budget
     print("%s — %s (scale %g%s)" % (
         query.qid, query.title, args.scale, notes,
     ))
     print("%-14s %8s %12s %12s %9s %7s" % (
         "strategy", "rows", "time (vs)", "state (MB)", "pruned", "sets",
     ))
+    storage_lines = []
     for strategy in strategies:
         record = run_workload_query(
             args.qid, strategy,
             scale_factor=args.scale, delayed=args.delayed,
             partitions=args.partitions,
+            memory_budget=args.memory_budget,
         )
         s = record.summary
         print("%-14s %8d %12.4f %12.4f %9d %7d" % (
             strategy, s["result_rows"], s["virtual_seconds"],
             s["peak_state_mb"], s["tuples_pruned"], s["aip_sets_created"],
         ))
+        if record.storage is not None:
+            storage_lines.append(
+                "-- %s: peak resident %d bytes (budget %d), "
+                "%d spilled, %d evictions" % (
+                    strategy,
+                    record.storage["peak_resident_bytes"],
+                    record.storage["budget"],
+                    record.storage["spilled_bytes"],
+                    record.storage["evictions"],
+                )
+            )
+    for line in storage_lines:
+        print(line)
     return 0
 
 
@@ -127,6 +162,7 @@ def _make_service(args, skew: float = 0.0):
         max_concurrent=args.max_concurrent,
         aip_cache=not args.no_aip_cache,
         result_cache=not args.no_result_cache,
+        memory_budget=args.memory_budget,
     )
 
 
@@ -175,6 +211,7 @@ def _cmd_workload(args) -> int:
               "the stream's workload ids" % skew, file=sys.stderr)
 
     from repro.common.errors import ReproError
+    service = None
     try:
         service = _make_service(args, skew=skew)
         report = service.run_workload(items)
@@ -183,6 +220,9 @@ def _cmd_workload(args) -> int:
         # overrides, or out-of-range service options.
         print("error: %s" % exc, file=sys.stderr)
         return 2
+    finally:
+        if service is not None:
+            service.close()
     print("workload of %d queries (strategy %s, scheduler %s)" % (
         len(items), args.strategy, service.scheduler.describe(),
     ))
@@ -199,6 +239,14 @@ def _cmd_serve(args) -> int:
         return 2
     print("repro query service — SQL or workload id per line; "
           "'quit' to exit")
+    try:
+        return _serve_loop(service, args)
+    finally:
+        # Ctrl-C / stdin errors included: never strand the spill dir.
+        service.close()
+
+
+def _serve_loop(service, args) -> int:
     for raw in sys.stdin:
         line = raw.strip()
         if not line or line.startswith("#"):
@@ -270,6 +318,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--partitions", type=int, default=0,
                        help="hash partition the query's big relation "
                             "across N remote sites (partition-parallel)")
+    p_run.add_argument("--memory-budget", type=_parse_nbytes, default=None,
+                       metavar="BYTES",
+                       help="enforced engine state budget in bytes "
+                            "(k/m/g suffixes ok): scans stream "
+                            "buffer-pool pages and stateful operators "
+                            "spill to disk under pressure")
 
     p_explain = sub.add_parser("explain", help="show a plan with estimates")
     p_explain.add_argument("qid")
@@ -297,8 +351,13 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--scheduler", default="fifo",
                        choices=list(SCHEDULERS))
         p.add_argument("--budget-mb", type=float, default=None,
-                       help="aggregate intermediate-state budget "
-                            "(MB; default unbounded)")
+                       help="admission-control intermediate-state "
+                            "budget estimate (MB; default unbounded)")
+        p.add_argument("--memory-budget", type=_parse_nbytes, default=None,
+                       metavar="BYTES",
+                       help="enforced engine state budget in bytes "
+                            "(k/m/g suffixes ok); the memory governor "
+                            "spills operator state past it")
         p.add_argument("--max-concurrent", type=int, default=4,
                        help="max queries per concurrent batch")
         p.add_argument("--no-aip-cache", action="store_true",

@@ -1,0 +1,62 @@
+"""Byte-size accounting, in one place.
+
+Every layer that budgets or charges memory — the paper's
+intermediate-state metric, admission control's pre-execution estimate,
+the result cache's resident-byte cap, and the storage layer's
+:class:`~repro.storage.governor.MemoryGovernor` — must agree on what a
+row "weighs", or budgets enforced by one layer are meaningless to the
+next.  These constants and helpers are that single authority; nothing
+else in the tree hardcodes per-value byte sizes.
+
+Only *relative* sizes matter (we are modelling, not measuring, Python
+object layouts), but they must be stable: the equivalence suite pins
+peak-state bytes bit-identical across execution paths.
+"""
+
+from __future__ import annotations
+
+#: Estimated in-memory size of one value of each schema type.  Keys are
+#: the type tags of :mod:`repro.data.schema` (kept as literals here so
+#: sizing stays import-free below the schema layer).
+TYPE_NBYTES = {"int": 8, "float": 8, "str": 24, "date": 12}
+
+#: Per-tuple overhead approximating Python object headers / hash-table
+#: entry costs; shared by all operators so relative strategy
+#: comparisons are unaffected.
+TUPLE_OVERHEAD_NBYTES = 16
+
+#: One component of a buffered key (semijoin source keys, group keys).
+KEY_COMPONENT_NBYTES = 8
+
+#: Fixed overhead of one aggregation group (dict entry + key tuple).
+GROUP_OVERHEAD_NBYTES = 16
+
+
+def value_nbytes(type_name: str) -> int:
+    """Estimated resident bytes of one value of a schema type."""
+    return TYPE_NBYTES[type_name]
+
+
+def row_nbytes(schema) -> int:
+    """Estimated bytes to buffer one row of ``schema``."""
+    return TUPLE_OVERHEAD_NBYTES + sum(
+        TYPE_NBYTES[attr.type] for attr in schema.attributes
+    )
+
+
+def rows_nbytes(schema, count) -> float:
+    """Estimated bytes to buffer ``count`` rows of ``schema``.
+
+    ``count`` may be a float (optimizer cardinality estimates).
+    """
+    return count * row_nbytes(schema)
+
+
+def key_nbytes(n_components: int) -> int:
+    """Estimated bytes to buffer one ``n_components``-wide key."""
+    return KEY_COMPONENT_NBYTES * n_components
+
+
+def group_overhead_nbytes(n_keys: int) -> int:
+    """Fixed bytes of one aggregation group before its accumulators."""
+    return GROUP_OVERHEAD_NBYTES + KEY_COMPONENT_NBYTES * n_keys

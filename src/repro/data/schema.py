@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
+from repro.common import sizing
 from repro.common.errors import SchemaError
 
 #: Type tags.  Dates are ISO-8601 strings so that lexicographic
@@ -26,11 +27,6 @@ STR = "str"
 DATE = "date"
 
 _VALID_TYPES = frozenset({INT, FLOAT, STR, DATE})
-
-#: Estimated in-memory size of one value of each type, in bytes.  These
-#: feed the intermediate-state metric (Figures 7, 8, 11, 12, 14 of the
-#: paper); only relative sizes matter, so flat estimates are fine.
-_TYPE_SIZES = {INT: 8, FLOAT: 8, STR: 24, DATE: 12}
 
 
 class Attribute:
@@ -48,7 +44,7 @@ class Attribute:
 
     @property
     def byte_size(self) -> int:
-        return _TYPE_SIZES[self.type]
+        return sizing.value_nbytes(self.type)
 
     def renamed(self, name: str) -> "Attribute":
         return Attribute(name, self.type)
@@ -123,11 +119,11 @@ class Schema:
     def row_byte_size(self) -> int:
         """Estimated bytes to buffer one row of this schema.
 
-        A small per-tuple overhead approximates Python object headers /
-        hash table entry costs; the constant is shared by all operators
-        so relative comparisons between strategies are unaffected.
+        Delegates to :mod:`repro.common.sizing`, the single authority
+        every budgeting layer (state metrics, admission control, result
+        cache, memory governor) sizes rows through.
         """
-        return 16 + sum(a.byte_size for a in self.attributes)
+        return sizing.row_nbytes(self)
 
     def concat(self, other: "Schema") -> "Schema":
         """Schema of the join of two inputs (names must stay unique)."""

@@ -85,11 +85,18 @@ class ExecutionContext:
         short_circuit: bool = True,
         trace: bool = False,
         batch_execution: bool = True,
+        governor=None,
     ):
         self.catalog = catalog
         self.cost_model = cost_model or CostModel()
         self.metrics = Metrics()
         self.strategy = strategy or ExecutionStrategy()
+        #: The run's :class:`~repro.storage.governor.MemoryGovernor`,
+        #: or None for un-governed execution.  When present, scans
+        #: stream governor-managed column pages and stateful operators
+        #: spill hash partitions under budget pressure; when absent the
+        #: engine is bit-identical to the pre-storage-layer code.
+        self.governor = governor
         #: Drive sources in arrival-boundary batches (the vectorized
         #: dataflow path) where the plan supports it.  Observably
         #: identical to tuple-at-a-time execution — same rows, clock,

@@ -28,6 +28,8 @@ class CostModel:
         "aip_build_per_row",
         "manager_invocation",
         "scan_read",
+        "spill_page_io",
+        "spill_byte_io",
         "network_bandwidth",
         "network_latency",
     )
@@ -45,6 +47,8 @@ class CostModel:
         aip_build_per_row: float = 3.0e-7,
         manager_invocation: float = 2.0e-4,
         scan_read: float = 5.0e-7,
+        spill_page_io: float = 1.0e-4,
+        spill_byte_io: float = 2.0e-9,
         network_bandwidth: float = 100e6 / 8,
         network_latency: float = 1.0e-3,
     ):
@@ -59,6 +63,11 @@ class CostModel:
         self.aip_build_per_row = aip_build_per_row  # cost-based state scan
         self.manager_invocation = manager_invocation  # ESTIMATEBENEFIT run
         self.scan_read = scan_read                # read/parse one source tuple
+        # Storage-layer spill I/O under a finite memory budget: one
+        # fixed seek/syscall charge per page moved, plus a per-byte
+        # streaming rate (~500 MB/s).  Unused when no governor runs.
+        self.spill_page_io = spill_page_io
+        self.spill_byte_io = spill_byte_io
         # Paper Section VI: the distributed join experiment fetches
         # PARTSUPP "across a 100Mb Ethernet"; filter-shipping cost
         # estimates assume 10 Mbps.  Bandwidth is bytes/second.

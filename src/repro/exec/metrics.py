@@ -61,6 +61,11 @@ class Metrics:
         self.aip_bytes_shipped: int = 0
         self.network_bytes: int = 0
         self.result_rows: int = 0
+        #: Storage-layer spill traffic (page writes *and* re-reads)
+        #: performed under a finite memory budget; zero when no
+        #: :class:`~repro.storage.governor.MemoryGovernor` is attached.
+        self.spill_bytes: int = 0
+        self.spill_events: int = 0
 
     # -- time ----------------------------------------------------------
 
@@ -157,4 +162,6 @@ class Metrics:
             "aip_bytes_shipped": self.aip_bytes_shipped,
             "network_bytes": self.network_bytes,
             "result_rows": self.result_rows,
+            "spill_bytes": self.spill_bytes,
+            "spill_events": self.spill_events,
         }

@@ -111,6 +111,15 @@ class Operator:
         ]
         self._input_done: List[bool] = [False] * self.n_inputs
         self._output_done = False
+        # Under a memory governor every stateful operator accounts its
+        # buffered bytes on a lease and volunteers as a spill target;
+        # un-governed runs carry only this None (bit-identical paths).
+        governor = ctx.governor
+        if governor is not None and self.stateful:
+            self._lease = governor.lease(self.name)
+            governor.register_spillable(self)
+        else:
+            self._lease = None
 
     # -- wiring ---------------------------------------------------------
 
@@ -246,6 +255,9 @@ class Operator:
         if self._output_done:
             return
         self._output_done = True
+        if self._lease is not None:
+            self.ctx.governor.unregister_spillable(self)
+            self._lease.close()
         self.ctx.log("%s output complete" % self.name)
         for parent, port in self.parents:
             parent.finish(port)
@@ -263,6 +275,38 @@ class Operator:
     @property
     def all_inputs_done(self) -> bool:
         return all(self._input_done)
+
+    # -- state accounting --------------------------------------------------
+
+    def account_state(self, delta: int) -> None:
+        """Adjust this operator's buffered-state bytes: the paper's
+        intermediate-state metric always, plus the governor lease when
+        one is attached (which may trigger reclamation — buffer-pool
+        eviction or a spill, possibly of this very operator)."""
+        self.ctx.metrics.adjust_state(self.op_id, delta)
+        lease = self._lease
+        if lease is not None:
+            if delta >= 0:
+                self.ctx.governor.request(lease, delta, self.ctx)
+            else:
+                self.ctx.governor.release(lease, -delta)
+
+    # -- spilling (memory-governor reclaim protocol) -----------------------
+
+    @property
+    def governed(self) -> bool:
+        """True when this operator accounts on a governor lease."""
+        return self._lease is not None
+
+    def spillable_nbytes(self) -> int:
+        """Resident bytes this operator could shed to disk right now."""
+        return 0
+
+    def spill(self, need_bytes: int, ctx) -> int:
+        """Shed up to ``need_bytes`` of state to the spill backend;
+        returns the bytes actually freed.  Stateful operators override
+        this with Grace-style partition spilling."""
+        return 0
 
     # -- state exposure ---------------------------------------------------
 

@@ -4,11 +4,21 @@ Pipelined: the first occurrence of a row is forwarded immediately, so a
 distinct does not block, but it buffers every distinct row seen — state
 the paper explicitly calls out as an AIP source (Example 3.1 builds a
 hash set "from the state in the distinct operator").
+
+Under a memory governor the seen-set spills Grace-style by whole-row
+hash partition: a spilled partition's distinct rows move to a disk run,
+and later arrivals for that partition are *deferred* to a delta run —
+their duplicate status is unknowable without the disk-resident set, so
+they are neither forwarded nor dropped until the input completes.  At
+completion each partition is replayed one at a time: the seen run
+reloads, delta rows stream through it in arrival order, and fresh rows
+are emitted (and appended to the seen run, which then holds the
+partition's complete distinct set for ``state_values``).
 """
 
 from __future__ import annotations
 
-from typing import Set
+from typing import Dict, Set
 
 from repro.data.schema import Schema
 from repro.exec.context import ExecutionContext
@@ -24,6 +34,14 @@ class PDistinct(Operator):
         super().__init__(ctx, op_id, schema, [schema], "Distinct")
         self._seen: Set[Row] = set()
         self._row_bytes = schema.row_byte_size()
+        if self._lease is not None:
+            from repro.storage.spill import N_SPILL_PARTITIONS
+            #: pid -> (seen_spool, delta_spool).
+            self._spilled: Dict[int, tuple] = {}
+            self._part_rows = [0] * N_SPILL_PARTITIONS
+            self._replaying = False
+        else:
+            self._spilled = None
 
     def push(self, row: Row, port: int = 0) -> None:
         cm = self.ctx.cost_model
@@ -33,18 +51,35 @@ class PDistinct(Operator):
         self.ctx.charge(cm.tuple_base)
         if not self.passes_filters(row, 0):
             return
+        pid = -1
+        if self._spilled is not None:
+            from repro.storage.spill import spill_partition
+            pid = spill_partition(row)
+            if pid in self._spilled:
+                # Deferred: duplicate status is unknowable while the
+                # partition's seen-set sits on disk.
+                self.ctx.charge(cm.hash_insert)
+                self._spilled[pid][1].append(row)
+                self.ctx.strategy.after_tuple(self, 0, row)
+                return
         self.ctx.charge(cm.hash_probe)
         if row in self._seen:
             return
         self.ctx.charge(cm.hash_insert)
         self._seen.add(row)
-        self.ctx.metrics.adjust_state(self.op_id, self._row_bytes)
+        if pid >= 0:
+            self._part_rows[pid] += 1
+        self.account_state(self._row_bytes)
         self.ctx.strategy.after_tuple(self, 0, row)
         self.emit(row)
 
     def push_batch(self, rows, port: int = 0) -> None:
         """Deduplicate a whole batch: first occurrences are forwarded in
         order, with bulk cost charging matching :meth:`push`."""
+        if self._lease is not None:
+            for row in rows:
+                self.push(row, port)
+            return
         cm = self.ctx.cost_model
         metrics = self.ctx.metrics
         metrics.counters(self.op_id).tuples_in += len(rows)
@@ -69,13 +104,98 @@ class PDistinct(Operator):
 
     def finish(self, port: int = 0) -> None:
         self._mark_input_done(port)
+        if self._spilled:
+            # Deferred rows emit before the strategy hook, matching the
+            # in-memory operator where all emission precedes finish.
+            self._replay_spilled()
         self.ctx.strategy.on_input_finished(self, 0)
         if self._seen:
-            self.ctx.metrics.adjust_state(
-                self.op_id, -len(self._seen) * self._row_bytes
-            )
+            self.account_state(-len(self._seen) * self._row_bytes)
             self._seen.clear()
+        if self._spilled:
+            for seen_spool, delta_spool in self._spilled.values():
+                seen_spool.discard()
+                delta_spool.discard()
+            self._spilled.clear()
         self.finish_output()
+
+    # -- spilling ----------------------------------------------------------
+
+    def spillable_nbytes(self) -> int:
+        if self._spilled is None or self._replaying:
+            return 0
+        return self._lease.nbytes
+
+    def spill(self, need_bytes: int, ctx) -> int:
+        if self._spilled is None or self._replaying:
+            return 0
+        from repro.storage.spill import (
+            Spool, pick_spill_victim, spill_partition,
+        )
+
+        freed = 0
+        while freed < need_bytes:
+            best = pick_spill_victim(self._part_rows, self._spilled)
+            if best is None:
+                break
+            label = "%s#%d.p%d" % (self.name, self.op_id, best)
+            seen_spool = Spool(
+                self.ctx, self.ctx.governor, self._row_bytes,
+                label + ".seen",
+            )
+            delta_spool = Spool(
+                self.ctx, self.ctx.governor, self._row_bytes,
+                label + ".delta",
+            )
+            self._spilled[best] = (seen_spool, delta_spool)
+            doomed = [
+                row for row in self._seen if spill_partition(row) == best
+            ]
+            for row in doomed:
+                self._seen.discard(row)
+                self.account_state(-self._row_bytes)
+                seen_spool.append(row)
+            seen_spool.flush()
+            self._part_rows[best] = 0
+            if doomed:
+                freed += len(doomed) * self._row_bytes
+            self.ctx.log(
+                "%s spilled partition %d (%d rows)"
+                % (self.name, best, len(doomed))
+            )
+        return freed
+
+    def _replay_spilled(self) -> None:
+        """Per partition: reload the seen run, stream delta rows in
+        arrival order, emit the fresh ones (appending them to the seen
+        run so it holds the partition's complete distinct set)."""
+        cm = self.ctx.cost_model
+        self._replaying = True
+        try:
+            for pid in sorted(self._spilled):
+                seen_spool, delta_spool = self._spilled[pid]
+                part_seen: Set[Row] = set()
+                for row in seen_spool.records():
+                    part_seen.add(row)
+                if part_seen:
+                    self.account_state(len(part_seen) * self._row_bytes)
+                replayed = 0
+                for row in delta_spool.records():
+                    replayed += 1
+                    if row in part_seen:
+                        continue
+                    part_seen.add(row)
+                    self.account_state(self._row_bytes)
+                    seen_spool.append(row)
+                    self.ctx.charge(cm.output_build)
+                    self.emit(row)
+                if replayed:
+                    self.ctx.charge_events(replayed, cm.hash_probe)
+                delta_spool.discard()
+                if part_seen:
+                    self.account_state(-len(part_seen) * self._row_bytes)
+        finally:
+            self._replaying = False
 
     # -- state exposure ----------------------------------------------------
 
@@ -83,9 +203,18 @@ class PDistinct(Operator):
         idx = self.input_schemas[0].index_of(attr_name)
         for row in self._seen:
             yield row[idx]
+        if self._spilled:
+            for pid in sorted(self._spilled):
+                seen_spool, _delta = self._spilled[pid]
+                for row in seen_spool.records():
+                    yield row[idx]
 
     def stored_count(self, port: int) -> int:
-        return len(self._seen)
+        count = len(self._seen)
+        if self._spilled:
+            for seen_spool, _delta in self._spilled.values():
+                count += seen_spool.n_records
+        return count
 
     def state_complete(self, port: int) -> bool:
         return self._input_done[0]

@@ -5,12 +5,24 @@ paper: its hash state is both an obstacle (nothing flows until the
 input completes) and an opportunity (once complete, the group keys are
 a perfect AIP set — Example 3.2 builds a Bloom filter from "the state
 in the aggregation operator").
+
+Under a memory governor the operator spills Grace-style: a partition
+of the group-key space moves to disk as a run of pickled group records
+(key values + accumulator state), and subsequent rows for that
+partition are appended raw to a delta run without touching the hash
+table.  When the input completes, each spilled partition is merged —
+groups reloaded, delta rows replayed — one partition at a time, and
+the merged records are written back to a single consolidated run so
+that ``state_values`` (the AIP build path) and final emission both
+stream it from disk instead of re-materialising every partition at
+once.
 """
 
 from __future__ import annotations
 
 from typing import Dict, Sequence
 
+from repro.common.sizing import group_overhead_nbytes
 from repro.data.schema import Schema
 from repro.exec.context import ExecutionContext
 from repro.exec.operators.base import Operator, Row
@@ -43,9 +55,21 @@ class PGroupBy(Operator):
         self._groups: Dict = {}
         self.keys = tuple(keys)
         self._group_bytes = (
-            16 + 8 * len(self._key_indices)
+            group_overhead_nbytes(len(self._key_indices))
             + sum(s.make_accumulator().byte_size() for s in aggregates)
         )
+        if self._lease is not None:
+            from repro.storage.spill import N_SPILL_PARTITIONS
+            self._in_row_bytes = in_schema.row_byte_size()
+            #: pid -> (group_spool, delta_spool) while streaming.
+            self._spilled: Dict[int, tuple] = {}
+            #: pid -> consolidated spool once the input finished.
+            self._merged: Dict[int, object] = {}
+            self._part_groups = [0] * N_SPILL_PARTITIONS
+            self._replaying = False
+        else:
+            self._spilled = None
+            self._merged = None
 
     def _key_of(self, row: Row):
         indices = self._key_indices
@@ -61,6 +85,17 @@ class PGroupBy(Operator):
             return
 
         key = self._key_of(row)
+        pid = -1
+        if self._spilled is not None:
+            from repro.storage.spill import spill_partition
+            pid = spill_partition(key)
+            if pid in self._spilled:
+                # Deferred: raw rows append to the partition's delta
+                # run and are re-aggregated at completion.
+                self.ctx.charge(cm.hash_insert)
+                self._spilled[pid][1].append(row)
+                self.ctx.strategy.after_tuple(self, 0, row)
+                return
         self.ctx.charge(cm.hash_probe)
         group = self._groups.get(key)
         if group is None:
@@ -69,7 +104,9 @@ class PGroupBy(Operator):
             group = (key_values, accumulators)
             self._groups[key] = group
             self.ctx.charge(cm.hash_insert)
-            self.ctx.metrics.adjust_state(self.op_id, self._group_bytes)
+            if pid >= 0:
+                self._part_groups[pid] += 1
+            self.account_state(self._group_bytes)
         for fn, acc in zip(self._agg_fns, group[1]):
             self.ctx.charge(cm.agg_update)
             acc.add(fn(row) if fn is not None else None)
@@ -79,6 +116,10 @@ class PGroupBy(Operator):
     def push_batch(self, rows, port: int = 0) -> None:
         """Accumulate a whole batch into the hash state with bulk cost
         charging; per-row grouping decisions match :meth:`push`."""
+        if self._lease is not None:
+            for row in rows:
+                self.push(row, port)
+            return
         cm = self.ctx.cost_model
         metrics = self.ctx.metrics
         metrics.counters(self.op_id).tuples_in += len(rows)
@@ -115,9 +156,18 @@ class PGroupBy(Operator):
 
     def finish(self, port: int = 0) -> None:
         self._mark_input_done(port)
+        if self._spilled:
+            # Merge every spilled partition into its consolidated run
+            # *before* the strategy hook, so AIP sets built at
+            # on_input_finished stream final, complete state.
+            self._consolidate_spilled()
         self.ctx.strategy.on_input_finished(self, 0)
         cm = self.ctx.cost_model
-        if not self._key_indices and not self._groups:
+        if (
+            not self._key_indices
+            and not self._groups
+            and not self._merged
+        ):
             # SQL semantics: a keyless aggregate over an empty input
             # still produces one row (SUM -> 0-or-None per accumulator).
             self.ctx.charge(cm.output_build)
@@ -127,17 +177,153 @@ class PGroupBy(Operator):
         for key_values, accumulators in self._groups.values():
             self.ctx.charge(cm.output_build)
             self.emit(key_values + tuple(a.result() for a in accumulators))
+        if self._merged:
+            for pid in sorted(self._merged):
+                spool = self._merged[pid]
+                for _key, key_values, accumulators in spool.records():
+                    self.ctx.charge(cm.output_build)
+                    self.emit(
+                        key_values + tuple(a.result() for a in accumulators)
+                    )
+                spool.discard()
+            self._merged.clear()
         self._release_state()
         self.finish_output()
 
     def _release_state(self) -> None:
         if self._groups:
-            self.ctx.metrics.adjust_state(
-                self.op_id, -len(self._groups) * self._group_bytes
-            )
+            self.account_state(-len(self._groups) * self._group_bytes)
             self._groups.clear()
 
+    # -- spilling ----------------------------------------------------------
+
+    def spillable_nbytes(self) -> int:
+        if self._spilled is None or self._replaying:
+            return 0
+        return self._lease.nbytes
+
+    def spill(self, need_bytes: int, ctx) -> int:
+        if self._spilled is None or self._replaying:
+            return 0
+        from repro.storage.spill import (
+            Spool, pick_spill_victim, spill_partition,
+        )
+
+        freed = 0
+        while freed < need_bytes:
+            best = pick_spill_victim(self._part_groups, self._spilled)
+            if best is None:
+                break
+            label = "%s#%d.p%d" % (self.name, self.op_id, best)
+            group_spool = Spool(
+                self.ctx, self.ctx.governor, self._group_bytes,
+                label + ".groups",
+            )
+            delta_spool = Spool(
+                self.ctx, self.ctx.governor, self._in_row_bytes,
+                label + ".delta",
+            )
+            self._spilled[best] = (group_spool, delta_spool)
+            moved = 0
+            for key in [
+                k for k in self._groups if spill_partition(k) == best
+            ]:
+                key_values, accumulators = self._groups.pop(key)
+                self.account_state(-self._group_bytes)
+                group_spool.append((key, key_values, accumulators))
+                moved += 1
+            group_spool.flush()
+            self._part_groups[best] = 0
+            if moved:
+                freed += moved * self._group_bytes
+            self.ctx.log(
+                "%s spilled partition %d (%d groups)"
+                % (self.name, best, moved)
+            )
+        return freed
+
+    def _merge_partition(self, pid: int) -> Dict:
+        """Reload one spilled partition's groups and replay its delta
+        rows; returns the merged ``key -> (key_values, accumulators)``
+        dict (caller accounts and releases its residency)."""
+        cm = self.ctx.cost_model
+        group_spool, delta_spool = self._spilled[pid]
+        merged: Dict = {}
+        for key, key_values, accumulators in group_spool.records():
+            merged[key] = (key_values, accumulators)
+            self.ctx.charge(cm.hash_insert)
+            self.account_state(self._group_bytes)
+        replayed = 0
+        for row in delta_spool.records():
+            replayed += 1
+            key = self._key_of(row)
+            group = merged.get(key)
+            if group is None:
+                accumulators = [s.make_accumulator() for s in self._specs]
+                group = (
+                    tuple(row[i] for i in self._key_indices), accumulators
+                )
+                merged[key] = group
+                self.ctx.charge(cm.hash_insert)
+                self.account_state(self._group_bytes)
+            for fn, acc in zip(self._agg_fns, group[1]):
+                acc.add(fn(row) if fn is not None else None)
+        if replayed:
+            self.ctx.charge_events(replayed, cm.hash_probe)
+            if self._specs:
+                self.ctx.charge_events(
+                    replayed * len(self._specs), cm.agg_update
+                )
+        return merged
+
+    def _consolidate_spilled(self) -> None:
+        """Merge each spilled partition (one at a time) into a single
+        consolidated run per partition."""
+        from repro.storage.spill import Spool
+
+        self._replaying = True
+        try:
+            for pid in sorted(self._spilled):
+                merged = self._merge_partition(pid)
+                spool = Spool(
+                    self.ctx, self.ctx.governor, self._group_bytes,
+                    "%s#%d.p%d.merged" % (self.name, self.op_id, pid),
+                )
+                for key, (key_values, accumulators) in merged.items():
+                    self.account_state(-self._group_bytes)
+                    spool.append((key, key_values, accumulators))
+                spool.flush()
+                group_spool, delta_spool = self._spilled[pid]
+                group_spool.discard()
+                delta_spool.discard()
+                self._merged[pid] = spool
+            self._spilled.clear()
+        finally:
+            self._replaying = False
+
     # -- state exposure ----------------------------------------------------
+
+    def _spilled_group_records(self):
+        """Stream every spilled group record (merged runs after the
+        input finished; merge-on-the-fly before)."""
+        if self._merged:
+            for pid in sorted(self._merged):
+                yield from self._merged[pid].records()
+        if self._spilled:
+            self._replaying = True
+            try:
+                for pid in sorted(self._spilled):
+                    merged = self._merge_partition(pid)
+                    try:
+                        for key, (key_values, accs) in merged.items():
+                            yield key, key_values, accs
+                    finally:
+                        if merged:
+                            self.account_state(
+                                -len(merged) * self._group_bytes
+                            )
+            finally:
+                self._replaying = False
 
     def state_values(self, port: int, attr_name: str):
         """Values of a key or aggregate output attribute across the
@@ -148,14 +334,29 @@ class PGroupBy(Operator):
             pos = self.keys.index(attr_name)
             for key_values, _ in self._groups.values():
                 yield key_values[pos]
+            if self._spilled or self._merged:
+                for _key, key_values, _accs in self._spilled_group_records():
+                    yield key_values[pos]
             return
         agg_names = [s.output_name for s in self._specs]
         pos = agg_names.index(attr_name)
         for _, accumulators in self._groups.values():
             yield accumulators[pos].result()
+        if self._spilled or self._merged:
+            for _key, _kv, accumulators in self._spilled_group_records():
+                yield accumulators[pos].result()
 
     def stored_count(self, port: int) -> int:
-        return len(self._groups)
+        count = len(self._groups)
+        if self._spilled:
+            for group_spool, _delta in self._spilled.values():
+                # Delta rows may add unseen groups; the run count is a
+                # lower bound, which only makes AIP sizing conservative.
+                count += group_spool.n_records
+        if self._merged:
+            for spool in self._merged.values():
+                count += spool.n_records
+        return count
 
     def state_complete(self, port: int) -> bool:
         return self._input_done[0]

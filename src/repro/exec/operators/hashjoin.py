@@ -16,6 +16,17 @@ Two behaviours from the paper are implemented here:
 * **AIP state exposure**: a finished input's hash table *is* the
   materialised result of that subexpression, which both AIP algorithms
   turn into filters (``state_values``).
+
+Under a memory governor the join spills Grace-style: a partition of
+the key space moves to disk as two generations per side — **frozen**
+(rows that were in the hash tables when the partition spilled; every
+frozen-left × frozen-right match was already emitted while streaming)
+and **delta** (rows arriving after the spill, appended without
+probing).  When both inputs complete, the owed matches are exactly
+``all pairs − frozen×frozen``, produced by probing the reloaded right
+partition with the left delta and the right delta with the frozen
+left.  Spilled rows still feed ``state_values`` (streamed from disk),
+so AIP summaries built from this state remain complete and sound.
 """
 
 from __future__ import annotations
@@ -27,6 +38,19 @@ from repro.exec.context import ExecutionContext
 from repro.exec.operators.base import Operator, Row
 from repro.expr.compiler import compile_predicate
 from repro.expr.expressions import Expr
+
+
+class _PartitionSpill:
+    """One spilled key-space partition: per-side frozen + delta runs."""
+
+    __slots__ = ("frozen", "delta")
+
+    def __init__(self, make_spool):
+        self.frozen = (make_spool(0, "frozen"), make_spool(1, "frozen"))
+        self.delta = (make_spool(0, "delta"), make_spool(1, "delta"))
+
+    def spools(self):
+        return self.frozen + self.delta
 
 
 class PHashJoin(Operator):
@@ -66,6 +90,18 @@ class PHashJoin(Operator):
         )
         self.left_keys = tuple(left_keys)
         self.right_keys = tuple(right_keys)
+        if self._lease is not None:
+            from repro.storage.spill import N_SPILL_PARTITIONS
+            #: pid -> _PartitionSpill for spilled key-space partitions.
+            self._spilled: Dict[int, _PartitionSpill] = {}
+            #: In-memory row counts per (port, partition), kept so the
+            #: spill victim choice is O(partitions), not O(state).
+            self._part_rows = (
+                [0] * N_SPILL_PARTITIONS, [0] * N_SPILL_PARTITIONS,
+            )
+            self._replaying = False
+        else:
+            self._spilled = None
 
     def _key_of(self, row: Row, port: int):
         indices = self._key_indices[port]
@@ -83,6 +119,19 @@ class PHashJoin(Operator):
 
         other = 1 - port
         key = self._key_of(row, port)
+
+        pid = -1
+        if self._spilled is not None:
+            from repro.storage.spill import spill_partition
+            pid = spill_partition(key)
+            part = self._spilled.get(pid)
+            if part is not None:
+                # Deferred: the partition lives on disk.  No probe, no
+                # emission now — owed matches surface at completion.
+                self.ctx.charge(cm.hash_insert)
+                part.delta[port].append(row)
+                self.ctx.strategy.after_tuple(self, port, row)
+                return
 
         # Probe the opposite table.
         self.ctx.charge(cm.hash_probe)
@@ -103,7 +152,9 @@ class PHashJoin(Operator):
         if self._buffering[port]:
             self.ctx.charge(cm.hash_insert)
             self._tables[port].setdefault(key, []).append(row)
-            metrics.adjust_state(self.op_id, self._row_bytes[port])
+            if pid >= 0:
+                self._part_rows[port][pid] += 1
+            self.account_state(self._row_bytes[port])
 
         self.ctx.strategy.after_tuple(self, port, row)
 
@@ -111,6 +162,12 @@ class PHashJoin(Operator):
         """Probe and insert a whole batch: same per-row decisions and
         tick-exact charge totals as :meth:`push`, without the per-tuple
         call chain."""
+        if self._lease is not None:
+            # Governed: per-row pushes so spill decisions interleave at
+            # row granularity exactly as on the tuple path.
+            for row in rows:
+                self.push(row, port)
+            return
         cm = self.ctx.cost_model
         metrics = self.ctx.metrics
         metrics.counters(self.op_id).tuples_in += len(rows)
@@ -169,10 +226,14 @@ class PHashJoin(Operator):
         if self.ctx.short_circuit and not self._input_done[other]:
             # Release the opposite side's buffered rows; future arrivals
             # on `other` keep probing table[port] but are not stored.
+            # Spilled runs of `other` are kept: deferred rows of *this*
+            # port still owe probes against them at completion.
             self._release_table(other)
             self._buffering[other] = False
         self.ctx.strategy.on_input_finished(self, port)
         if self.all_inputs_done:
+            if self._spilled:
+                self._replay_spilled()
             self._release_table(0)
             self._release_table(1)
             self.finish_output()
@@ -180,10 +241,144 @@ class PHashJoin(Operator):
     def _release_table(self, port: int) -> None:
         stored = sum(len(rows) for rows in self._tables[port].values())
         if stored:
-            self.ctx.metrics.adjust_state(
-                self.op_id, -stored * self._row_bytes[port]
-            )
+            self.account_state(-stored * self._row_bytes[port])
         self._tables[port].clear()
+        if self._spilled is not None:
+            counts = self._part_rows[port]
+            for pid in range(len(counts)):
+                counts[pid] = 0
+
+    # -- spilling ----------------------------------------------------------
+
+    def spillable_nbytes(self) -> int:
+        if self._spilled is None or self._replaying:
+            return 0
+        return self._lease.nbytes
+
+    def spill(self, need_bytes: int, ctx) -> int:
+        """Move whole key-space partitions to disk, largest first."""
+        if self._spilled is None or self._replaying:
+            return 0
+        freed = 0
+        while freed < need_bytes:
+            pid = self._pick_victim()
+            if pid is None:
+                break
+            freed += self._spill_partition(pid, ctx)
+        return freed
+
+    def _pick_victim(self) -> Optional[int]:
+        from repro.storage.spill import pick_spill_victim
+        rb0, rb1 = self._row_bytes
+        counts0, counts1 = self._part_rows
+        return pick_spill_victim(
+            [c0 * rb0 + c1 * rb1 for c0, c1 in zip(counts0, counts1)],
+            self._spilled,
+        )
+
+    def _make_spool(self, pid: int):
+        from repro.storage.spill import Spool
+
+        def make(port, generation):
+            return Spool(
+                self.ctx, self.ctx.governor, self._row_bytes[port],
+                "%s#%d.p%d.%s%d" % (
+                    self.name, self.op_id, pid, generation, port,
+                ),
+            )
+        return make
+
+    def _spill_partition(self, pid: int, ctx) -> int:
+        from repro.storage.spill import spill_partition
+
+        part = _PartitionSpill(self._make_spool(pid))
+        self._spilled[pid] = part
+        freed = 0
+        for port in (0, 1):
+            table = self._tables[port]
+            doomed = [
+                key for key in table if spill_partition(key) == pid
+            ]
+            moved = 0
+            spool = part.frozen[port]
+            row_bytes = self._row_bytes[port]
+            for key in doomed:
+                rows = table.pop(key)
+                # Release before appending so the transfer never holds
+                # the rows on both ledgers at once.
+                self.account_state(-len(rows) * row_bytes)
+                for row in rows:
+                    moved += 1
+                    spool.append(row)
+            if moved:
+                spool.flush()
+                freed += moved * row_bytes
+            self._part_rows[port][pid] = 0
+        self.ctx.log(
+            "%s spilled partition %d (%d bytes)" % (self.name, pid, freed)
+        )
+        return freed
+
+    def _replay_spilled(self) -> None:
+        """Emit the owed matches of every spilled partition: all pairs
+        except frozen-left × frozen-right, which streamed out before
+        the partition left memory.  One partition is resident at a
+        time (Grace recursion depth 1)."""
+        cm = self.ctx.cost_model
+        rb0, rb1 = self._row_bytes
+        self._replaying = True
+        try:
+            for pid in sorted(self._spilled):
+                part = self._spilled[pid]
+                r_frozen: Dict = {}
+                r_delta: Dict = {}
+                loaded = 0
+                for target, spool in (
+                    (r_frozen, part.frozen[1]), (r_delta, part.delta[1]),
+                ):
+                    for row in spool.records():
+                        key = self._key_of(row, 1)
+                        target.setdefault(key, []).append(row)
+                        loaded += 1
+                if loaded:
+                    self.ctx.charge_events(loaded, cm.hash_insert)
+                    self.account_state(loaded * rb1)
+                # Left delta probes everything on the right …
+                self._probe_spilled(
+                    part.delta[0], (r_frozen, r_delta), cm
+                )
+                # … while the frozen left only owes the right delta.
+                self._probe_spilled(
+                    part.frozen[0], (r_delta,), cm
+                )
+                if loaded:
+                    self.account_state(-loaded * rb1)
+                for spool in part.spools():
+                    spool.discard()
+            self._spilled.clear()
+        finally:
+            self._replaying = False
+
+    def _probe_spilled(self, left_spool, right_tables, cm) -> None:
+        residual = self._residual
+        probed = 0
+        for row in left_spool.records():
+            probed += 1
+            key = self._key_of(row, 0)
+            for table in right_tables:
+                matches = table.get(key)
+                if not matches:
+                    continue
+                for match in matches:
+                    combined = row + match
+                    if residual is not None:
+                        self.ctx.charge(cm.predicate_eval)
+                        if not residual(combined):
+                            continue
+                    self.ctx.charge(cm.output_build)
+                    self.emit(combined)
+        if probed:
+            self.ctx.charge_events(probed, cm.hash_probe)
 
     # -- state exposure ----------------------------------------------------
 
@@ -192,9 +387,24 @@ class PHashJoin(Operator):
         for rows in self._tables[port].values():
             for row in rows:
                 yield row[idx]
+        if self._spilled:
+            # Spilled partitions stream back page by page — summaries
+            # are built over them without re-materialising the state.
+            for pid in sorted(self._spilled):
+                part = self._spilled[pid]
+                for spool in (part.frozen[port], part.delta[port]):
+                    for row in spool.records():
+                        yield row[idx]
 
     def stored_count(self, port: int) -> int:
-        return sum(len(rows) for rows in self._tables[port].values())
+        count = sum(len(rows) for rows in self._tables[port].values())
+        if self._spilled:
+            for part in self._spilled.values():
+                count += (
+                    part.frozen[port].n_records
+                    + part.delta[port].n_records
+                )
+        return count
 
     def state_complete(self, port: int) -> bool:
         # Complete iff the port finished while still buffering: if the

@@ -144,4 +144,9 @@ class PScan(Operator):
 
     def finish(self, port: int = 0) -> None:
         """Called by the engine when the source is exhausted."""
+        release = getattr(self.rows, "release", None)
+        if release is not None:
+            # Paged rows under a memory governor: nothing re-reads an
+            # exhausted scan, so its buffer-pool pages drop now.
+            release()
         self.finish_output()

@@ -13,12 +13,22 @@ exist on the source side:
 
 The probe buffer never holds a row whose key has already been seen on
 the source side, so state stays bounded by the unmatched prefix.
+
+Under a memory governor the probe buffer (the operator's bulk) spills
+by key partition: a spilled partition's pending rows live in a disk
+run, and later unmatched probe rows for it are appended there instead
+of the hash table.  Source keys stay resident (they are small), so
+matched probe rows still emit immediately; when the source input
+completes, the spilled runs are streamed once and every row whose key
+made it into the final source-key set is emitted — exactly the rows
+the in-memory flushes would have produced.
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Set
 
+from repro.common.sizing import key_nbytes
 from repro.data.schema import Schema
 from repro.exec.context import ExecutionContext
 from repro.exec.operators.base import Operator, Row
@@ -59,7 +69,15 @@ class PSemiJoin(Operator):
         self._source_keys: Set = set()
         self._pending: Dict[object, List[Row]] = {}
         self._probe_row_bytes = probe_schema.row_byte_size()
-        self._key_bytes = 8 * len(source_keys)
+        self._key_bytes = key_nbytes(len(source_keys))
+        if self._lease is not None:
+            from repro.storage.spill import N_SPILL_PARTITIONS
+            #: pid -> Spool of pending probe rows (moved + deferred).
+            self._spilled: Dict[int, object] = {}
+            self._part_rows = [0] * N_SPILL_PARTITIONS
+            self._replaying = False
+        else:
+            self._spilled = None
 
     def _key(self, row: Row, indices) -> object:
         if len(indices) == 1:
@@ -80,9 +98,22 @@ class PSemiJoin(Operator):
             if key in self._source_keys:
                 self.emit(row)
             elif not self._input_done[SOURCE]:
+                pid = -1
+                if self._spilled is not None:
+                    from repro.storage.spill import spill_partition
+                    pid = spill_partition(key)
+                    if pid in self._spilled:
+                        # Deferred: the matching source key may still
+                        # arrive; the run replays at source completion.
+                        self.ctx.charge(cm.hash_insert)
+                        self._spilled[pid].append(row)
+                        self.ctx.strategy.after_tuple(self, port, row)
+                        return
                 self.ctx.charge(cm.hash_insert)
                 self._pending.setdefault(key, []).append(row)
-                metrics.adjust_state(self.op_id, self._probe_row_bytes)
+                if pid >= 0:
+                    self._part_rows[pid] += 1
+                self.account_state(self._probe_row_bytes)
             # Source already complete and key absent: row can never match.
         else:
             key = self._key(row, self._source_idx)
@@ -91,11 +122,14 @@ class PSemiJoin(Operator):
                 return  # duplicate source key carries no new information
             self.ctx.charge(cm.hash_insert)
             self._source_keys.add(key)
-            metrics.adjust_state(self.op_id, self._key_bytes)
+            self.account_state(self._key_bytes)
             waiting = self._pending.pop(key, None)
             if waiting:
-                metrics.adjust_state(
-                    self.op_id, -len(waiting) * self._probe_row_bytes
+                if self._spilled is not None:
+                    from repro.storage.spill import spill_partition
+                    self._part_rows[spill_partition(key)] -= len(waiting)
+                self.account_state(
+                    -len(waiting) * self._probe_row_bytes
                 )
                 for pending_row in waiting:
                     self.ctx.charge(cm.output_build)
@@ -106,6 +140,10 @@ class PSemiJoin(Operator):
         """Probe (port 0) or insert (port 1) a whole batch with bulk
         cost charging; emissions and this operator's state deltas keep
         the per-row order of :meth:`push`."""
+        if self._lease is not None:
+            for row in rows:
+                self.push(row, port)
+            return
         cm = self.ctx.cost_model
         metrics = self.ctx.metrics
         metrics.counters(self.op_id).tuples_in += len(rows)
@@ -173,21 +211,92 @@ class PSemiJoin(Operator):
 
     def finish(self, port: int = 0) -> None:
         self._mark_input_done(port)
-        metrics = self.ctx.metrics
-        if port == SOURCE and self._pending:
-            dropped = sum(len(rows) for rows in self._pending.values())
-            metrics.adjust_state(
-                self.op_id, -dropped * self._probe_row_bytes
-            )
-            self._pending.clear()
+        if port == SOURCE:
+            if self._spilled:
+                # Replay the spilled pending runs against the now-final
+                # source key set — the matches the in-memory flushes
+                # would have emitted as those keys arrived.
+                self._replay_spilled()
+            if self._pending:
+                dropped = sum(len(rows) for rows in self._pending.values())
+                self.account_state(-dropped * self._probe_row_bytes)
+                self._pending.clear()
+                if self._spilled is not None:
+                    for pid in range(len(self._part_rows)):
+                        self._part_rows[pid] = 0
         self.ctx.strategy.on_input_finished(self, port)
         if self.all_inputs_done:
             if self._source_keys:
-                metrics.adjust_state(
-                    self.op_id, -len(self._source_keys) * self._key_bytes
+                self.account_state(
+                    -len(self._source_keys) * self._key_bytes
                 )
                 self._source_keys.clear()
             self.finish_output()
+
+    # -- spilling ----------------------------------------------------------
+
+    def spillable_nbytes(self) -> int:
+        if self._spilled is None or self._replaying:
+            return 0
+        return sum(self._part_rows) * self._probe_row_bytes
+
+    def spill(self, need_bytes: int, ctx) -> int:
+        """Move whole pending-buffer key partitions to disk."""
+        if self._spilled is None or self._replaying:
+            return 0
+        from repro.storage.spill import (
+            Spool, pick_spill_victim, spill_partition,
+        )
+
+        freed = 0
+        while freed < need_bytes:
+            best = pick_spill_victim(self._part_rows, self._spilled)
+            if best is None:
+                break
+            spool = Spool(
+                self.ctx, self.ctx.governor, self._probe_row_bytes,
+                "%s#%d.p%d.pending" % (self.name, self.op_id, best),
+            )
+            self._spilled[best] = spool
+            moved = 0
+            for key in [
+                k for k in self._pending if spill_partition(k) == best
+            ]:
+                rows = self._pending.pop(key)
+                self.account_state(-len(rows) * self._probe_row_bytes)
+                for row in rows:
+                    moved += 1
+                    spool.append(row)
+            spool.flush()
+            self._part_rows[best] = 0
+            if moved:
+                freed += moved * self._probe_row_bytes
+            self.ctx.log(
+                "%s spilled partition %d (%d pending rows)"
+                % (self.name, best, moved)
+            )
+        return freed
+
+    def _replay_spilled(self) -> None:
+        cm = self.ctx.cost_model
+        source_keys = self._source_keys
+        probe_idx = self._probe_idx
+        self._replaying = True
+        try:
+            for pid in sorted(self._spilled):
+                spool = self._spilled[pid]
+                probed = 0
+                for row in spool.records():
+                    probed += 1
+                    if self._key(row, probe_idx) in source_keys:
+                        self.ctx.charge(cm.output_build)
+                        self.emit(row)
+                if probed:
+                    self.ctx.charge_events(probed, cm.hash_probe)
+                spool.discard()
+            self._spilled.clear()
+        finally:
+            self._replaying = False
 
     # -- state exposure ----------------------------------------------------
 
@@ -205,11 +314,19 @@ class PSemiJoin(Operator):
             for rows in self._pending.values():
                 for row in rows:
                     yield row[idx]
+            if self._spilled:
+                for pid in sorted(self._spilled):
+                    for row in self._spilled[pid].records():
+                        yield row[idx]
 
     def stored_count(self, port: int) -> int:
         if port == SOURCE:
             return len(self._source_keys)
-        return sum(len(rows) for rows in self._pending.values())
+        count = sum(len(rows) for rows in self._pending.values())
+        if self._spilled:
+            for spool in self._spilled.values():
+                count += spool.n_records
+        return count
 
     def state_complete(self, port: int) -> bool:
         # The probe buffer only ever holds *unmatched* rows — never a

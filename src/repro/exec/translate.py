@@ -77,6 +77,16 @@ class PhysicalPlan:
             raise PlanError("no physical operator for node #%d" % node_id)
 
 
+def _scan_rows(ctx: ExecutionContext, schema, rows):
+    """The row sequence a scan streams: the raw table list, or — under
+    a memory governor — a :class:`~repro.storage.buffer.PagedRows`
+    facade whose column pages the buffer pool may evict and reload."""
+    if ctx.governor is None:
+        return rows
+    from repro.storage.buffer import PagedRows
+    return PagedRows(ctx, schema, rows)
+
+
 def default_arrival(ctx: ExecutionContext, node: Scan) -> ArrivalModel:
     """Remote scans pay link latency/bandwidth; local scans stream."""
     if node.site is not None:
@@ -141,7 +151,8 @@ def _build_partitioned_scan(
     )
     for index, (site, rows) in enumerate(zip(spec.sites, parts)):
         scan = PScan(
-            ctx, fresh_node_id(), node.schema, rows,
+            ctx, fresh_node_id(), node.schema,
+            _scan_rows(ctx, node.schema, rows),
             arrival=_partition_arrival(ctx, node, site, arrival_resolver),
             table_name=node.table_name, site=site, partition_index=index,
         )
@@ -183,7 +194,8 @@ def translate(
                 if arrival is None:
                     arrival = default_arrival(ctx, node)
                 op = PScan(
-                    ctx, node.node_id, node.schema, table.rows,
+                    ctx, node.node_id, node.schema,
+                    _scan_rows(ctx, node.schema, table.rows),
                     arrival=arrival, table_name=node.table_name,
                     site=node.site,
                 )

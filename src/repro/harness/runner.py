@@ -57,13 +57,17 @@ def partitioned_placement(
 class RunRecord:
     """Everything one figure cell needs."""
 
-    __slots__ = ("qid", "strategy", "result", "summary")
+    __slots__ = ("qid", "strategy", "result", "summary", "storage")
 
-    def __init__(self, qid: str, strategy: str, result: QueryResult):
+    def __init__(self, qid: str, strategy: str, result: QueryResult,
+                 storage: Optional[Dict] = None):
         self.qid = qid
         self.strategy = strategy
         self.result = result
         self.summary: Dict[str, float] = result.metrics.summary()
+        #: Storage-layer observations of a governed run (budget, peak
+        #: resident bytes, spill traffic), or None when un-governed.
+        self.storage = storage
 
     @property
     def virtual_seconds(self) -> float:
@@ -91,6 +95,7 @@ def run_workload_query(
     batch_execution: bool = True,
     partitions: int = 0,
     network: Optional[NetworkModel] = None,
+    memory_budget: Optional[int] = None,
 ) -> RunRecord:
     """Execute ``qid`` under ``strategy`` and return its metrics.
 
@@ -106,6 +111,16 @@ def run_workload_query(
     ``batch_execution=False`` forces the tuple-at-a-time engine loop
     (the vectorized path is observably identical; benchmarks compare
     their wall-clock cost).
+    ``memory_budget=N`` attaches a
+    :class:`~repro.storage.governor.MemoryGovernor` with an ``N``-byte
+    budget: scans stream buffer-pool pages and stateful operators
+    spill under pressure.  Rows are identical to the un-governed run
+    (as a multiset; spilling reorders completion-time emissions) and
+    ``record.storage`` reports what the governor observed.  ``None``
+    (the default) runs the engine bit-identically to a build without
+    the storage layer.  This is the *enforced* engine budget — not to
+    be confused with Feed-Forward's ``strategy_kwargs`` AIP-set budget
+    or the service layer's admission estimate budget.
     """
     if partitions and delayed:
         raise ValueError(
@@ -119,40 +134,60 @@ def run_workload_query(
         if uses_magic_plan(strategy)
         else query.build_baseline(catalog)
     )
+    governor = None
+    if memory_budget is not None:
+        from repro.storage.governor import MemoryGovernor
+        governor = MemoryGovernor(memory_budget)
     ctx = ExecutionContext(
         catalog,
         strategy=make_strategy(strategy, **(strategy_kwargs or {})),
         short_circuit=short_circuit,
         batch_execution=batch_execution,
+        governor=governor,
     )
 
-    if partitions:
-        dq = DistributedQuery(
-            plan, partitioned_placement(query, partitions),
-            network or NetworkModel(),
-        )
-        result = dq.execute(ctx)
-        return RunRecord(qid, strategy, result)
+    try:
+        if partitions:
+            dq = DistributedQuery(
+                plan, partitioned_placement(query, partitions),
+                network or NetworkModel(),
+            )
+            result = dq.execute(ctx)
+        elif query.is_distributed:
+            dq = DistributedQuery(
+                plan,
+                Placement([Site("remote-1", query.remote_tables)]),
+                network or NetworkModel(),
+            )
+            result = dq.execute(ctx)
+        else:
+            resolver = None
+            if delayed:
+                delayed_table = query.delayed_table
 
-    if query.is_distributed:
-        dq = DistributedQuery(
-            plan,
-            Placement([Site("remote-1", query.remote_tables)]),
-            network or NetworkModel(),
-        )
-        result = dq.execute(ctx)
-        return RunRecord(qid, strategy, result)
+                def resolver(node):
+                    if node.table_name == delayed_table:
+                        return ArrivalModel.delayed(
+                            initial_delay=0.100, batch_size=1000,
+                            batch_delay=0.005,
+                        )
+                    return None
 
-    resolver = None
-    if delayed:
-        delayed_table = query.delayed_table
+            result = execute_plan(plan, ctx, arrival_resolver=resolver)
+    finally:
+        # Engine errors included: the spill directory never outlives
+        # the run.
+        if governor is not None:
+            governor.close()
 
-        def resolver(node):
-            if node.table_name == delayed_table:
-                return ArrivalModel.delayed(
-                    initial_delay=0.100, batch_size=1000, batch_delay=0.005,
-                )
-            return None
-
-    result = execute_plan(plan, ctx, arrival_resolver=resolver)
-    return RunRecord(qid, strategy, result)
+    storage = None
+    if governor is not None:
+        storage = {
+            "budget": governor.budget,
+            "peak_resident_bytes": governor.peak_resident_bytes,
+            "over_budget_events": governor.over_budget_events,
+            "spilled_bytes": governor.backend.bytes_written,
+            "evictions": governor.buffer.evictions,
+            "reloads": governor.buffer.reloads,
+        }
+    return RunRecord(qid, strategy, result, storage)

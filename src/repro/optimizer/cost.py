@@ -105,5 +105,6 @@ class PlanCoster:
 
     def state_bytes(self, node: LogicalNode) -> float:
         """Estimated bytes to buffer ``node``'s full output."""
+        from repro.common.sizing import rows_nbytes
         est = self.estimator.estimate(node)
-        return est.rows * node.schema.row_byte_size()
+        return rows_nbytes(node.schema, est.rows)

@@ -12,6 +12,12 @@ stateful operator), and a query is
 * **queued** when it would push the total past the budget, and
 * **shed** outright when its own estimate exceeds the whole budget —
   it could never run, so keeping it queued would stall the stream.
+
+Estimates drift from reality (short-circuiting, AIP pruning, skew), so
+the controller also *reconciles*: after each batch the service reports
+the bytes actually observed — the memory governor's resident peak when
+one is attached, the metric store's peak otherwise — and an EWMA of
+the observed/estimated ratio corrects every later admission decision.
 """
 
 from __future__ import annotations
@@ -53,9 +59,12 @@ class AdmissionController:
         self,
         memory_budget_bytes: Optional[float] = None,
         max_concurrent: int = 4,
+        correction_alpha: float = 0.3,
     ):
         if max_concurrent < 1:
             raise ValueError("need max_concurrent >= 1")
+        if not 0.0 <= correction_alpha <= 1.0:
+            raise ValueError("need 0 <= correction_alpha <= 1")
         self.memory_budget_bytes = memory_budget_bytes
         self.max_concurrent = max_concurrent
         self.in_flight_bytes = 0.0
@@ -65,11 +74,43 @@ class AdmissionController:
         #: through several batch formations counts once per attempt.
         self.queue_events = 0
         self.shed = 0
+        #: EWMA of observed/estimated state bytes; scales every budget
+        #: comparison.  Starts at 1.0 (trust the estimator) and is fed
+        #: by :meth:`observe` after each finished batch.
+        self.correction = 1.0
+        self.correction_alpha = correction_alpha
+        self.observations = 0
+
+    def effective_estimate(self, estimate_bytes: float) -> float:
+        """An estimate scaled by what reconciliation has learned."""
+        return estimate_bytes * self.correction
+
+    def observe(self, estimated_bytes: float, actual_bytes: float) -> None:
+        """Fold one batch's observed state bytes into the correction.
+
+        ``estimated_bytes`` is the batch's summed admission estimate;
+        ``actual_bytes`` the peak the run actually reached (governor
+        resident peak when enforcement is on).  Called exactly once per
+        executed batch — error paths skip it, so a failed batch never
+        poisons the ratio.
+        """
+        if estimated_bytes <= 0 or actual_bytes < 0:
+            return
+        ratio = actual_bytes / estimated_bytes
+        alpha = self.correction_alpha
+        correction = (1.0 - alpha) * self.correction + alpha * ratio
+        # Clamp: one aberrant batch must never push the controller into
+        # shedding everything or admitting unboundedly.
+        self.correction = min(max(correction, 0.05), 20.0)
+        self.observations += 1
 
     def decide(self, estimate_bytes: float) -> str:
         """Classify one query given the current in-flight load."""
         budget = self.memory_budget_bytes
-        if budget is not None and estimate_bytes > budget:
+        if (
+            budget is not None
+            and self.effective_estimate(estimate_bytes) > budget
+        ):
             self.shed += 1
             return SHED
         if self.in_flight_queries >= self.max_concurrent:
@@ -78,7 +119,9 @@ class AdmissionController:
         if (
             budget is not None
             and self.in_flight_queries > 0
-            and self.in_flight_bytes + estimate_bytes > budget
+            and self.effective_estimate(
+                self.in_flight_bytes + estimate_bytes
+            ) > budget
         ):
             self.queue_events += 1
             return QUEUE

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
+from repro.common.sizing import rows_nbytes
 from repro.data.schema import Schema
 from repro.service.lru import LruDict
 
@@ -37,7 +38,7 @@ class CachedResult:
 
     def byte_size(self) -> int:
         """Rough resident bytes of the cached rows."""
-        return self.schema.row_byte_size() * len(self.rows)
+        return rows_nbytes(self.schema, len(self.rows))
 
 
 class ResultCache:

@@ -266,9 +266,23 @@ class QueryService:
         batch_execution: bool = True,
         placement=None,
         network=None,
+        memory_budget: Optional[int] = None,
     ):
         self.catalog = catalog
         self.default_strategy = strategy
+        #: Enforced engine budget: a service-lifetime
+        #: :class:`~repro.storage.governor.MemoryGovernor` every batch
+        #: context shares, so scans stream buffer-pool pages and
+        #: stateful operators spill under pressure.  Distinct from
+        #: ``memory_budget_bytes``, the admission controller's
+        #: *estimate* budget: admission decides who runs, the governor
+        #: bounds what running queries actually hold.  Call
+        #: :meth:`close` (or use the service as a context manager) to
+        #: remove the spill directory.
+        self.governor = None
+        if memory_budget is not None:
+            from repro.storage.governor import MemoryGovernor
+            self.governor = MemoryGovernor(memory_budget)
         #: Service-wide table placement: when set, every submitted plan
         #: is marked against it (whole-site and partitioned tables
         #: alike), overriding workload-built-in placements, and the
@@ -495,47 +509,63 @@ class QueryService:
         return remote_arrival_resolver(self.network)
 
     def _run_batch(self, batch: List[_PendingQuery]) -> List[QueryOutcome]:
-        ctx = ExecutionContext(
-            self.catalog,
-            short_circuit=self.short_circuit,
-            batch_execution=self.batch_execution,
+        # Everything from here until the release must sit inside the
+        # try: an acquired entry whose batch dies during *setup* (bad
+        # network link, hook registration) must release its reserved
+        # bytes exactly like one that dies mid-execution, or the
+        # controller leaks budget and later queries queue forever.
+        # The governor epoch gives a failed batch the same guarantee
+        # for *enforced* bytes: dead operators' leases, spill handlers
+        # and buffer frames all roll back.
+        epoch = (
+            self.governor.begin_epoch()
+            if self.governor is not None else None
         )
-        # Align the batch context with the service's network, exactly as
-        # the coordinator does for one-shot distributed runs.
-        default_link = self.network.link_to("__default__")
-        ctx.cost_model.network_bandwidth = default_link.bandwidth
-        ctx.cost_model.network_latency = default_link.latency
-        ctx.network = self.network
-        if self.aip_cache is not None:
-            ctx.aip_publish_hooks.append(self.aip_cache.recorder(ctx))
-
-        injected: Dict[int, List] = {}
-        strategies_made: List = []
-
-        def on_translated(index, physical):
-            if self.aip_cache is None:
-                return
-            # Baseline/magic queries are the paper's no-AIP comparison
-            # points; leave them untouched (mirroring the twin-hold
-            # exclusion) so service-level strategy comparisons stay
-            # honest.  Cached-set consumers are the AIP strategies.
-            from repro.harness.strategies import BASELINE, MAGIC
-            if batch[index].strategy_name in (BASELINE, MAGIC):
-                return
-            # The strategy attached just before this callback; reuse
-            # its predicate graph / candidate index when it has them.
-            strategy = strategies_made[index]
-            graph = getattr(strategy, "graph", None)
-            if graph is None:
-                registry = getattr(strategy, "registry", None)
-                graph = getattr(registry, "graph", None)
-            injected[index] = self.aip_cache.inject(
-                physical, ctx,
-                graph=graph, candidates=getattr(strategy, "index", None),
-            )
-
         finish_times: Dict[int, float] = {}
         try:
+            ctx = ExecutionContext(
+                self.catalog,
+                short_circuit=self.short_circuit,
+                batch_execution=self.batch_execution,
+                governor=self.governor,
+            )
+            # Align the batch context with the service's network,
+            # exactly as the coordinator does for one-shot distributed
+            # runs.
+            default_link = self.network.link_to("__default__")
+            ctx.cost_model.network_bandwidth = default_link.bandwidth
+            ctx.cost_model.network_latency = default_link.latency
+            ctx.network = self.network
+            if self.aip_cache is not None:
+                ctx.aip_publish_hooks.append(self.aip_cache.recorder(ctx))
+
+            injected: Dict[int, List] = {}
+            strategies_made: List = []
+
+            def on_translated(index, physical):
+                if self.aip_cache is None:
+                    return
+                # Baseline/magic queries are the paper's no-AIP
+                # comparison points; leave them untouched (mirroring
+                # the twin-hold exclusion) so service-level strategy
+                # comparisons stay honest.  Cached-set consumers are
+                # the AIP strategies.
+                from repro.harness.strategies import BASELINE, MAGIC
+                if batch[index].strategy_name in (BASELINE, MAGIC):
+                    return
+                # The strategy attached just before this callback;
+                # reuse its predicate graph / candidate index when it
+                # has them.
+                strategy = strategies_made[index]
+                graph = getattr(strategy, "graph", None)
+                if graph is None:
+                    registry = getattr(strategy, "registry", None)
+                    graph = getattr(registry, "graph", None)
+                injected[index] = self.aip_cache.inject(
+                    physical, ctx,
+                    graph=graph, candidates=getattr(strategy, "index", None),
+                )
+
             strategies = [
                 make_strategy(p.strategy_name, **self.strategy_kwargs)
                 for p in batch
@@ -548,9 +578,28 @@ class QueryService:
                 on_plan_finished=lambda i, t: finish_times.setdefault(i, t),
                 on_plan_translated=on_translated,
             )
+        except BaseException:
+            if epoch is not None:
+                self.governor.abort_epoch(epoch)
+            raise
         finally:
             for entry in batch:
                 self.admission.release(entry.state_estimate)
+
+        # Reconcile what admission believed against what the batch
+        # actually held: the governor's observed *operator-state* peak
+        # when a budget is enforced (its total peak includes base-table
+        # buffer pages, which the estimates never model), the metric
+        # store's peak otherwise.  Success path only — a batch that
+        # raised reported nothing trustworthy.
+        observed = (
+            self.governor.take_window_state_peak()
+            if self.governor is not None
+            else ctx.metrics.peak_state_bytes
+        )
+        self.admission.observe(
+            sum(entry.state_estimate for entry in batch), observed
+        )
 
         batch_seconds = ctx.metrics.clock
         self.peak_state_bytes = max(
@@ -580,6 +629,20 @@ class QueryService:
             outcome.aip_tuples_pruned = sum(f.pruned for f in filters)
             outcomes.append(outcome)
         return outcomes
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        """Tear down the storage governor's spill directory (no-op for
+        an unbudgeted service)."""
+        if self.governor is not None:
+            self.governor.close()
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     # -- convenience -------------------------------------------------------
 

@@ -1,0 +1,47 @@
+"""Paged columnar storage under a process-wide memory governor.
+
+The engine's working sets — base-table rows streamed by scans, the
+hash state of stateful operators, spilled partition runs — all live in
+Python memory.  This package bounds that memory:
+
+* :mod:`repro.storage.page` — fixed-capacity **column pages** built
+  once from :class:`~repro.data.table.Table` rows, with ``nbytes``
+  accounting through :mod:`repro.common.sizing`;
+* :mod:`repro.storage.disk` — the spill backend: one pickle file per
+  page under a private temp directory, removed on close;
+* :mod:`repro.storage.buffer` — a **buffer manager** with pin/unpin
+  and LRU eviction to the disk backend, plus :class:`PagedRows`, the
+  sequence facade scans stream instead of materialised row lists;
+* :mod:`repro.storage.spill` — append-only paged **spools** the
+  stateful operators write Grace-style hash partitions through;
+* :mod:`repro.storage.governor` — the :class:`MemoryGovernor` holding
+  the process-wide state budget; components account through leases,
+  and a grow that would cross the budget first reclaims (buffer-pool
+  eviction, then operator spills, largest lease first).
+
+With no governor attached (``memory_budget=None``) none of this is
+instantiated and execution is bit-identical to the un-governed engine;
+with a finite budget, results are identical while governor-observed
+resident state stays under budget, and spill I/O is charged to the
+virtual clock as ``spill_bytes``/``spill_events``.
+"""
+
+from repro.storage.buffer import BufferManager, PagedRows
+from repro.storage.disk import DiskBackend
+from repro.storage.governor import Lease, MemoryGovernor
+from repro.storage.page import PAGE_ROWS, ColumnPage, build_pages
+from repro.storage.spill import N_SPILL_PARTITIONS, Spool, spill_partition
+
+__all__ = [
+    "BufferManager",
+    "ColumnPage",
+    "DiskBackend",
+    "Lease",
+    "MemoryGovernor",
+    "N_SPILL_PARTITIONS",
+    "PAGE_ROWS",
+    "PagedRows",
+    "Spool",
+    "build_pages",
+    "spill_partition",
+]

@@ -1,0 +1,195 @@
+"""The buffer manager: pinned pages, LRU eviction, paged scan rows.
+
+Frames hold column pages (or any immutable payload with a known byte
+weight).  A frame is *resident* while its payload is in memory and
+*evicted* once the payload has been written to the spill backend and
+dropped; :meth:`BufferManager.pin` transparently reloads evicted
+frames.  Pinned frames are never evicted — pin spans are short (one
+row reconstruction, one replay pass) so the pool can always make
+progress.
+
+:class:`PagedRows` is the engine-facing facade: a read-only sequence
+(``len`` + indexing, which is all the arrival models need) over a
+table's column pages, registered with the buffer pool so scans stream
+pages under the governor's budget instead of holding materialised row
+lists.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional
+
+from repro.storage.page import build_pages
+
+
+class Frame:
+    """One buffer-pool slot."""
+
+    __slots__ = ("frame_id", "payload", "nbytes", "pins", "page_id", "epoch")
+
+    def __init__(self, frame_id: int, payload, nbytes: int, epoch: int):
+        self.frame_id = frame_id
+        self.payload = payload
+        self.nbytes = nbytes
+        self.pins = 0
+        #: Spill-backend id once the payload has been written out;
+        #: None while the frame has never been evicted.
+        self.page_id: Optional[int] = None
+        #: Accounting epoch that admitted the frame (see
+        #: ``MemoryGovernor.abort_epoch``).
+        self.epoch = epoch
+
+    @property
+    def resident(self) -> bool:
+        return self.payload is not None
+
+
+class BufferManager:
+    """LRU pool of page frames accounted on one governor lease."""
+
+    def __init__(self, governor, backend):
+        self.governor = governor
+        self.backend = backend
+        self._lease = governor.lease("buffer-pool")
+        self._next_frame = 0
+        #: frame_id -> Frame for every *resident* frame, in LRU order
+        #: (oldest first).
+        self._lru: "OrderedDict[int, Frame]" = OrderedDict()
+        #: Every live frame, resident or evicted (epoch rollback needs
+        #: to reach evicted frames' disk pages too).
+        self._all: dict = {}
+        self.evictions = 0
+        self.reloads = 0
+
+    @property
+    def resident_bytes(self) -> int:
+        return self._lease.nbytes
+
+    # -- frame lifecycle -------------------------------------------------
+
+    def add(self, payload, nbytes: int, ctx=None) -> Frame:
+        """Admit a fresh payload as a resident frame."""
+        self._next_frame += 1
+        frame = Frame(self._next_frame, payload, nbytes, self.governor._epoch)
+        self.governor.request(self._lease, nbytes, ctx)
+        self._lru[frame.frame_id] = frame
+        self._all[frame.frame_id] = frame
+        return frame
+
+    def pin(self, frame: Frame, ctx=None):
+        """Return the frame's payload, reloading it from the spill
+        backend if evicted; the frame cannot be evicted until the
+        matching :meth:`unpin`."""
+        if frame.payload is None:
+            payload = self.backend.read(frame.page_id)
+            self.governor.charge_spill(ctx, frame.nbytes)
+            self.governor.request(self._lease, frame.nbytes, ctx)
+            frame.payload = payload
+            self.reloads += 1
+            self._lru[frame.frame_id] = frame
+        else:
+            self._lru.move_to_end(frame.frame_id)
+        frame.pins += 1
+        return frame.payload
+
+    def unpin(self, frame: Frame) -> None:
+        if frame.pins <= 0:
+            raise RuntimeError("unpin of a frame that is not pinned")
+        frame.pins -= 1
+
+    def release(self, frame: Frame) -> None:
+        """Drop the frame entirely: residency and any spilled copy."""
+        if frame.payload is not None:
+            frame.payload = None
+            self.governor.release(self._lease, frame.nbytes)
+            self._lru.pop(frame.frame_id, None)
+        if frame.page_id is not None:
+            self.backend.delete(frame.page_id)
+            frame.page_id = None
+        self._all.pop(frame.frame_id, None)
+
+    def release_epoch(self, epoch: int) -> None:
+        """Drop every frame admitted in or after ``epoch`` (the
+        governor's rollback of a failed batch)."""
+        for frame in [
+            f for f in self._all.values() if f.epoch >= epoch
+        ]:
+            frame.pins = 0  # its owner is dead; nothing will unpin
+            self.release(frame)
+
+    # -- eviction ---------------------------------------------------------
+
+    def evict_until(self, need_bytes: int, ctx=None) -> int:
+        """Evict unpinned resident frames, LRU first, until
+        ``need_bytes`` have been freed (or nothing evictable remains);
+        returns the bytes actually freed."""
+        freed = 0
+        if need_bytes <= 0:
+            return freed
+        for frame_id in list(self._lru):
+            if freed >= need_bytes:
+                break
+            frame = self._lru[frame_id]
+            if frame.pins:
+                continue
+            if frame.page_id is None:
+                frame.page_id = self.backend.write(frame.payload)
+                self.governor.charge_spill(ctx, frame.nbytes)
+            frame.payload = None
+            del self._lru[frame_id]
+            self.governor.release(self._lease, frame.nbytes)
+            self.evictions += 1
+            freed += frame.nbytes
+        return freed
+
+
+class PagedRows:
+    """A table's rows as governor-managed column pages.
+
+    Duck-types the slice of the ``list`` interface the scan machinery
+    uses — ``len()`` and integer indexing — so
+    :class:`~repro.exec.arrival.ArrivalModel` and
+    :class:`~repro.exec.operators.scan.PScan` stream it unchanged.
+    """
+
+    __slots__ = ("_ctx", "_buffer", "_frames", "_n_rows", "_page_rows")
+
+    def __init__(self, ctx, schema, rows, page_rows: Optional[int] = None):
+        from repro.common.sizing import row_nbytes
+        governor = ctx.governor
+        self._ctx = ctx
+        self._buffer = governor.buffer
+        self._page_rows = page_rows or governor.page_records_for(
+            row_nbytes(schema)
+        )
+        self._n_rows = len(rows)
+        self._frames = []
+        # Pages are admitted one by one: under a tight budget, earlier
+        # pages spill to the backend while later ones are built.
+        for page in build_pages(rows, schema, self._page_rows):
+            self._frames.append(self._buffer.add(page, page.nbytes, ctx))
+
+    def __len__(self) -> int:
+        return self._n_rows
+
+    def __getitem__(self, index: int):
+        if index < 0:
+            index += self._n_rows
+        if not 0 <= index < self._n_rows:
+            raise IndexError(index)
+        frame = self._frames[index // self._page_rows]
+        page = self._buffer.pin(frame, self._ctx)
+        try:
+            return page.row(index % self._page_rows)
+        finally:
+            self._buffer.unpin(frame)
+
+    def __iter__(self):
+        for index in range(self._n_rows):
+            yield self[index]
+
+    def release(self) -> None:
+        """Drop every page (called when the scan is exhausted)."""
+        for frame in self._frames:
+            self._buffer.release(frame)

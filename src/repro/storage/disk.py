@@ -1,0 +1,90 @@
+"""The spill backend: pickle-per-page files under a temp directory.
+
+One :class:`DiskBackend` serves a whole governed run (or a whole
+:class:`~repro.service.service.QueryService` lifetime).  The directory
+is created lazily on the first write and removed — with everything in
+it — by :meth:`DiskBackend.close`, which callers invoke from
+``finally`` blocks so an engine error never strands spill files.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import shutil
+import tempfile
+from typing import Optional
+
+
+class DiskBackend:
+    """Writes, reads and deletes pickled page payloads by id."""
+
+    def __init__(self, spill_dir: Optional[str] = None):
+        #: Explicit directory override (created if missing); by default
+        #: a private ``repro-spill-*`` temp directory is made lazily.
+        self._root = spill_dir
+        self._dir: Optional[str] = None
+        self._next_id = 0
+        self.pages_written = 0
+        self.pages_read = 0
+        self.bytes_written = 0
+        self.bytes_read = 0
+        self.closed = False
+
+    @property
+    def path(self) -> Optional[str]:
+        """The spill directory, or None while nothing has been written."""
+        return self._dir
+
+    def _ensure_dir(self) -> str:
+        if self.closed:
+            raise RuntimeError("spill backend already closed")
+        if self._dir is None:
+            if self._root is not None:
+                os.makedirs(self._root, exist_ok=True)
+                self._dir = self._root
+            else:
+                self._dir = tempfile.mkdtemp(prefix="repro-spill-")
+        return self._dir
+
+    def _file_for(self, page_id: int) -> str:
+        return os.path.join(self._dir, "page-%08d.bin" % page_id)
+
+    def write(self, payload) -> int:
+        """Pickle ``payload`` to a fresh page file; returns its id."""
+        directory = self._ensure_dir()
+        page_id = self._next_id
+        self._next_id += 1
+        data = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        with open(os.path.join(directory, "page-%08d.bin" % page_id), "wb") as fh:
+            fh.write(data)
+        self.pages_written += 1
+        self.bytes_written += len(data)
+        return page_id
+
+    def read(self, page_id: int):
+        """Unpickle one page payload back."""
+        if self._dir is None:
+            raise KeyError("no page %d: nothing spilled yet" % page_id)
+        with open(self._file_for(page_id), "rb") as fh:
+            data = fh.read()
+        self.pages_read += 1
+        self.bytes_read += len(data)
+        return pickle.loads(data)
+
+    def delete(self, page_id: int) -> None:
+        """Remove one page file (missing files are ignored: a page may
+        be deleted after a close-in-progress already swept it)."""
+        if self._dir is None:
+            return
+        try:
+            os.remove(self._file_for(page_id))
+        except FileNotFoundError:
+            pass
+
+    def close(self) -> None:
+        """Remove the spill directory and everything in it."""
+        self.closed = True
+        if self._dir is not None:
+            shutil.rmtree(self._dir, ignore_errors=True)
+            self._dir = None

@@ -1,0 +1,41 @@
+"""The single byte-size authority: every layer must agree with it."""
+
+from repro.common import sizing
+from repro.data.schema import Schema
+
+
+class TestSizing:
+    def test_row_nbytes_matches_schema(self):
+        schema = Schema.of(
+            ("a", "int"), ("b", "float"), ("c", "str"), ("d", "date"),
+        )
+        expected = sizing.TUPLE_OVERHEAD_NBYTES + 8 + 8 + 24 + 12
+        assert sizing.row_nbytes(schema) == expected
+        # Schema delegates to sizing, so the two can never diverge.
+        assert schema.row_byte_size() == sizing.row_nbytes(schema)
+
+    def test_rows_nbytes_scales(self):
+        schema = Schema.of(("a", "int"))
+        assert sizing.rows_nbytes(schema, 10) == 10 * sizing.row_nbytes(schema)
+        # Optimizer estimates pass float cardinalities.
+        assert sizing.rows_nbytes(schema, 2.5) == 2.5 * sizing.row_nbytes(schema)
+
+    def test_key_and_group_overheads(self):
+        assert sizing.key_nbytes(3) == 3 * sizing.KEY_COMPONENT_NBYTES
+        assert sizing.group_overhead_nbytes(2) == (
+            sizing.GROUP_OVERHEAD_NBYTES + 2 * sizing.KEY_COMPONENT_NBYTES
+        )
+
+    def test_consumers_share_the_authority(self):
+        """Admission estimates, the result cache and column pages all
+        weigh the same rows identically."""
+        from repro.service.result_cache import CachedResult
+        from repro.storage.page import ColumnPage
+
+        schema = Schema.of(("a", "int"), ("b", "str"))
+        rows = [(i, "x") for i in range(5)]
+        assert (
+            CachedResult(rows, schema, 0.0).byte_size()
+            == ColumnPage(rows, schema).nbytes
+            == sizing.rows_nbytes(schema, 5)
+        )

@@ -16,6 +16,14 @@ A second axis covers the summary layer: the word-indexed Bloom bitset
 operations.  Identical bit positions mean every pruning decision — and
 therefore rows, clock, peak state and ``pruned``/``probed`` counters —
 must be bit-identical across all four combinations.
+
+A third axis covers the storage layer's memory budget:
+``memory_budget=None`` takes the exact pre-storage code path (asserted
+bit-identical by every test above, since it is the default); a governed
+run with an effectively unbounded budget must emit identical rows in
+identical order (pages stream, nothing spills); and a run at half the
+observed peak must spill yet still produce the same row multiset while
+the governor-reported resident peak stays under the budget.
 """
 
 import pytest
@@ -107,6 +115,40 @@ def test_summary_impl_equivalence(qid, strategy, delayed):
         )
     _assert_identical(ref_tuple, word_tuple)
     _assert_identical(ref_tuple, ref_batch)
+
+
+@pytest.mark.parametrize("qid,strategy,delayed", _matrix())
+def test_memory_budget_axis(qid, strategy, delayed):
+    """Unbounded → governed-unbounded → governed-at-half-peak."""
+    from tests.helpers import rows_equal
+
+    unbounded = run_workload_query(
+        qid, strategy, scale_factor=SCALE, delayed=delayed,
+        memory_budget=None,
+    )
+    # None is the default: no governor, no storage record — the whole
+    # subsystem is absent, which is what keeps every bit-identical
+    # assertion above meaningful.
+    assert unbounded.storage is None
+
+    calibrate = run_workload_query(
+        qid, strategy, scale_factor=SCALE, delayed=delayed,
+        memory_budget=1 << 40,
+    )
+    # Governed but never under pressure: paged scans must reproduce the
+    # exact rows in the exact order (nothing defers).
+    assert calibrate.result.rows == unbounded.result.rows
+    assert calibrate.storage["spilled_bytes"] == 0
+
+    peak = calibrate.storage["peak_resident_bytes"]
+    budget = max(peak // 2, 4096)
+    governed = run_workload_query(
+        qid, strategy, scale_factor=SCALE, delayed=delayed,
+        memory_budget=budget,
+    )
+    assert rows_equal(governed.result.rows, unbounded.result.rows)
+    assert len(governed.result.rows) == len(unbounded.result.rows)
+    assert governed.storage["peak_resident_bytes"] <= budget
 
 
 class TestDistributedSummaryEquivalence:

@@ -1,0 +1,47 @@
+"""Column pages: build, reconstruct, byte accounting."""
+
+import pytest
+
+from repro.common.sizing import rows_nbytes
+from repro.data.schema import Schema
+from repro.storage.page import ColumnPage, build_pages
+
+
+@pytest.fixture
+def schema():
+    return Schema.of(("a", "int"), ("b", "str"), ("c", "float"))
+
+
+def _rows(n):
+    return [(i, "s%d" % i, i * 0.5) for i in range(n)]
+
+
+class TestColumnPage:
+    def test_roundtrip(self, schema):
+        rows = _rows(10)
+        page = ColumnPage(rows, schema)
+        assert page.rows() == rows
+        assert page.row(3) == rows[3]
+        assert len(page) == 10
+
+    def test_nbytes_matches_sizing(self, schema):
+        rows = _rows(7)
+        page = ColumnPage(rows, schema)
+        assert page.nbytes == rows_nbytes(schema, 7)
+
+    def test_empty_page(self, schema):
+        page = ColumnPage([], schema)
+        assert page.rows() == []
+        assert page.nbytes == 0
+
+
+class TestBuildPages:
+    def test_splits_at_capacity(self, schema):
+        pages = list(build_pages(_rows(10), schema, page_rows=4))
+        assert [len(p) for p in pages] == [4, 4, 2]
+        rebuilt = [row for p in pages for row in p.rows()]
+        assert rebuilt == _rows(10)
+
+    def test_rejects_bad_capacity(self, schema):
+        with pytest.raises(ValueError):
+            list(build_pages(_rows(3), schema, page_rows=0))
