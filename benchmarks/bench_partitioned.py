@@ -32,11 +32,15 @@ cells as higher-is-better speeds (1 / virtual seconds) for
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 
 from repro.distributed.network import MBPS, NetworkModel
 from repro.harness.runner import run_workload_query
+
+try:
+    from benchmarks.figlib import write_bench_json
+except ImportError:  # run as a script: benchmarks/ itself is sys.path[0]
+    from figlib import write_bench_json
 
 #: (qid, paper family) — the TPC-H join workloads of Figures 13/14.
 DEFAULT_QUERIES = (
@@ -117,19 +121,14 @@ def main(argv=None) -> int:
                   % ((qid, strategy) + row))
 
     if args.json:
-        metrics = {
-            "%s/%s/n%d" % (qid, strategy, n): 1.0 / seconds
-            for (qid, strategy, n), seconds in cells.items()
-        }
-        payload = {
-            "benchmark": "partitioned",
-            "config": {"scale": scale, "smoke": bool(args.smoke)},
-            "metrics": metrics,
-        }
-        with open(args.json, "w") as fh:
-            json.dump(payload, fh, indent=2, sort_keys=True)
-            fh.write("\n")
-        print("wrote %s" % args.json)
+        write_bench_json(
+            args.json, "partitioned",
+            config={"scale": scale, "smoke": bool(args.smoke)},
+            metrics={
+                "%s/%s/n%d" % (qid, strategy, n): 1.0 / seconds
+                for (qid, strategy, n), seconds in cells.items()
+            },
+        )
 
     failures = check_scaling(cells)
     if failures:

@@ -8,11 +8,23 @@ with the cross-query AIP-set cache on and off, and reports queries per
 second, total virtual-clock time and peak aggregate intermediate state.
 The result cache stays off throughout so the comparison isolates
 inter-query sideways information passing from result replay.
+
+Besides the pytest-benchmark cells, the module runs standalone for the
+CI regression gate::
+
+    PYTHONPATH=src python benchmarks/bench_service_throughput.py --json out.json
+
+emitting queries/second and inverse p50/p99 tail latency (all virtual
+and deterministic, so the gate can hold them to the default tolerance).
 """
 
 import pytest
 
-from benchmarks.figlib import SCALE_FACTOR
+try:
+    from benchmarks.figlib import SCALE_FACTOR, write_bench_json
+except ImportError:  # run as a script: benchmarks/ itself is sys.path[0]
+    from figlib import SCALE_FACTOR, write_bench_json
+
 from repro.data.tpch import cached_tpch
 from repro.harness.report import FigureTable
 from repro.service import QueryService
@@ -83,7 +95,8 @@ def test_aip_cache_improves_stream(reports, capsys):
         print("service stream %s (feedforward, result cache off):" % STREAM)
         print("%-24s %14s %14s" % ("metric", "aip-cache-off", "aip-cache-on"))
         for metric in ("total_virtual_seconds", "queries_per_second",
-                       "mean_latency", "peak_state_mb"):
+                       "mean_latency", "latency_p50", "latency_p99",
+                       "peak_state_mb"):
             print("%-24s %14.4f %14.4f" % (metric, off[metric], on[metric]))
         stats = reports["aip-cache-on"].aip_cache_stats
         print("aip cache: %d sets cached, %d filters re-injected, "
@@ -100,3 +113,67 @@ def test_aip_cache_improves_stream(reports, capsys):
         or on["peak_state_mb"] < off["peak_state_mb"]
     )
     assert reports["aip-cache-on"].aip_cache_stats["filters_injected"] > 0
+
+
+def main(argv=None) -> int:
+    """Standalone mode for the CI regression gate: run the stream in
+    both cache modes and export throughput and inverse tail latency
+    (all virtual-clock, hence deterministic and tightly gateable)."""
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI configuration (identical to the full "
+                             "run; the stream is already small)")
+    parser.add_argument("--json", metavar="PATH",
+                        help="write throughput and inverse p50/p99 "
+                             "latency for benchmarks/check_regression.py")
+    args = parser.parse_args(argv)
+
+    print("service stream %s (strategy feedforward, result cache off)"
+          % STREAM)
+    print("%-16s %12s %12s %12s %12s" % (
+        "mode", "q/s", "p50 (vs)", "p99 (vs)", "state (MB)",
+    ))
+    summaries = {}
+    for mode in MODES:
+        summary = _run_stream(mode == "aip-cache-on").summary()
+        summaries[mode] = summary
+        print("%-16s %12.2f %12.4f %12.4f %12.4f" % (
+            mode, summary["queries_per_second"], summary["latency_p50"],
+            summary["latency_p99"], summary["peak_state_mb"],
+        ))
+
+    if args.json:
+        metrics = {}
+        for mode, summary in summaries.items():
+            metrics["qps/%s" % mode] = summary["queries_per_second"]
+            for q in ("p50", "p99"):
+                metrics["inv_latency_%s/%s" % (q, mode)] = (
+                    1.0 / max(summary["latency_%s" % q], 1e-12)
+                )
+        write_bench_json(
+            args.json, "service_throughput",
+            config={"stream": STREAM, "scale": SCALE_FACTOR,
+                    "smoke": bool(args.smoke)},
+            metrics=metrics,
+        )
+
+    off = summaries["aip-cache-off"]
+    on = summaries["aip-cache-on"]
+    if on["completed"] != off["completed"]:
+        print("FAIL: cache modes completed different query counts")
+        return 1
+    if not (
+        on["total_virtual_seconds"] < off["total_virtual_seconds"]
+        or on["peak_state_mb"] < off["peak_state_mb"]
+    ):
+        print("FAIL: AIP cache paid neither in time nor aggregate state")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

@@ -26,10 +26,14 @@ Usage:
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 
 from repro.harness.runner import run_workload_query
+
+try:
+    from benchmarks.figlib import write_bench_json
+except ImportError:  # run as a script: benchmarks/ itself is sys.path[0]
+    from figlib import write_bench_json
 
 DEFAULT_QUERIES = ("Q2A", "Q4A", "Q5A")
 STRATEGIES = ("baseline", "costbased")
@@ -145,15 +149,11 @@ def main(argv=None) -> int:
                 metrics["enforced/" + key] = min(
                     1.0, cell["budget"] / max(cell["peak"], 1)
                 )
-        payload = {
-            "benchmark": "spill",
-            "config": {"scale": scale, "smoke": bool(args.smoke)},
-            "metrics": metrics,
-        }
-        with open(args.json, "w") as fh:
-            json.dump(payload, fh, indent=2, sort_keys=True)
-            fh.write("\n")
-        print("wrote %s" % args.json)
+        write_bench_json(
+            args.json, "spill",
+            config={"scale": scale, "smoke": bool(args.smoke)},
+            metrics=metrics,
+        )
 
     failures = check(cells)
     if failures:

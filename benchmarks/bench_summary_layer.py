@@ -29,11 +29,15 @@ runs a reduced geometry for CI.
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 import time
 
 from repro.summaries.bloom import BigIntBloomFilter, BloomFilter, bits_for
+
+try:
+    from benchmarks.figlib import write_bench_json
+except ImportError:  # run as a script: benchmarks/ itself is sys.path[0]
+    from figlib import write_bench_json
 
 #: Regression floors from the issue: the word-indexed batch layer must
 #: beat the big-int baseline by at least this much.
@@ -136,20 +140,16 @@ def main(argv=None) -> int:
              batch_probe / word_full["element"][1]))
 
     if args.json:
-        payload = {
-            "benchmark": "summary_layer",
-            "config": {"keys": n_keys, "sample": sample,
-                       "smoke": bool(args.smoke)},
+        write_bench_json(
+            args.json, "summary_layer",
+            config={"keys": n_keys, "sample": sample,
+                    "smoke": bool(args.smoke)},
+            metrics={"build_x": build_x, "probe_x": probe_x},
             # Both sides of these ratios are wall-clock on the same
             # machine, but the big-int baseline is sampled and jittery;
             # allow a wide band.
-            "tolerance": 0.5,
-            "metrics": {"build_x": build_x, "probe_x": probe_x},
-        }
-        with open(args.json, "w") as fh:
-            json.dump(payload, fh, indent=2, sort_keys=True)
-            fh.write("\n")
-        print("wrote %s" % args.json)
+            tolerance=0.5,
+        )
 
     if build_x < BUILD_FLOOR or probe_x < PROBE_FLOOR:
         print("FAIL: below regression floors (build ≥ %gx, probe ≥ %gx)"

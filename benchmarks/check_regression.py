@@ -1,8 +1,9 @@
 """Benchmark regression gate: compare bench JSON output to a baseline.
 
 Every perf benchmark (``bench_vectorized.py``, ``bench_summary_layer.py``,
-``bench_partitioned.py``, ``bench_spill.py``) has a ``--json <path>``
-mode writing::
+``bench_partitioned.py``, ``bench_spill.py``,
+``bench_service_throughput.py``) has a ``--json <path>`` mode — all
+routed through :func:`benchmarks.figlib.write_bench_json` — writing::
 
     {"benchmark": "<name>",
      "config": {...},                 # informational
@@ -22,8 +23,9 @@ Regenerating the baseline after an intentional perf change::
     PYTHONPATH=src python benchmarks/bench_summary_layer.py --smoke --json /tmp/s.json
     PYTHONPATH=src python benchmarks/bench_partitioned.py --smoke --json /tmp/p.json
     PYTHONPATH=src python benchmarks/bench_spill.py --smoke --json /tmp/sp.json
+    PYTHONPATH=src python benchmarks/bench_service_throughput.py --json /tmp/st.json
     python benchmarks/check_regression.py benchmarks/baseline.json \
-        /tmp/v.json /tmp/s.json /tmp/p.json /tmp/sp.json --update
+        /tmp/v.json /tmp/s.json /tmp/p.json /tmp/sp.json /tmp/st.json --update
 
 (the same invocation CI uses, plus ``--update``; commit the rewritten
 ``baseline.json`` with a line in the PR explaining the shift).

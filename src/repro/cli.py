@@ -6,8 +6,11 @@ Usage (``python -m repro ...``)::
     python -m repro tables --scale 0.01
     python -m repro run Q1A --strategy feedforward --scale 0.01
     python -m repro run Q2A --strategy all --delayed
+    python -m repro run Q2A --strategy costbased --trace-out trace.json
     python -m repro explain Q3A --scale 0.01
+    python -m repro explain Q3A --analyze --strategy costbased
     python -m repro workload "Q2A*3,Q1A" --scheduler sjf
+    python -m repro workload "Q2A*3" --trace-out t.json --metrics-out m.json
     python -m repro serve --scale 0.01
 """
 
@@ -77,6 +80,14 @@ def _cmd_run(args) -> int:
     strategies = (
         list(STRATEGIES) if args.strategy == "all" else [args.strategy]
     )
+    tracer = None
+    if args.trace_out:
+        if args.strategy == "all":
+            print("error: --trace-out records one execution; pick a "
+                  "single --strategy", file=sys.stderr)
+            return 2
+        from repro.obs.trace import Tracer
+        tracer = Tracer()
     query = get_query(args.qid)
     if not query.has_magic and "magic" in strategies:
         strategies = [s for s in strategies if s != "magic"]
@@ -104,6 +115,7 @@ def _cmd_run(args) -> int:
             scale_factor=args.scale, delayed=args.delayed,
             partitions=args.partitions,
             memory_budget=args.memory_budget,
+            tracer=tracer,
         )
         s = record.summary
         print("%-14s %8d %12.4f %12.4f %9d %7d" % (
@@ -123,6 +135,10 @@ def _cmd_run(args) -> int:
             )
     for line in storage_lines:
         print(line)
+    if tracer is not None:
+        tracer.write_chrome(args.trace_out)
+        print("-- trace: %d events written to %s"
+              % (len(tracer), args.trace_out))
     return 0
 
 
@@ -147,7 +163,7 @@ def _cmd_sql(args) -> int:
     return 0
 
 
-def _make_service(args, skew: float = 0.0):
+def _make_service(args, skew: float = 0.0, tracer=None):
     from repro.service import QueryService
 
     catalog = cached_tpch(scale_factor=args.scale, skew=skew)
@@ -163,6 +179,7 @@ def _make_service(args, skew: float = 0.0):
         aip_cache=not args.no_aip_cache,
         result_cache=not args.no_result_cache,
         memory_budget=args.memory_budget,
+        tracer=tracer,
     )
 
 
@@ -211,9 +228,13 @@ def _cmd_workload(args) -> int:
               "the stream's workload ids" % skew, file=sys.stderr)
 
     from repro.common.errors import ReproError
+    tracer = None
+    if args.trace_out:
+        from repro.obs.trace import Tracer
+        tracer = Tracer()
     service = None
     try:
-        service = _make_service(args, skew=skew)
+        service = _make_service(args, skew=skew, tracer=tracer)
         report = service.run_workload(items)
     except (ReproError, ValueError) as exc:
         # ValueError: bad strategy/scheduler names from stream
@@ -227,6 +248,23 @@ def _cmd_workload(args) -> int:
         len(items), args.strategy, service.scheduler.describe(),
     ))
     print(report.render())
+    if tracer is not None:
+        tracer.write_chrome(args.trace_out)
+        print("-- trace: %d events written to %s"
+              % (len(tracer), args.trace_out))
+    if args.metrics_out:
+        import json
+
+        payload = {
+            "registry": service.registry.snapshot(),
+            "feedback": service.feedback.export(),
+            "summary": report.summary(),
+        }
+        with open(args.metrics_out, "w") as fh:
+            json.dump(payload, fh, indent=1, sort_keys=True)
+            fh.write("\n")
+        print("-- metrics: %d feedback records written to %s"
+              % (len(payload["feedback"]), args.metrics_out))
     return 0
 
 
@@ -284,13 +322,34 @@ def _serve_loop(service, args) -> int:
 
 
 def _cmd_explain(args) -> int:
+    from repro.harness.strategies import uses_magic_plan
+
     query = get_query(args.qid)
     catalog = cached_tpch(scale_factor=args.scale, skew=query.skew)
+    use_magic = args.magic or (args.analyze and uses_magic_plan(args.strategy))
+    if use_magic and not query.has_magic:
+        print("error: %s has no magic-sets plan" % args.qid, file=sys.stderr)
+        return 2
     plan = (
-        query.build_magic(catalog) if args.magic
+        query.build_magic(catalog) if use_magic
         else query.build_baseline(catalog)
     )
-    print(explain(plan, catalog))
+    if not args.analyze:
+        print(explain(plan, catalog))
+        return 0
+    from repro.obs.analyze import explain_analyze
+    from repro.obs.trace import Tracer
+
+    tracer = Tracer() if args.trace_out else None
+    report = explain_analyze(
+        plan, catalog, strategy=args.strategy, tracer=tracer,
+    )
+    print("%s — %s (scale %g)" % (query.qid, query.title, args.scale))
+    print(report.render())
+    if tracer is not None:
+        tracer.write_chrome(args.trace_out)
+        print("-- trace: %d events written to %s"
+              % (len(tracer), args.trace_out))
     return 0
 
 
@@ -324,12 +383,26 @@ def build_parser() -> argparse.ArgumentParser:
                             "(k/m/g suffixes ok): scans stream "
                             "buffer-pool pages and stateful operators "
                             "spill to disk under pressure")
+    p_run.add_argument("--trace-out", default=None, metavar="PATH",
+                       help="record a Chrome-trace/Perfetto JSON timeline "
+                            "of the execution (requires one --strategy)")
 
     p_explain = sub.add_parser("explain", help="show a plan with estimates")
     p_explain.add_argument("qid")
     p_explain.add_argument("--scale", type=float, default=0.01)
     p_explain.add_argument("--magic", action="store_true",
                            help="explain the magic-sets plan")
+    p_explain.add_argument("--analyze", action="store_true",
+                           help="execute the plan and annotate every "
+                                "operator with estimated vs actual rows, "
+                                "virtual ticks, peak state and prunes")
+    p_explain.add_argument("--strategy", default="baseline",
+                           choices=list(STRATEGIES),
+                           help="execution strategy for --analyze "
+                                "(magic implies the magic-sets plan)")
+    p_explain.add_argument("--trace-out", default=None, metavar="PATH",
+                           help="with --analyze, also record a "
+                                "Chrome-trace JSON timeline")
 
     p_sql = sub.add_parser("sql", help="run a SQL query over generated data")
     p_sql.add_argument("query", help="SQL text (Table I dialect)")
@@ -374,6 +447,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="workload script path, inline ids like 'Q2A*3,Q1A', or SQL",
     )
     add_service_options(p_workload)
+    p_workload.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="record a Chrome-trace/Perfetto JSON timeline of the whole "
+             "service run (all batches on one virtual timeline)",
+    )
+    p_workload.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="write the service metrics registry, per-fingerprint "
+             "feedback records and report summary as JSON",
+    )
     p_workload.add_argument(
         "--repeat", type=int, default=1,
         help="replay the stream this many times (each repetition's "

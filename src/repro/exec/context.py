@@ -110,6 +110,12 @@ class ExecutionContext:
         self.short_circuit = short_circuit
         self.trace = trace
         self._trace_log = []
+        #: Structured trace collector (:class:`repro.obs.trace.Tracer`)
+        #: or None.  Every hook site in the engine, operators, AIP
+        #: layer, storage governor and service guards with ``is None``,
+        #: so disabled tracing costs one attribute load and execution
+        #: stays bit-identical to an uninstrumented build.
+        self.tracer = None
         #: The distributed run's :class:`NetworkModel`, attached by the
         #: coordinator/service so per-site link parameters (not just the
         #: cost model's uniform constants) drive shipped-filter
@@ -124,6 +130,15 @@ class ExecutionContext:
     def notify_aip_publish(self, op, port: int, aip_set) -> None:
         """Tell subscribers a completed AIP set was published for the
         state at ``(op, port)``."""
+        if self.tracer is not None:
+            self.tracer.instant(
+                "aip.publish", "aip", self.metrics.clock_ticks,
+                {
+                    "op": op.name, "port": port, "attr": aip_set.attr,
+                    "bytes": aip_set.byte_size(),
+                    "complete": aip_set.complete,
+                },
+            )
         for hook in self.aip_publish_hooks:
             hook(op, port, aip_set)
 
@@ -134,6 +149,17 @@ class ExecutionContext:
         """Charge ``count`` per-event costs in one call (tick-exact
         equivalent of ``count`` individual :meth:`charge` calls)."""
         self.metrics.charge_events(count, seconds_each)
+
+    def charge_op(self, owner_id: int, seconds: float) -> None:
+        """:meth:`charge` attributed to one operator for EXPLAIN
+        ANALYZE; clock-identical to the unattributed form."""
+        self.metrics.charge_op(owner_id, seconds)
+
+    def charge_events_op(
+        self, owner_id: int, count: int, seconds_each: float
+    ) -> None:
+        """:meth:`charge_events` attributed to one operator."""
+        self.metrics.charge_events_op(owner_id, count, seconds_each)
 
     def log(self, message: str) -> None:
         if self.trace:

@@ -106,17 +106,33 @@ class Engine:
                 heapq.heappush(heap, (when, seq, scan))
 
         metrics = self.ctx.metrics
+        tracer = self.ctx.tracer
+        query_start = metrics.clock_ticks if tracer is not None else 0
         batching = plan_batchable(self.ctx, self.ctx.strategy, plan)
         while heap:
             when, seq, scan = heapq.heappop(heap)
             metrics.wait_until(when)
-            nxt = drive_scan(scan, seq, heap, metrics, batching)
+            if tracer is None:
+                nxt = drive_scan(scan, seq, heap, metrics, batching)
+            else:
+                drive_start = metrics.clock_ticks
+                nxt = drive_scan(scan, seq, heap, metrics, batching)
+                tracer.complete(
+                    "drive:%s" % scan.name, "engine", drive_start,
+                    metrics.clock_ticks - drive_start,
+                )
             if nxt is None:
                 scan.finish()
             else:
                 heapq.heappush(heap, (nxt, seq, scan))
 
         self.ctx.strategy.on_query_end()
+        if tracer is not None:
+            tracer.complete(
+                "query", "engine", query_start,
+                metrics.clock_ticks - query_start,
+                {"rows": len(sink.rows), "batched": batching},
+            )
 
         if not sink.finished:
             raise ExecutionError(

@@ -156,6 +156,15 @@ class Operator:
         schema = self.input_schemas[port] if self.input_schemas else self.out_schema
         f = InjectedFilter(schema.index_of(attr_name), attr_name, summary, label)
         self._filters[port].append(f)
+        tracer = self.ctx.tracer
+        if tracer is not None:
+            tracer.instant(
+                "aip.inject", "aip", self.ctx.metrics.clock_ticks,
+                {
+                    "op": self.name, "port": port, "attr": attr_name,
+                    "label": label,
+                },
+            )
         self.ctx.log(
             "filter %s injected on %s port %d (%s)"
             % (label or "<anon>", self.name, port, attr_name)
@@ -182,7 +191,7 @@ class Operator:
         cost = self.ctx.cost_model.semijoin_probe
         counters = self.ctx.metrics.counters(self.op_id)
         for f in filters:
-            self.ctx.charge(cost)
+            self.ctx.charge_op(self.op_id, cost)
             if not f.passes(row):
                 counters.tuples_pruned += 1
                 return False
@@ -200,13 +209,20 @@ class Operator:
         cost = self.ctx.cost_model.semijoin_probe
         alive = rows
         for f in filters:
-            self.ctx.charge_events(len(alive), cost)
+            self.ctx.charge_events_op(self.op_id, len(alive), cost)
             alive = f.passes_many(alive)
             if not alive:
                 break
         pruned = len(rows) - len(alive)
         if pruned:
             self.ctx.metrics.counters(self.op_id).tuples_pruned += pruned
+        tracer = self.ctx.tracer
+        if tracer is not None:
+            tracer.instant(
+                "aip.probe:%s" % self.name, "aip",
+                self.ctx.metrics.clock_ticks,
+                {"port": port, "rows": len(rows), "pruned": pruned},
+            )
         return alive
 
     # -- dataflow --------------------------------------------------------
@@ -242,6 +258,12 @@ class Operator:
         if not rows:
             return
         self.ctx.metrics.counters(self.op_id).tuples_out += len(rows)
+        tracer = self.ctx.tracer
+        if tracer is not None:
+            tracer.instant(
+                "emit:%s" % self.name, "op", self.ctx.metrics.clock_ticks,
+                {"rows": len(rows)},
+            )
         parents = self.parents
         if len(parents) == 1:
             parent, port = parents[0]
@@ -258,6 +280,16 @@ class Operator:
         if self._lease is not None:
             self.ctx.governor.unregister_spillable(self)
             self._lease.close()
+        tracer = self.ctx.tracer
+        if tracer is not None:
+            # .get, not .counters(): the hook must not create a counter
+            # entry for an operator that never emitted — the traced
+            # run's operator map stays bit-identical to the untraced.
+            counters = self.ctx.metrics.operators.get(self.op_id)
+            tracer.instant(
+                "flush:%s" % self.name, "op", self.ctx.metrics.clock_ticks,
+                {"out": counters.tuples_out if counters is not None else 0},
+            )
         self.ctx.log("%s output complete" % self.name)
         for parent, port in self.parents:
             parent.finish(port)

@@ -48,7 +48,7 @@ class PDistinct(Operator):
         self.ctx.metrics.counters(self.op_id).tuples_in += 1
         # ``hash_probe`` only when the seen-set is actually probed: a
         # row pruned by an injected AIP filter never reaches it.
-        self.ctx.charge(cm.tuple_base)
+        self.ctx.charge_op(self.op_id, cm.tuple_base)
         if not self.passes_filters(row, 0):
             return
         pid = -1
@@ -58,14 +58,14 @@ class PDistinct(Operator):
             if pid in self._spilled:
                 # Deferred: duplicate status is unknowable while the
                 # partition's seen-set sits on disk.
-                self.ctx.charge(cm.hash_insert)
+                self.ctx.charge_op(self.op_id, cm.hash_insert)
                 self._spilled[pid][1].append(row)
                 self.ctx.strategy.after_tuple(self, 0, row)
                 return
-        self.ctx.charge(cm.hash_probe)
+        self.ctx.charge_op(self.op_id, cm.hash_probe)
         if row in self._seen:
             return
-        self.ctx.charge(cm.hash_insert)
+        self.ctx.charge_op(self.op_id, cm.hash_insert)
         self._seen.add(row)
         if pid >= 0:
             self._part_rows[pid] += 1
@@ -83,11 +83,11 @@ class PDistinct(Operator):
         cm = self.ctx.cost_model
         metrics = self.ctx.metrics
         metrics.counters(self.op_id).tuples_in += len(rows)
-        self.ctx.charge_events(len(rows), cm.tuple_base)
+        self.ctx.charge_events_op(self.op_id, len(rows), cm.tuple_base)
         rows = self.passes_filters_batch(rows, 0)
         if not rows:
             return
-        self.ctx.charge_events(len(rows), cm.hash_probe)
+        self.ctx.charge_events_op(self.op_id, len(rows), cm.hash_probe)
         seen = self._seen
         add = seen.add
         fresh = []
@@ -97,7 +97,7 @@ class PDistinct(Operator):
                 add(row)
                 append(row)
         if fresh:
-            self.ctx.charge_events(len(fresh), cm.hash_insert)
+            self.ctx.charge_events_op(self.op_id, len(fresh), cm.hash_insert)
             metrics.adjust_state(self.op_id, len(fresh) * self._row_bytes)
             self.ctx.strategy.after_tuples(self, 0, fresh)
             self.emit_batch(fresh)
@@ -187,10 +187,10 @@ class PDistinct(Operator):
                     part_seen.add(row)
                     self.account_state(self._row_bytes)
                     seen_spool.append(row)
-                    self.ctx.charge(cm.output_build)
+                    self.ctx.charge_op(self.op_id, cm.output_build)
                     self.emit(row)
                 if replayed:
-                    self.ctx.charge_events(replayed, cm.hash_probe)
+                    self.ctx.charge_events_op(self.op_id, replayed, cm.hash_probe)
                 delta_spool.discard()
                 if part_seen:
                     self.account_state(-len(part_seen) * self._row_bytes)

@@ -34,21 +34,21 @@ class PFilter(Operator):
         # Bill predicate evaluation only when the predicate actually
         # runs: rows pruned by an injected AIP filter below never reach
         # it, and charging them would understate AIP's CPU savings.
-        self.ctx.charge(cm.tuple_base)
+        self.ctx.charge_op(self.op_id, cm.tuple_base)
         if not self.passes_filters(row, 0):
             return
-        self.ctx.charge(cm.predicate_eval)
+        self.ctx.charge_op(self.op_id, cm.predicate_eval)
         if self._predicate(row):
             self.emit(row)
 
     def push_batch(self, rows: List[Row], port: int = 0) -> None:
         cm = self.ctx.cost_model
         self.ctx.metrics.counters(self.op_id).tuples_in += len(rows)
-        self.ctx.charge_events(len(rows), cm.tuple_base)
+        self.ctx.charge_events_op(self.op_id, len(rows), cm.tuple_base)
         rows = self.passes_filters_batch(rows, 0)
         if not rows:
             return
-        self.ctx.charge_events(len(rows), cm.predicate_eval)
+        self.ctx.charge_events_op(self.op_id, len(rows), cm.predicate_eval)
         self.emit_batch(self._predicate_batch(rows))
 
     def finish(self, port: int = 0) -> None:

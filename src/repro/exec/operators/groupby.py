@@ -80,7 +80,7 @@ class PGroupBy(Operator):
     def push(self, row: Row, port: int = 0) -> None:
         cm = self.ctx.cost_model
         self.ctx.metrics.counters(self.op_id).tuples_in += 1
-        self.ctx.charge(cm.tuple_base)
+        self.ctx.charge_op(self.op_id, cm.tuple_base)
         if not self.passes_filters(row, 0):
             return
 
@@ -92,23 +92,23 @@ class PGroupBy(Operator):
             if pid in self._spilled:
                 # Deferred: raw rows append to the partition's delta
                 # run and are re-aggregated at completion.
-                self.ctx.charge(cm.hash_insert)
+                self.ctx.charge_op(self.op_id, cm.hash_insert)
                 self._spilled[pid][1].append(row)
                 self.ctx.strategy.after_tuple(self, 0, row)
                 return
-        self.ctx.charge(cm.hash_probe)
+        self.ctx.charge_op(self.op_id, cm.hash_probe)
         group = self._groups.get(key)
         if group is None:
             accumulators = [s.make_accumulator() for s in self._specs]
             key_values = tuple(row[i] for i in self._key_indices)
             group = (key_values, accumulators)
             self._groups[key] = group
-            self.ctx.charge(cm.hash_insert)
+            self.ctx.charge_op(self.op_id, cm.hash_insert)
             if pid >= 0:
                 self._part_groups[pid] += 1
             self.account_state(self._group_bytes)
         for fn, acc in zip(self._agg_fns, group[1]):
-            self.ctx.charge(cm.agg_update)
+            self.ctx.charge_op(self.op_id, cm.agg_update)
             acc.add(fn(row) if fn is not None else None)
 
         self.ctx.strategy.after_tuple(self, 0, row)
@@ -123,11 +123,11 @@ class PGroupBy(Operator):
         cm = self.ctx.cost_model
         metrics = self.ctx.metrics
         metrics.counters(self.op_id).tuples_in += len(rows)
-        self.ctx.charge_events(len(rows), cm.tuple_base)
+        self.ctx.charge_events_op(self.op_id, len(rows), cm.tuple_base)
         rows = self.passes_filters_batch(rows, 0)
         if not rows:
             return
-        self.ctx.charge_events(len(rows), cm.hash_probe)
+        self.ctx.charge_events_op(self.op_id, len(rows), cm.hash_probe)
 
         indices = self._key_indices
         single = len(indices) == 1
@@ -148,10 +148,10 @@ class PGroupBy(Operator):
                 acc.add(fn(row) if fn is not None else None)
 
         if new_groups:
-            self.ctx.charge_events(new_groups, cm.hash_insert)
+            self.ctx.charge_events_op(self.op_id, new_groups, cm.hash_insert)
             metrics.adjust_state(self.op_id, new_groups * self._group_bytes)
         if specs:
-            self.ctx.charge_events(len(rows) * len(specs), cm.agg_update)
+            self.ctx.charge_events_op(self.op_id, len(rows) * len(specs), cm.agg_update)
         self.ctx.strategy.after_tuples(self, 0, rows)
 
     def finish(self, port: int = 0) -> None:
@@ -170,18 +170,18 @@ class PGroupBy(Operator):
         ):
             # SQL semantics: a keyless aggregate over an empty input
             # still produces one row (SUM -> 0-or-None per accumulator).
-            self.ctx.charge(cm.output_build)
+            self.ctx.charge_op(self.op_id, cm.output_build)
             self.emit(tuple(
                 s.make_accumulator().result() for s in self._specs
             ))
         for key_values, accumulators in self._groups.values():
-            self.ctx.charge(cm.output_build)
+            self.ctx.charge_op(self.op_id, cm.output_build)
             self.emit(key_values + tuple(a.result() for a in accumulators))
         if self._merged:
             for pid in sorted(self._merged):
                 spool = self._merged[pid]
                 for _key, key_values, accumulators in spool.records():
-                    self.ctx.charge(cm.output_build)
+                    self.ctx.charge_op(self.op_id, cm.output_build)
                     self.emit(
                         key_values + tuple(a.result() for a in accumulators)
                     )
@@ -251,7 +251,7 @@ class PGroupBy(Operator):
         merged: Dict = {}
         for key, key_values, accumulators in group_spool.records():
             merged[key] = (key_values, accumulators)
-            self.ctx.charge(cm.hash_insert)
+            self.ctx.charge_op(self.op_id, cm.hash_insert)
             self.account_state(self._group_bytes)
         replayed = 0
         for row in delta_spool.records():
@@ -264,14 +264,14 @@ class PGroupBy(Operator):
                     tuple(row[i] for i in self._key_indices), accumulators
                 )
                 merged[key] = group
-                self.ctx.charge(cm.hash_insert)
+                self.ctx.charge_op(self.op_id, cm.hash_insert)
                 self.account_state(self._group_bytes)
             for fn, acc in zip(self._agg_fns, group[1]):
                 acc.add(fn(row) if fn is not None else None)
         if replayed:
-            self.ctx.charge_events(replayed, cm.hash_probe)
+            self.ctx.charge_events_op(self.op_id, replayed, cm.hash_probe)
             if self._specs:
-                self.ctx.charge_events(
+                self.ctx.charge_events_op(self.op_id, 
                     replayed * len(self._specs), cm.agg_update
                 )
         return merged

@@ -113,7 +113,7 @@ class PHashJoin(Operator):
         cm = self.ctx.cost_model
         metrics = self.ctx.metrics
         metrics.counters(self.op_id).tuples_in += 1
-        self.ctx.charge(cm.tuple_base)
+        self.ctx.charge_op(self.op_id, cm.tuple_base)
         if not self.passes_filters(row, port):
             return
 
@@ -128,29 +128,29 @@ class PHashJoin(Operator):
             if part is not None:
                 # Deferred: the partition lives on disk.  No probe, no
                 # emission now — owed matches surface at completion.
-                self.ctx.charge(cm.hash_insert)
+                self.ctx.charge_op(self.op_id, cm.hash_insert)
                 part.delta[port].append(row)
                 self.ctx.strategy.after_tuple(self, port, row)
                 return
 
         # Probe the opposite table.
-        self.ctx.charge(cm.hash_probe)
+        self.ctx.charge_op(self.op_id, cm.hash_probe)
         matches = self._tables[other].get(key)
         if matches:
             for match in matches:
                 # Port 0 rows sit left in the output schema.
                 combined = row + match if port == 0 else match + row
                 if self._residual is not None:
-                    self.ctx.charge(cm.predicate_eval)
+                    self.ctx.charge_op(self.op_id, cm.predicate_eval)
                     if not self._residual(combined):
                         continue
-                self.ctx.charge(cm.output_build)
+                self.ctx.charge_op(self.op_id, cm.output_build)
                 self.emit(combined)
 
         # Insert into this side's table, unless the opposite input has
         # already completed (short-circuit: nothing will probe us).
         if self._buffering[port]:
-            self.ctx.charge(cm.hash_insert)
+            self.ctx.charge_op(self.op_id, cm.hash_insert)
             self._tables[port].setdefault(key, []).append(row)
             if pid >= 0:
                 self._part_rows[port][pid] += 1
@@ -171,7 +171,7 @@ class PHashJoin(Operator):
         cm = self.ctx.cost_model
         metrics = self.ctx.metrics
         metrics.counters(self.op_id).tuples_in += len(rows)
-        self.ctx.charge_events(len(rows), cm.tuple_base)
+        self.ctx.charge_events_op(self.op_id, len(rows), cm.tuple_base)
         rows = self.passes_filters_batch(rows, port)
         if not rows:
             return
@@ -207,13 +207,13 @@ class PHashJoin(Operator):
                 else:
                     bucket.append(row)
 
-        self.ctx.charge_events(len(rows), cm.hash_probe)
+        self.ctx.charge_events_op(self.op_id, len(rows), cm.hash_probe)
         if n_residual:
-            self.ctx.charge_events(n_residual, cm.predicate_eval)
+            self.ctx.charge_events_op(self.op_id, n_residual, cm.predicate_eval)
         if out:
-            self.ctx.charge_events(len(out), cm.output_build)
+            self.ctx.charge_events_op(self.op_id, len(out), cm.output_build)
         if buffering:
-            self.ctx.charge_events(len(rows), cm.hash_insert)
+            self.ctx.charge_events_op(self.op_id, len(rows), cm.hash_insert)
             metrics.adjust_state(
                 self.op_id, len(rows) * self._row_bytes[port]
             )
@@ -341,7 +341,7 @@ class PHashJoin(Operator):
                         target.setdefault(key, []).append(row)
                         loaded += 1
                 if loaded:
-                    self.ctx.charge_events(loaded, cm.hash_insert)
+                    self.ctx.charge_events_op(self.op_id, loaded, cm.hash_insert)
                     self.account_state(loaded * rb1)
                 # Left delta probes everything on the right …
                 self._probe_spilled(
@@ -372,13 +372,13 @@ class PHashJoin(Operator):
                 for match in matches:
                     combined = row + match
                     if residual is not None:
-                        self.ctx.charge(cm.predicate_eval)
+                        self.ctx.charge_op(self.op_id, cm.predicate_eval)
                         if not residual(combined):
                             continue
-                    self.ctx.charge(cm.output_build)
+                    self.ctx.charge_op(self.op_id, cm.output_build)
                     self.emit(combined)
         if probed:
-            self.ctx.charge_events(probed, cm.hash_probe)
+            self.ctx.charge_events_op(self.op_id, probed, cm.hash_probe)
 
     # -- state exposure ----------------------------------------------------
 

@@ -22,13 +22,13 @@ class POutput(Operator):
 
     def push(self, row: Row, port: int = 0) -> None:
         self.ctx.metrics.counters(self.op_id).tuples_in += 1
-        self.ctx.charge(self.ctx.cost_model.tuple_base)
+        self.ctx.charge_op(self.op_id, self.ctx.cost_model.tuple_base)
         self.rows.append(row)
         self.ctx.metrics.result_rows += 1
 
     def push_batch(self, rows: List[Row], port: int = 0) -> None:
         self.ctx.metrics.counters(self.op_id).tuples_in += len(rows)
-        self.ctx.charge_events(len(rows), self.ctx.cost_model.tuple_base)
+        self.ctx.charge_events_op(self.op_id, len(rows), self.ctx.cost_model.tuple_base)
         self.rows.extend(rows)
         self.ctx.metrics.result_rows += len(rows)
 

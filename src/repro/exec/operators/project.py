@@ -34,19 +34,19 @@ class PProject(Operator):
         self.ctx.metrics.counters(self.op_id).tuples_in += 1
         # ``output_build`` only for rows actually projected: a row
         # pruned by an injected AIP filter never builds an output tuple.
-        self.ctx.charge(cm.tuple_base)
+        self.ctx.charge_op(self.op_id, cm.tuple_base)
         if not self.passes_filters(row, 0):
             return
-        self.ctx.charge(cm.output_build)
+        self.ctx.charge_op(self.op_id, cm.output_build)
         self.emit(tuple(fn(row) for fn in self._fns))
 
     def push_batch(self, rows, port: int = 0) -> None:
         cm = self.ctx.cost_model
         self.ctx.metrics.counters(self.op_id).tuples_in += len(rows)
-        self.ctx.charge_events(len(rows), cm.tuple_base)
+        self.ctx.charge_events_op(self.op_id, len(rows), cm.tuple_base)
         rows = self.passes_filters_batch(rows, 0)
         if rows:
-            self.ctx.charge_events(len(rows), cm.output_build)
+            self.ctx.charge_events_op(self.op_id, len(rows), cm.output_build)
             self.emit_batch(self._project_batch(rows))
 
     def finish(self, port: int = 0) -> None:

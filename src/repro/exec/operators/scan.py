@@ -85,7 +85,7 @@ class PScan(Operator):
         self._pending = None
         counters = self.ctx.metrics.counters(self.op_id)
         counters.tuples_in += 1
-        self.ctx.charge(self.ctx.cost_model.scan_read)
+        self.ctx.charge_op(self.op_id, self.ctx.cost_model.scan_read)
         if not self.passes_filters(row, 0):
             return
         self.emit(row)
@@ -120,7 +120,7 @@ class PScan(Operator):
         rows.extend(more)
         counters = self.ctx.metrics.counters(self.op_id)
         counters.tuples_in += len(rows)
-        self.ctx.charge_events(len(rows), self.ctx.cost_model.scan_read)
+        self.ctx.charge_events_op(self.op_id, len(rows), self.ctx.cost_model.scan_read)
         rows = self.passes_filters_batch(rows, 0)
         self.emit_batch(rows)
         return nxt

@@ -88,13 +88,13 @@ class PSemiJoin(Operator):
         cm = self.ctx.cost_model
         metrics = self.ctx.metrics
         metrics.counters(self.op_id).tuples_in += 1
-        self.ctx.charge(cm.tuple_base)
+        self.ctx.charge_op(self.op_id, cm.tuple_base)
         if not self.passes_filters(row, port):
             return
 
         if port == PROBE:
             key = self._key(row, self._probe_idx)
-            self.ctx.charge(cm.hash_probe)
+            self.ctx.charge_op(self.op_id, cm.hash_probe)
             if key in self._source_keys:
                 self.emit(row)
             elif not self._input_done[SOURCE]:
@@ -105,11 +105,11 @@ class PSemiJoin(Operator):
                     if pid in self._spilled:
                         # Deferred: the matching source key may still
                         # arrive; the run replays at source completion.
-                        self.ctx.charge(cm.hash_insert)
+                        self.ctx.charge_op(self.op_id, cm.hash_insert)
                         self._spilled[pid].append(row)
                         self.ctx.strategy.after_tuple(self, port, row)
                         return
-                self.ctx.charge(cm.hash_insert)
+                self.ctx.charge_op(self.op_id, cm.hash_insert)
                 self._pending.setdefault(key, []).append(row)
                 if pid >= 0:
                     self._part_rows[pid] += 1
@@ -117,10 +117,10 @@ class PSemiJoin(Operator):
             # Source already complete and key absent: row can never match.
         else:
             key = self._key(row, self._source_idx)
-            self.ctx.charge(cm.hash_probe)
+            self.ctx.charge_op(self.op_id, cm.hash_probe)
             if key in self._source_keys:
                 return  # duplicate source key carries no new information
-            self.ctx.charge(cm.hash_insert)
+            self.ctx.charge_op(self.op_id, cm.hash_insert)
             self._source_keys.add(key)
             self.account_state(self._key_bytes)
             waiting = self._pending.pop(key, None)
@@ -132,7 +132,7 @@ class PSemiJoin(Operator):
                     -len(waiting) * self._probe_row_bytes
                 )
                 for pending_row in waiting:
-                    self.ctx.charge(cm.output_build)
+                    self.ctx.charge_op(self.op_id, cm.output_build)
                     self.emit(pending_row)
         self.ctx.strategy.after_tuple(self, port, row)
 
@@ -147,11 +147,11 @@ class PSemiJoin(Operator):
         cm = self.ctx.cost_model
         metrics = self.ctx.metrics
         metrics.counters(self.op_id).tuples_in += len(rows)
-        self.ctx.charge_events(len(rows), cm.tuple_base)
+        self.ctx.charge_events_op(self.op_id, len(rows), cm.tuple_base)
         rows = self.passes_filters_batch(rows, port)
         if not rows:
             return
-        self.ctx.charge_events(len(rows), cm.hash_probe)
+        self.ctx.charge_events_op(self.op_id, len(rows), cm.hash_probe)
         source_keys = self._source_keys
         out = []
         if port == PROBE:
@@ -173,7 +173,7 @@ class PSemiJoin(Operator):
                     else:
                         bucket.append(row)
             if inserted:
-                self.ctx.charge_events(inserted, cm.hash_insert)
+                self.ctx.charge_events_op(self.op_id, inserted, cm.hash_insert)
                 metrics.adjust_state(
                     self.op_id, inserted * self._probe_row_bytes
                 )
@@ -202,9 +202,9 @@ class PSemiJoin(Operator):
                     flushed += len(waiting)
                     out.extend(waiting)
             if fresh:
-                self.ctx.charge_events(len(fresh), cm.hash_insert)
+                self.ctx.charge_events_op(self.op_id, len(fresh), cm.hash_insert)
             if flushed:
-                self.ctx.charge_events(flushed, cm.output_build)
+                self.ctx.charge_events_op(self.op_id, flushed, cm.output_build)
             rows = fresh
         self.ctx.strategy.after_tuples(self, port, rows)
         self.emit_batch(out)
@@ -289,10 +289,10 @@ class PSemiJoin(Operator):
                 for row in spool.records():
                     probed += 1
                     if self._key(row, probe_idx) in source_keys:
-                        self.ctx.charge(cm.output_build)
+                        self.ctx.charge_op(self.op_id, cm.output_build)
                         self.emit(row)
                 if probed:
-                    self.ctx.charge_events(probed, cm.hash_probe)
+                    self.ctx.charge_events_op(self.op_id, probed, cm.hash_probe)
                 spool.discard()
             self._spilled.clear()
         finally:

@@ -163,6 +163,15 @@ def _build_partitioned_scan(
         by_node_id[scan.op_id] = scan
         scans.append(scan)
         merge.connect_child(scan, index)
+    if ctx.tracer is not None:
+        ctx.tracer.instant(
+            "partition.fanout", "partition", ctx.metrics.clock_ticks,
+            {
+                "table": node.table_name,
+                "key": spec.key,
+                "partitions": spec.n_partitions,
+            },
+        )
     return merge
 
 

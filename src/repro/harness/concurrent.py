@@ -132,21 +132,39 @@ def run_concurrent(
             seq += 1
 
     metrics = ctx.metrics
+    tracer = ctx.tracer
+    loop_start = metrics.clock_ticks if tracer is not None else 0
     while heap:
         when, tie, scan = heapq.heappop(heap)
         metrics.wait_until(when)
         # The arrival boundary spans ALL concurrent plans' sources: a
         # batch never reorders this query's rows past another query's
         # earlier arrivals on the shared clock.
-        nxt = drive_scan(
-            scan, tie, heap, metrics, batchable[scan.op_id]
-        )
+        if tracer is None:
+            nxt = drive_scan(
+                scan, tie, heap, metrics, batchable[scan.op_id]
+            )
+        else:
+            drive_start = metrics.clock_ticks
+            nxt = drive_scan(
+                scan, tie, heap, metrics, batchable[scan.op_id]
+            )
+            tracer.complete(
+                "drive:%s" % scan.name, "engine", drive_start,
+                metrics.clock_ticks - drive_start,
+            )
         if nxt is None:
             scan.finish()
         else:
             heapq.heappush(heap, (nxt, tie, scan))
 
     composite.on_query_end()
+    if tracer is not None:
+        tracer.complete(
+            "concurrent-batch", "engine", loop_start,
+            metrics.clock_ticks - loop_start,
+            {"plans": len(translated)},
+        )
 
     metrics.network_bytes += sum(
         scan.arrival.bytes_transferred

@@ -96,6 +96,7 @@ def run_workload_query(
     partitions: int = 0,
     network: Optional[NetworkModel] = None,
     memory_budget: Optional[int] = None,
+    tracer=None,
 ) -> RunRecord:
     """Execute ``qid`` under ``strategy`` and return its metrics.
 
@@ -121,6 +122,9 @@ def run_workload_query(
     the storage layer.  This is the *enforced* engine budget — not to
     be confused with Feed-Forward's ``strategy_kwargs`` AIP-set budget
     or the service layer's admission estimate budget.
+    ``tracer`` attaches a :class:`~repro.obs.trace.Tracer` to the run
+    (engine spans, AIP/governor instants); None — the default — keeps
+    execution bit-identical to an uninstrumented build.
     """
     if partitions and delayed:
         raise ValueError(
@@ -138,6 +142,7 @@ def run_workload_query(
     if memory_budget is not None:
         from repro.storage.governor import MemoryGovernor
         governor = MemoryGovernor(memory_budget)
+        governor.tracer = tracer
     ctx = ExecutionContext(
         catalog,
         strategy=make_strategy(strategy, **(strategy_kwargs or {})),
@@ -145,6 +150,7 @@ def run_workload_query(
         batch_execution=batch_execution,
         governor=governor,
     )
+    ctx.tracer = tracer
 
     try:
         if partitions:

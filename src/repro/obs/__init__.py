@@ -1,0 +1,37 @@
+"""Observability: structured tracing, a metrics registry, runtime
+feedback recording, and EXPLAIN ANALYZE.
+
+The paper's adaptivity rests on runtime introspection — "All query
+operators are supplemented with cardinality counters" (Section V-A) —
+and this package is that idea promoted to a first-class subsystem:
+
+* :mod:`repro.obs.trace` — a structured trace collector.  Spans and
+  instant events are stamped with the engine's virtual clock **ticks**
+  and exported as Chrome-trace/Perfetto JSON.  Tracing is off by
+  default and the disabled path is a single ``is None`` check at every
+  hook site, so untraced execution is bit-identical to a build without
+  the subsystem (the batch-equivalence suite pins this).
+* :mod:`repro.obs.registry` — counters, gauges and fixed-bucket
+  histograms aggregating per-query and service-lifetime views
+  (latency percentiles, AIP selectivity, cache hit rates, spill
+  traffic).
+* :mod:`repro.obs.feedback` — a :class:`FeedbackStore` recording
+  observed cardinalities and selectivities per structural plan
+  fingerprint at query completion: the recording half of the
+  runtime-feedback optimization loop.
+* :mod:`repro.obs.analyze` — ``EXPLAIN ANALYZE``: execute a plan and
+  render its tree annotated with estimated vs actual cardinality,
+  attributed CPU ticks, peak state and prune counts per operator.
+"""
+
+from repro.obs.feedback import FeedbackStore
+from repro.obs.registry import MetricsRegistry, percentile
+from repro.obs.trace import Tracer, validate_chrome_trace
+
+__all__ = [
+    "FeedbackStore",
+    "MetricsRegistry",
+    "Tracer",
+    "percentile",
+    "validate_chrome_trace",
+]

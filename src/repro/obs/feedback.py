@@ -1,0 +1,161 @@
+"""Per-fingerprint runtime feedback: the recording half of the loop.
+
+Tukwila's cardinality counters exist so the optimizer can be re-grounded
+by what actually happened.  :class:`FeedbackStore` closes the recording
+side of that loop *across queries*: at query completion the service
+walks the executed plan, pairs each logical node's **estimated** rows
+with the operator's **actual** output counter, and files the pair under
+the node's structural signature (:func:`repro.service.fingerprint
+.plan_signature`) — the same node-id-free key the result and AIP caches
+use, so a later query built independently from the same subexpression
+can look its observed cardinality up.  The consuming half (feeding
+records back into :class:`~repro.optimizer.estimator
+.CardinalityEstimator` priors) is the ROADMAP's "engine-wide
+runtime-feedback optimization" item; this store is its substrate.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.common.errors import PlanError
+from repro.service.fingerprint import plan_signature
+
+
+class FeedbackRecord:
+    """Accumulated observations for one structural fingerprint."""
+
+    __slots__ = (
+        "signature", "operator", "observations", "estimated_rows",
+        "actual_rows", "input_rows", "pruned_rows",
+    )
+
+    def __init__(self, signature: str, operator: str):
+        self.signature = signature
+        self.operator = operator
+        self.observations = 0
+        self.estimated_rows = 0.0
+        self.actual_rows = 0
+        self.input_rows = 0
+        self.pruned_rows = 0
+
+    @property
+    def mean_actual_rows(self) -> float:
+        return self.actual_rows / self.observations if self.observations else 0.0
+
+    @property
+    def mean_estimated_rows(self) -> float:
+        return (
+            self.estimated_rows / self.observations if self.observations else 0.0
+        )
+
+    @property
+    def selectivity(self) -> Optional[float]:
+        """Observed output/input ratio; None for sources (no input)."""
+        if self.input_rows == 0:
+            return None
+        return self.actual_rows / self.input_rows
+
+    @property
+    def estimation_error(self) -> Optional[float]:
+        """Mean estimated/actual ratio (>1 = overestimate)."""
+        if self.actual_rows == 0:
+            return None
+        return self.estimated_rows / self.actual_rows
+
+    def as_dict(self) -> Dict:
+        return {
+            "signature": self.signature,
+            "operator": self.operator,
+            "observations": self.observations,
+            "mean_estimated_rows": self.mean_estimated_rows,
+            "mean_actual_rows": self.mean_actual_rows,
+            "selectivity": self.selectivity,
+            "estimation_error": self.estimation_error,
+            "pruned_rows": self.pruned_rows,
+        }
+
+
+class FeedbackStore:
+    """Observed cardinalities and selectivities keyed by fingerprint."""
+
+    def __init__(self):
+        self._records: Dict[str, FeedbackRecord] = {}
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def get(self, signature: str) -> Optional[FeedbackRecord]:
+        return self._records.get(signature)
+
+    def record(
+        self,
+        signature: str,
+        operator: str,
+        estimated_rows: float,
+        actual_rows: int,
+        input_rows: int = 0,
+        pruned_rows: int = 0,
+    ) -> FeedbackRecord:
+        """Fold one completed execution's numbers into the store."""
+        rec = self._records.get(signature)
+        if rec is None:
+            rec = FeedbackRecord(signature, operator)
+            self._records[signature] = rec
+        rec.observations += 1
+        rec.estimated_rows += estimated_rows
+        rec.actual_rows += actual_rows
+        rec.input_rows += input_rows
+        rec.pruned_rows += pruned_rows
+        return rec
+
+    def record_plan(self, physical, metrics, estimator) -> int:
+        """Record every node of one completed plan; returns node count.
+
+        ``physical`` is an executed :class:`~repro.exec.translate
+        .PhysicalPlan`, ``metrics`` the query's engine metrics, and
+        ``estimator`` a :class:`~repro.optimizer.estimator
+        .CardinalityEstimator` giving the *pre-execution* estimates the
+        observed rows are compared against.  Nodes the translator
+        rewrote away (no physical operator) and nodes that cannot be
+        fingerprinted are skipped, not errors: partial feedback from an
+        oddly shaped plan is still feedback.
+        """
+        recorded = 0
+        seen = set()
+
+        def visit(node) -> None:
+            if node.node_id in seen:
+                return
+            seen.add(node.node_id)
+            for child in node.children:
+                visit(child)
+            op = physical.by_node_id.get(node.node_id)
+            if op is None:
+                return
+            counters = metrics.operators.get(op.op_id)
+            if counters is None:
+                return
+            try:
+                signature = plan_signature(node)
+            except PlanError:
+                return
+            self.record(
+                signature,
+                type(node).__name__,
+                estimated_rows=estimator.estimate(node).rows,
+                actual_rows=counters.tuples_out,
+                input_rows=counters.tuples_in,
+                pruned_rows=counters.tuples_pruned,
+            )
+            nonlocal recorded
+            recorded += 1
+
+        visit(physical.logical_root)
+        return recorded
+
+    def export(self) -> List[Dict]:
+        """JSON-ready records, deterministically ordered by signature."""
+        return [
+            self._records[sig].as_dict() for sig in sorted(self._records)
+        ]

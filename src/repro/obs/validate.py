@@ -1,0 +1,48 @@
+"""Chrome-trace schema checker, runnable as a module.
+
+Usage::
+
+    python -m repro.obs.validate trace1.json [trace2.json ...]
+
+Exits non-zero when any file is unreadable, malformed, or records an
+empty trace — the CI observability smoke job runs a traced workload and
+then this checker, so instrumentation that silently stops emitting
+events fails the build rather than rotting.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import List, Optional
+
+from repro.obs.trace import validate_chrome_trace
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    paths = sys.argv[1:] if argv is None else argv
+    if not paths:
+        print("usage: python -m repro.obs.validate TRACE.json [...]",
+              file=sys.stderr)
+        return 2
+    failures = 0
+    for path in paths:
+        try:
+            with open(path) as fh:
+                payload = json.load(fh)
+        except (OSError, ValueError) as exc:
+            print("%s: unreadable (%s)" % (path, exc))
+            failures += 1
+            continue
+        errors = validate_chrome_trace(payload)
+        if errors:
+            for message in errors:
+                print("%s: %s" % (path, message))
+            failures += 1
+        else:
+            print("%s: ok (%d events)" % (path, len(payload["traceEvents"])))
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -157,6 +157,11 @@ class AIPSetCache:
         if not self._entries:
             # Nothing cached yet; skip building the graph and index.
             self.misses += 1
+            if ctx.tracer is not None:
+                ctx.tracer.instant(
+                    "cache.aip.miss", "cache", ctx.metrics.clock_ticks,
+                    {"filters_injected": 0},
+                )
             return []
         if graph is None:
             graph = SourcePredicateGraph.from_plan(physical.logical_root)
@@ -204,6 +209,12 @@ class AIPSetCache:
             self.hits += 1
         else:
             self.misses += 1
+        if ctx.tracer is not None:
+            ctx.tracer.instant(
+                "cache.aip.%s" % ("hit" if injected else "miss"),
+                "cache", ctx.metrics.clock_ticks,
+                {"filters_injected": len(injected)},
+            )
         return injected
 
     # -- bookkeeping -------------------------------------------------------

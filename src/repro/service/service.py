@@ -24,10 +24,13 @@ from repro.common.errors import ExecutionError
 from repro.data.catalog import Catalog
 from repro.exec.context import ExecutionContext
 from repro.exec.engine import QueryResult
-from repro.exec.metrics import Metrics
+from repro.exec.metrics import Metrics, seconds_to_ticks
 from repro.harness.concurrent import run_concurrent
 from repro.harness.strategies import make_strategy, uses_magic_plan
+from repro.obs.feedback import FeedbackStore
+from repro.obs.registry import RATIO_BUCKETS, MetricsRegistry, percentile
 from repro.optimizer.cost import PlanCoster
+from repro.optimizer.estimator import CardinalityEstimator
 from repro.plan.logical import LogicalNode
 from repro.service.admission import (
     ADMIT, SHED, AdmissionController, estimate_query_state_bytes,
@@ -45,6 +48,14 @@ CACHED = "cached"
 SHED_STATUS = "shed"
 
 QuerySpec = Union[str, LogicalNode, Callable[[Catalog], LogicalNode]]
+
+#: Per-batch engine counters the service accumulates for one run's
+#: report (everything :meth:`Metrics.summary` reports that is additive
+#: across batches rather than a clock or a peak).
+_ENGINE_TOTAL_KEYS = (
+    "tuples_pruned", "aip_sets_created", "aip_sets_declined",
+    "aip_bytes_shipped", "network_bytes", "spill_bytes", "spill_events",
+)
 
 
 class _PendingQuery:
@@ -141,7 +152,9 @@ class ServiceReport:
     def __init__(self, service: "QueryService", outcomes: List[QueryOutcome],
                  elapsed: float, peak: int,
                  aip_cache_stats: Optional[Dict],
-                 result_cache_stats: Optional[Dict]):
+                 result_cache_stats: Optional[Dict],
+                 engine: Optional[Dict] = None,
+                 storage: Optional[Dict] = None):
         self.outcomes = outcomes
         self.total_virtual_seconds = elapsed
         self.peak_state_bytes = peak
@@ -149,6 +162,11 @@ class ServiceReport:
         self.aip_cache_stats = aip_cache_stats
         self.result_cache_stats = result_cache_stats
         self.admission = service.admission
+        #: Engine counters summed across this run's batches (pruning,
+        #: AIP set construction/shipping, network and spill traffic).
+        self.engine = dict(engine or {})
+        #: Governor observations for this run, or None un-governed.
+        self.storage = storage
 
     @property
     def completed(self) -> List[QueryOutcome]:
@@ -176,6 +194,11 @@ class ServiceReport:
             return 0.0
         return sum(o.queue_wait for o in done) / len(done)
 
+    def latency_percentile(self, q: float) -> float:
+        """Exact interpolated latency percentile over completed queries
+        (deterministic virtual latencies, so baselineable in CI)."""
+        return percentile([o.latency for o in self.completed], q)
+
     def _hit_rate(self, stats) -> float:
         if not stats:
             return 0.0
@@ -191,12 +214,25 @@ class ServiceReport:
             "queries_per_second": self.queries_per_second,
             "mean_latency": self.mean_latency(),
             "mean_queue_wait": self.mean_queue_wait(),
+            "latency_p50": self.latency_percentile(50),
+            "latency_p95": self.latency_percentile(95),
+            "latency_p99": self.latency_percentile(99),
             "peak_state_mb": self.peak_state_bytes / 1e6,
             "result_cache_hit_rate": self._hit_rate(self.result_cache_stats),
             "aip_cache_hit_rate": self._hit_rate(self.aip_cache_stats),
             "aip_cache_mb": (
                 self.aip_cache_stats["bytes"] / 1e6
                 if self.aip_cache_stats else 0.0
+            ),
+            "tuples_pruned": self.engine.get("tuples_pruned", 0),
+            "aip_sets_created": self.engine.get("aip_sets_created", 0),
+            "aip_bytes_shipped": self.engine.get("aip_bytes_shipped", 0),
+            "network_bytes": self.engine.get("network_bytes", 0),
+            "spill_bytes": self.engine.get("spill_bytes", 0),
+            "spill_events": self.engine.get("spill_events", 0),
+            "over_budget_events": (
+                self.storage["over_budget_events"]
+                if self.storage is not None else 0
             ),
         }
 
@@ -225,6 +261,37 @@ class ServiceReport:
                 s["mean_latency"], s["mean_queue_wait"], s["peak_state_mb"],
             )
         )
+        lines.append(
+            "-- latency p50 %.4f s; p95 %.4f s; p99 %.4f s" % (
+                s["latency_p50"], s["latency_p95"], s["latency_p99"],
+            )
+        )
+        lines.append(
+            "-- engine: %d tuples pruned; %d AIP sets built "
+            "(%d declined); %d AIP bytes shipped; %d network bytes" % (
+                s["tuples_pruned"], s["aip_sets_created"],
+                self.engine.get("aip_sets_declined", 0),
+                s["aip_bytes_shipped"], s["network_bytes"],
+            )
+        )
+        if self.storage is not None:
+            lines.append(
+                "-- governor: peak resident %d bytes (budget %s); "
+                "%d spill bytes in %d spill events; %d over-budget; "
+                "%d evictions, %d reloads" % (
+                    self.storage["peak_resident_bytes"],
+                    self.storage["budget"],
+                    s["spill_bytes"], s["spill_events"],
+                    s["over_budget_events"],
+                    self.storage["evictions"], self.storage["reloads"],
+                )
+            )
+        elif s["spill_bytes"] or s["spill_events"]:
+            lines.append(
+                "-- spill: %d bytes in %d events" % (
+                    s["spill_bytes"], s["spill_events"],
+                )
+            )
         if self.result_cache_stats is not None:
             lines.append(
                 "-- result cache: %.0f%% hit rate (%d/%d), "
@@ -267,6 +334,7 @@ class QueryService:
         placement=None,
         network=None,
         memory_budget: Optional[int] = None,
+        tracer=None,
     ):
         self.catalog = catalog
         self.default_strategy = strategy
@@ -283,6 +351,18 @@ class QueryService:
         if memory_budget is not None:
             from repro.storage.governor import MemoryGovernor
             self.governor = MemoryGovernor(memory_budget)
+        #: Structured trace collector shared by every batch context
+        #: (and the governor), or None for untraced serving.
+        self.tracer = tracer
+        if self.governor is not None:
+            self.governor.tracer = tracer
+        #: Service-lifetime metrics registry: latency distributions,
+        #: cache hit counters, AIP selectivity, spill traffic.
+        self.registry = MetricsRegistry()
+        #: Observed per-fingerprint cardinalities, recorded for every
+        #: completed plan — the recording half of the runtime-feedback
+        #: loop.
+        self.feedback = FeedbackStore()
         #: Service-wide table placement: when set, every submitted plan
         #: is marked against it (whole-site and partitioned tables
         #: alike), overriding workload-built-in placements, and the
@@ -315,6 +395,9 @@ class QueryService:
         self.batches_run = 0
         self._pending: List[_PendingQuery] = []
         self._seq = 0
+        self._run_engine: Dict[str, int] = dict.fromkeys(
+            _ENGINE_TOTAL_KEYS, 0
+        )
 
     # -- submission --------------------------------------------------------
 
@@ -394,11 +477,38 @@ class QueryService:
             self.submit_item(item)
         return self.run()
 
+    def _storage_snapshot(self) -> Optional[Dict]:
+        if self.governor is None:
+            return None
+        return {
+            "budget": self.governor.budget,
+            "peak_resident_bytes": self.governor.peak_resident_bytes,
+            "over_budget_events": self.governor.over_budget_events,
+            "spilled_bytes": self.governor.backend.bytes_written,
+            "evictions": self.governor.buffer.evictions,
+            "reloads": self.governor.buffer.reloads,
+        }
+
+    @staticmethod
+    def _storage_delta(before, after) -> Optional[Dict]:
+        """Run-scope counter deltas; budget and lifetime peak as-is."""
+        if after is None:
+            return None
+        if before is None:
+            return dict(after)
+        keep = ("budget", "peak_resident_bytes")
+        return {
+            key: value if key in keep else value - before[key]
+            for key, value in after.items()
+        }
+
     def run(self) -> ServiceReport:
         """Drain the queue, batch by batch, and report on this run."""
         outcomes: List[QueryOutcome] = []
         started = self.clock
         self._run_peak = 0
+        self._run_engine = dict.fromkeys(_ENGINE_TOTAL_KEYS, 0)
+        storage_before = self._storage_snapshot()
         aip_before = (
             self.aip_cache.stats() if self.aip_cache is not None else None
         )
@@ -426,12 +536,27 @@ class QueryService:
                 self.result_cache.stats()
                 if self.result_cache is not None else None,
             ),
+            engine=dict(self._run_engine),
+            storage=self._storage_delta(
+                storage_before, self._storage_snapshot()
+            ),
         )
 
     def _dispatch(self, ordered: List[_PendingQuery]) -> List[QueryOutcome]:
         """Resolve cache hits and sheds, pack one batch, and run it."""
         from repro.harness.strategies import BASELINE, MAGIC
 
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.instant(
+                "sched.pick", "service", seconds_to_ticks(self.clock),
+                {
+                    "ready": len(ordered),
+                    "pending": len(self._pending),
+                    "scheduler": self.scheduler.describe(),
+                },
+            )
+        self.registry.gauge("admission.queue_depth").set(len(self._pending))
         outcomes: List[QueryOutcome] = []
         batch: List[_PendingQuery] = []
         #: signature -> strategy name of the twin already in the batch.
@@ -467,15 +592,43 @@ class QueryService:
                     )
                     start = self.clock
                     self.clock += self.coster.cost_model.manager_invocation
+                    if tracer is not None:
+                        tracer.instant(
+                            "cache.result.hit", "cache",
+                            seconds_to_ticks(start),
+                            {"query": entry.label, "rows": len(result)},
+                        )
+                    self.registry.counter("cache.result.hits").inc()
+                    self.registry.histogram("query.latency_s").observe(
+                        self.clock - entry.arrival
+                    )
                     outcomes.append(QueryOutcome(
                         entry.seq, entry.label, CACHED, entry.strategy_name,
                         entry.arrival, start, self.clock, result, -1,
                         entry.state_estimate,
                     ))
                     continue
+                if not entry.miss_counted:
+                    if tracer is not None:
+                        tracer.instant(
+                            "cache.result.miss", "cache",
+                            seconds_to_ticks(self.clock),
+                            {"query": entry.label},
+                        )
+                    self.registry.counter("cache.result.misses").inc()
                 entry.miss_counted = True
             decision = self.admission.decide(entry.state_estimate)
+            if tracer is not None:
+                tracer.instant(
+                    "admission.%s" % decision, "service",
+                    seconds_to_ticks(self.clock),
+                    {
+                        "query": entry.label,
+                        "state_estimate": entry.state_estimate,
+                    },
+                )
             if decision == SHED:
+                self.registry.counter("admission.shed").inc()
                 consumed.add(entry.seq)
                 outcomes.append(QueryOutcome(
                     entry.seq, entry.label, SHED_STATUS, entry.strategy_name,
@@ -486,7 +639,9 @@ class QueryService:
             if decision != ADMIT:
                 # Queued: stop packing so dispatch order is respected;
                 # the rest of the queue waits for the next batch.
+                self.registry.counter("admission.queued").inc()
                 break
+            self.registry.counter("admission.admitted").inc()
             self.admission.acquire(entry.state_estimate)
             consumed.add(entry.seq)
             batch.append(entry)
@@ -522,6 +677,7 @@ class QueryService:
             if self.governor is not None else None
         )
         finish_times: Dict[int, float] = {}
+        tracer = self.tracer
         try:
             ctx = ExecutionContext(
                 self.catalog,
@@ -529,6 +685,11 @@ class QueryService:
                 batch_execution=self.batch_execution,
                 governor=self.governor,
             )
+            ctx.tracer = tracer
+            if tracer is not None:
+                # Each batch's engine clock restarts at zero; offset its
+                # events onto the service timeline.
+                tracer.offset = seconds_to_ticks(self.clock)
             # Align the batch context with the service's network,
             # exactly as the coordinator does for one-shot distributed
             # runs.
@@ -539,10 +700,31 @@ class QueryService:
             if self.aip_cache is not None:
                 ctx.aip_publish_hooks.append(self.aip_cache.recorder(ctx))
 
+            registry = self.registry
+
+            def observe_publish(op, port, aip_set):
+                registry.counter("aip.sets_published").inc()
+                # Bloom summaries expose fill_fraction as a property on
+                # some implementations and a method on others.
+                fill = getattr(aip_set.summary, "fill_fraction", None)
+                if callable(fill):
+                    fill = fill()
+                if fill is not None:
+                    registry.histogram(
+                        "aip.bloom_fill_fraction", RATIO_BUCKETS
+                    ).observe(fill)
+
+            ctx.aip_publish_hooks.append(observe_publish)
+
             injected: Dict[int, List] = {}
+            physicals: Dict[int, object] = {}
             strategies_made: List = []
 
             def on_translated(index, physical):
+                # Keep the translated plan: the feedback store pairs
+                # its logical nodes' estimates with the executed
+                # operators' counters at completion.
+                physicals[index] = physical
                 if self.aip_cache is None:
                     return
                 # Baseline/magic queries are the paper's no-AIP
@@ -583,6 +765,8 @@ class QueryService:
                 self.governor.abort_epoch(epoch)
             raise
         finally:
+            if tracer is not None:
+                tracer.offset = 0
             for entry in batch:
                 self.admission.release(entry.state_estimate)
 
@@ -611,6 +795,17 @@ class QueryService:
         start = self.clock
         self.clock += batch_seconds
 
+        self._fold_batch_metrics(ctx, physicals)
+        estimator = CardinalityEstimator(self.catalog)
+        for physical in physicals.values():
+            self.feedback.record_plan(physical, ctx.metrics, estimator)
+        if tracer is not None:
+            tracer.complete(
+                "service.batch", "service", seconds_to_ticks(start),
+                seconds_to_ticks(batch_seconds),
+                {"batch": batch_index, "queries": len(batch)},
+            )
+
         outcomes = []
         for index, (entry, result) in enumerate(zip(batch, results)):
             finish = start + finish_times.get(index, batch_seconds)
@@ -627,8 +822,45 @@ class QueryService:
             filters = injected.get(index, ())
             outcome.aip_filters_injected = len(filters)
             outcome.aip_tuples_pruned = sum(f.pruned for f in filters)
+            self.registry.counter("queries.completed").inc()
+            self.registry.histogram("query.latency_s").observe(
+                outcome.latency
+            )
+            self.registry.histogram("query.queue_wait_s").observe(
+                outcome.queue_wait
+            )
             outcomes.append(outcome)
         return outcomes
+
+    def _fold_batch_metrics(self, ctx, physicals) -> None:
+        """Accumulate one finished batch's engine counters into the
+        run totals and the service-lifetime registry."""
+        summary = ctx.metrics.summary()
+        for key in self._run_engine:
+            self._run_engine[key] += summary[key]
+        registry = self.registry
+        for key in _ENGINE_TOTAL_KEYS:
+            registry.counter("engine.%s" % key).inc(summary[key])
+        registry.gauge("engine.peak_state_bytes").set(
+            ctx.metrics.peak_state_bytes
+        )
+        if self.governor is not None:
+            registry.gauge("governor.resident_bytes").set(
+                self.governor.resident_bytes
+            )
+            registry.gauge("governor.peak_resident_bytes").set(
+                self.governor.peak_resident_bytes
+            )
+        scanned = 0
+        for physical in physicals.values():
+            for scan in physical.scans:
+                counters = ctx.metrics.operators.get(scan.op_id)
+                if counters is not None:
+                    scanned += counters.tuples_out
+        if scanned:
+            registry.histogram(
+                "aip.pruned_row_ratio", RATIO_BUCKETS
+            ).observe(min(1.0, summary["tuples_pruned"] / scanned))
 
     # -- lifecycle ---------------------------------------------------------
 

@@ -141,6 +141,16 @@ class BufferManager:
             self.governor.release(self._lease, frame.nbytes)
             self.evictions += 1
             freed += frame.nbytes
+        tracer = self.governor.tracer
+        if tracer is not None and freed:
+            args = {"freed": freed, "need": need_bytes}
+            if ctx is not None:
+                tracer.instant(
+                    "governor.evict", "governor",
+                    ctx.metrics.clock_ticks, args,
+                )
+            else:
+                tracer.instant_now("governor.evict", "governor", args)
         return freed
 
 

@@ -97,6 +97,10 @@ class MemoryGovernor:
         self._window_peak = 0
         self._window_state_peak = 0
         self.closed = False
+        #: Trace collector shared with the run's contexts, or None.
+        #: Governor hook sites fire through this (not a ctx) because
+        #: leases outlive any single query's context.
+        self.tracer = None
         self.buffer = None  # so state accounting guards during setup
         self.backend = DiskBackend(spill_dir)
         self.buffer = BufferManager(self, self.backend)
@@ -122,6 +126,13 @@ class MemoryGovernor:
         self._lease_seq += 1
         lease = Lease(self, label, self._lease_seq, self._epoch)
         self._leases.append(lease)
+        if self.tracer is not None:
+            # Leases open during operator construction, where no query
+            # clock is at hand; stamp with the trace's high-water mark.
+            self.tracer.instant_now(
+                "governor.lease", "governor",
+                {"label": label, "seq": lease.seq},
+            )
         return lease
 
     def _pool_nbytes(self) -> int:
@@ -145,6 +156,21 @@ class MemoryGovernor:
             self._reclaim(self.resident_bytes + nbytes - budget, ctx)
             if self.resident_bytes + nbytes > budget:
                 self.over_budget_events += 1
+                if self.tracer is not None:
+                    args = {
+                        "lease": lease.label,
+                        "resident": self.resident_bytes + nbytes,
+                        "budget": budget,
+                    }
+                    if ctx is not None:
+                        self.tracer.instant(
+                            "governor.over_budget", "governor",
+                            ctx.metrics.clock_ticks, args,
+                        )
+                    else:
+                        self.tracer.instant_now(
+                            "governor.over_budget", "governor", args,
+                        )
         lease.nbytes += nbytes
         self.resident_bytes += nbytes
         if self.resident_bytes > self.peak_resident_bytes:
@@ -215,6 +241,11 @@ class MemoryGovernor:
         ctx.charge(nbytes * cm.spill_byte_io)
         ctx.metrics.spill_bytes += nbytes
         ctx.metrics.spill_events += events
+        if self.tracer is not None:
+            self.tracer.instant(
+                "governor.spill", "governor", ctx.metrics.clock_ticks,
+                {"bytes": nbytes, "pages": events},
+            )
 
     # -- observation ------------------------------------------------------
 

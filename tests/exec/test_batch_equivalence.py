@@ -17,6 +17,12 @@ operations.  Identical bit positions mean every pruning decision — and
 therefore rows, clock, peak state and ``pruned``/``probed`` counters —
 must be bit-identical across all four combinations.
 
+A fourth axis covers observability: a run with a live trace collector
+must stay bit-identical to the untraced run on every observable —
+tracing is pure observation, and the disabled path (``ctx.tracer is
+None``, the default every other test in this file exercises) is the
+exact pre-observability code.
+
 A third axis covers the storage layer's memory budget:
 ``memory_budget=None`` takes the exact pre-storage code path (asserted
 bit-identical by every test above, since it is the default); a governed
@@ -149,6 +155,69 @@ def test_memory_budget_axis(qid, strategy, delayed):
     assert rows_equal(governed.result.rows, unbounded.result.rows)
     assert len(governed.result.rows) == len(unbounded.result.rows)
     assert governed.storage["peak_resident_bytes"] <= budget
+
+
+class TestTracedAxis:
+    """Tracing enabled vs disabled: a live Tracer must leave rows,
+    clock, peak state and counters bit-identical on both execution
+    paths, while actually recording events."""
+
+    CELLS = [
+        (qid, strategy, delayed)
+        for qid in ("Q2A", "Q4A")
+        for strategy in STRATEGY_NAMES
+        for delayed in (False, True)
+    ]
+
+    @pytest.mark.parametrize("qid,strategy,delayed", CELLS)
+    @pytest.mark.parametrize("batch", (False, True))
+    def test_traced_equivalence(self, qid, strategy, delayed, batch):
+        from repro.obs.trace import Tracer, validate_chrome_trace
+
+        untraced = run_workload_query(
+            qid, strategy, scale_factor=SCALE, delayed=delayed,
+            batch_execution=batch,
+        )
+        tracer = Tracer()
+        traced = run_workload_query(
+            qid, strategy, scale_factor=SCALE, delayed=delayed,
+            batch_execution=batch, tracer=tracer,
+        )
+        _assert_identical(untraced, traced)
+        assert len(tracer) > 0
+        assert validate_chrome_trace(tracer.to_chrome()) == []
+
+    def test_traced_service_equivalence(self):
+        from repro.obs.trace import Tracer
+        from repro.service.service import QueryService
+
+        def report(tracer):
+            catalog = cached_tpch(scale_factor=SCALE)
+            service = QueryService(
+                catalog, strategy="feedforward", tracer=tracer,
+            )
+            service.submit("Q1A", arrival=0.0)
+            service.submit("Q4A", arrival=0.0)
+            service.submit("Q3A", arrival=0.5, strategy="costbased")
+            out = service.run()
+            service.close()
+            return out
+
+        untraced = report(None)
+        tracer = Tracer()
+        traced = report(tracer)
+        assert (
+            traced.total_virtual_seconds == untraced.total_virtual_seconds
+        )
+        assert traced.peak_state_bytes == untraced.peak_state_bytes
+        for t, b in zip(untraced.outcomes, traced.outcomes):
+            assert b.status == t.status
+            assert b.latency == t.latency
+            assert b.rows == t.rows
+        names = {event[1] for event in tracer.events}
+        assert "service.batch" in names
+        assert "admission.admit" in names
+        assert "sched.pick" in names
 
 
 class TestDistributedSummaryEquivalence:

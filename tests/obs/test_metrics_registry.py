@@ -1,0 +1,127 @@
+"""Tests for the metrics registry: counters, gauges, histograms."""
+
+import pytest
+
+from repro.obs.registry import (
+    LATENCY_BUCKETS, RATIO_BUCKETS, Counter, Gauge, Histogram,
+    MetricsRegistry, percentile,
+)
+
+
+class TestPercentile:
+    def test_exact_interpolation(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(values, 0) == 1.0
+        assert percentile(values, 100) == 4.0
+        assert percentile(values, 50) == 2.5
+        assert percentile(values, 25) == 1.75
+
+    def test_order_independent(self):
+        assert percentile([4.0, 1.0, 3.0, 2.0], 50) == 2.5
+
+    def test_degenerate_inputs(self):
+        assert percentile([], 50) == 0.0
+        assert percentile([7.0], 99) == 7.0
+
+    def test_range_check(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+        with pytest.raises(ValueError):
+            percentile([1.0], -1)
+
+
+class TestCounterGauge:
+    def test_counter_monotone(self):
+        c = Counter()
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+        with pytest.raises(ValueError):
+            c.inc(-1)
+        assert c.snapshot() == {"type": "counter", "value": 5}
+
+    def test_gauge_tracks_extremes(self):
+        g = Gauge()
+        for v in (3.0, 9.0, 1.0):
+            g.set(v)
+        snap = g.snapshot()
+        assert snap["value"] == 1.0
+        assert snap["max"] == 9.0
+        assert snap["min"] == 1.0
+        assert g.updates == 3
+
+
+class TestHistogram:
+    def test_boundaries_must_be_sorted(self):
+        with pytest.raises(ValueError):
+            Histogram([])
+        with pytest.raises(ValueError):
+            Histogram([2.0, 1.0])
+
+    def test_bucketed_quantiles_are_deterministic(self):
+        h = Histogram([1.0, 2.0, 4.0])
+        for v in (0.5, 1.5, 1.5, 3.0):
+            h.observe(v)
+        assert h.count == 4
+        assert h.mean == pytest.approx(1.625)
+        # The same observations always land in the same buckets, so the
+        # interpolated quantiles are reproducible across runs.
+        again = Histogram([1.0, 2.0, 4.0])
+        for v in (3.0, 1.5, 0.5, 1.5):  # order must not matter
+            again.observe(v)
+        for q in (10, 50, 95, 99):
+            assert h.quantile(q) == again.quantile(q)
+
+    def test_overflow_reports_observed_max(self):
+        h = Histogram([1.0])
+        h.observe(50.0)
+        h.observe(80.0)
+        assert h.quantile(99) == 80.0
+        assert h.snapshot()["overflow"] == 2
+
+    def test_empty_histogram(self):
+        h = Histogram(LATENCY_BUCKETS)
+        assert h.quantile(99) == 0.0
+        assert h.mean == 0.0
+
+    def test_snapshot_shape(self):
+        h = Histogram(RATIO_BUCKETS)
+        h.observe(0.12)
+        snap = h.snapshot()
+        assert snap["type"] == "histogram"
+        assert snap["count"] == 1
+        assert set(snap) >= {"p50", "p95", "p99", "buckets", "overflow"}
+        (bucket, count), = snap["buckets"].items()
+        assert bucket.startswith("le:") and count == 1
+
+    def test_quantile_range_check(self):
+        with pytest.raises(ValueError):
+            Histogram([1.0]).quantile(200)
+
+
+class TestRegistry:
+    def test_get_or_create(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.gauge("b") is reg.gauge("b")
+        assert reg.histogram("c") is reg.histogram("c")
+        assert reg.names() == ["a", "b", "c"]
+
+    def test_kind_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(TypeError):
+            reg.gauge("x")
+        with pytest.raises(TypeError):
+            reg.histogram("x")
+
+    def test_snapshot_is_json_ready(self):
+        import json
+
+        reg = MetricsRegistry()
+        reg.counter("queries").inc(3)
+        reg.gauge("depth").set(2)
+        reg.histogram("lat").observe(0.01)
+        snap = reg.snapshot()
+        assert json.loads(json.dumps(snap)) == snap
+        assert snap["queries"]["value"] == 3

@@ -80,6 +80,100 @@ class TestCommands:
         assert "SemiJoin" in out
 
 
+class TestObservabilityFlags:
+    def _load(self, path):
+        import json
+
+        with open(path) as fh:
+            return json.load(fh)
+
+    def test_run_trace_out(self, capsys, tmp_path):
+        from repro.obs.trace import validate_chrome_trace
+
+        trace = tmp_path / "trace.json"
+        assert main([
+            "run", "Q2A", "--strategy", "costbased", "--scale", "0.002",
+            "--trace-out", str(trace),
+        ]) == 0
+        assert "events written" in capsys.readouterr().out
+        assert validate_chrome_trace(self._load(trace)) == []
+
+    def test_run_trace_out_needs_one_strategy(self, capsys, tmp_path):
+        trace = tmp_path / "trace.json"
+        assert main([
+            "run", "Q2A", "--scale", "0.002", "--trace-out", str(trace),
+        ]) == 2
+        assert "single --strategy" in capsys.readouterr().err
+        assert not trace.exists()
+
+    def test_explain_analyze(self, capsys):
+        assert main([
+            "explain", "Q2A", "--analyze", "--strategy", "costbased",
+            "--scale", "0.002",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "est. rows" in out
+        assert "actual" in out
+        assert "strategy costbased" in out
+
+    def test_explain_analyze_magic_strategy_uses_magic_plan(self, capsys):
+        assert main([
+            "explain", "Q1A", "--analyze", "--strategy", "magic",
+            "--scale", "0.002",
+        ]) == 0
+        assert "(shared)" in capsys.readouterr().out
+
+    def test_explain_analyze_magic_unavailable(self, capsys):
+        assert main([
+            "explain", "Q4A", "--analyze", "--strategy", "magic",
+            "--scale", "0.002",
+        ]) == 2
+        assert "no magic-sets plan" in capsys.readouterr().err
+
+    def test_explain_analyze_trace_out(self, capsys, tmp_path):
+        from repro.obs.trace import validate_chrome_trace
+
+        trace = tmp_path / "trace.json"
+        assert main([
+            "explain", "Q1A", "--analyze", "--scale", "0.002",
+            "--trace-out", str(trace),
+        ]) == 0
+        assert validate_chrome_trace(self._load(trace)) == []
+
+    def test_workload_trace_and_metrics_out(self, capsys, tmp_path):
+        from repro.obs.trace import validate_chrome_trace
+
+        trace = tmp_path / "trace.json"
+        metrics = tmp_path / "metrics.json"
+        assert main([
+            "workload", "Q2A*2,Q1A", "--scale", "0.002",
+            "--trace-out", str(trace), "--metrics-out", str(metrics),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "feedback records written" in out
+        assert validate_chrome_trace(self._load(trace)) == []
+        payload = self._load(metrics)
+        assert payload["feedback"], "metrics export has no feedback records"
+        assert "queries.completed" in payload["registry"]
+        assert "latency_p99" in payload["summary"]
+
+    def test_workload_summary_surfaces_engine_lines(self, capsys):
+        assert main(["workload", "Q2A*2,Q1A", "--scale", "0.002"]) == 0
+        out = capsys.readouterr().out
+        assert "latency p50" in out
+        assert "tuples pruned" in out
+        assert "AIP sets built" in out
+
+    def test_workload_governed_summary_surfaces_spill(self, capsys):
+        assert main([
+            "workload", "Q2A", "--scale", "0.002",
+            "--memory-budget", "64k", "--no-result-cache",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "governor: peak resident" in out
+        assert "spill bytes" in out
+
+
 class TestWorkloadCommand:
     def test_inline_stream(self, capsys):
         assert main([
