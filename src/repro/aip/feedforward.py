@@ -295,6 +295,19 @@ class FeedForwardStrategy(ExecutionStrategy):
             idx = ws.key_index
             ws.aip_set.add_many([row[idx] for row in rows])
 
+    def after_tuples_page(self, op: Operator, port: int, page) -> None:
+        """Page form: working sets only need key columns, which the
+        :class:`~repro.exec.pages.ColumnBatch` hands over zero-copy —
+        no row re-materialisation, same set contents and charges."""
+        sets = self._working.get((op.op_id, port))
+        if not sets:
+            return
+        self.ctx.charge_events(
+            page.n_rows * len(sets), self.ctx.cost_model.aip_insert
+        )
+        for ws in sets:
+            ws.aip_set.add_many(page.columns[ws.key_index])
+
     def _enforce_budget(self) -> None:
         """Shed working-set state until under the configured budget.
 

@@ -228,6 +228,29 @@ class ArrivalModel:
         every ``wait_until`` the tuple path would issue for these rows
         is a no-op there too, so bulk CPU charges commute with them.
         """
+        if (
+            self.bandwidth is None
+            and not self.filters
+            and not self.batch_size
+            and self.per_tuple == 0.0
+            and self.source_read == 0.0
+            and type(rows) is list
+            and start < len(rows)
+        ):
+            # Trivial source (immediate arrival, nothing installed):
+            # every remaining row shares one arrival time, so if the
+            # first clears the boundary the whole tail does — take it
+            # without the per-row loop.
+            when = self._link_time
+            if seconds_to_ticks(when) <= now_ticks and (
+                boundary_when is None
+                or when < boundary_when
+                or (when == boundary_when and not boundary_first)
+            ):
+                n = len(rows) - start
+                self._emitted += n
+                self.rows_transferred += n
+                return len(rows), rows[start:], None
         batch: List[Row] = []
         cursor = start
         while True:

@@ -62,6 +62,21 @@ class ExecutionStrategy:
         for row in rows:
             self.after_tuple(op, input_idx, row)
 
+    def after_tuples_page(self, op: "Operator", input_idx: int, page) -> None:
+        """Page form of :meth:`after_tuples`, invoked once per accepted
+        :class:`~repro.exec.pages.ColumnBatch` on the page-native path.
+        The default re-materialises the page's rows and delegates, so
+        row-oriented strategies keep working; strategies that only need
+        key columns (Feed-Forward's working sets) override this with a
+        zero-copy column read."""
+        cls = type(self)
+        if (
+            cls.after_tuple is ExecutionStrategy.after_tuple
+            and cls.after_tuples is ExecutionStrategy.after_tuples
+        ):
+            return  # neither row hook overridden: nothing to do
+        self.after_tuples(op, input_idx, page.rows())
+
     def on_input_finished(self, op: "Operator", input_idx: int) -> None:
         """Called when one input of a stateful operator has completed;
         the operator's buffered state for that input is now the full
@@ -85,6 +100,7 @@ class ExecutionContext:
         short_circuit: bool = True,
         trace: bool = False,
         batch_execution: bool = True,
+        page_execution: bool = True,
         governor=None,
     ):
         self.catalog = catalog
@@ -103,6 +119,12 @@ class ExecutionContext:
         #: peak state and counters — so it is on by default; the
         #: equivalence suite runs both paths and compares.
         self.batch_execution = batch_execution
+        #: Carry batched arrival runs as :class:`ColumnBatch` pages
+        #: (column-at-a-time kernels) instead of row lists.  Gated on
+        #: top of ``batch_execution`` — a plan ineligible for batching
+        #: never pages — and observably identical to both other paths;
+        #: the equivalence suite pins all three against each other.
+        self.page_execution = page_execution
         #: Pipelined-hash-join optimisation from Section VI-A: when one
         #: join input completes, the other side stops buffering.  The
         #: Q2C magic-sets anomaly depends on this; ablation benches turn

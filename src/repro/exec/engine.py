@@ -63,7 +63,10 @@ def plan_batchable(ctx: ExecutionContext, strategy, physical) -> bool:
     )
 
 
-def drive_scan(scan: PScan, seq: int, heap, metrics, batching: bool):
+def drive_scan(
+    scan: PScan, seq: int, heap, metrics, batching: bool,
+    paged: bool = False,
+):
     """Deliver a popped scan's pending work and return its next arrival
     time (None when exhausted).
 
@@ -76,9 +79,9 @@ def drive_scan(scan: PScan, seq: int, heap, metrics, batching: bool):
         if heap:
             b_when, b_seq, _ = heap[0]
             return scan.emit_pending_batch(
-                metrics.clock_ticks, b_when, b_seq < seq
+                metrics.clock_ticks, b_when, b_seq < seq, paged
             )
-        return scan.emit_pending_batch(metrics.clock_ticks)
+        return scan.emit_pending_batch(metrics.clock_ticks, paged=paged)
     scan.emit_pending()
     return scan.advance()
 
@@ -109,14 +112,17 @@ class Engine:
         tracer = self.ctx.tracer
         query_start = metrics.clock_ticks if tracer is not None else 0
         batching = plan_batchable(self.ctx, self.ctx.strategy, plan)
+        # Page-native execution layers on the batch gate: a plan
+        # ineligible for batching never pages.
+        paged = batching and self.ctx.page_execution
         while heap:
             when, seq, scan = heapq.heappop(heap)
             metrics.wait_until(when)
             if tracer is None:
-                nxt = drive_scan(scan, seq, heap, metrics, batching)
+                nxt = drive_scan(scan, seq, heap, metrics, batching, paged)
             else:
                 drive_start = metrics.clock_ticks
-                nxt = drive_scan(scan, seq, heap, metrics, batching)
+                nxt = drive_scan(scan, seq, heap, metrics, batching, paged)
                 tracer.complete(
                     "drive:%s" % scan.name, "engine", drive_start,
                     metrics.clock_ticks - drive_start,
@@ -131,7 +137,7 @@ class Engine:
             tracer.complete(
                 "query", "engine", query_start,
                 metrics.clock_ticks - query_start,
-                {"rows": len(sink.rows), "batched": batching},
+                {"rows": len(sink.rows), "batched": batching, "paged": paged},
             )
 
         if not sink.finished:

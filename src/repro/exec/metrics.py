@@ -73,6 +73,13 @@ class Metrics:
         #: :class:`~repro.storage.governor.MemoryGovernor` is attached.
         self.spill_bytes: int = 0
         self.spill_events: int = 0
+        #: Page-kernel activity: column batches processed by operator
+        #: page kernels, and the rows those kernels selected (survived
+        #: filters/predicates) out of them.  Zero on the tuple and
+        #: row-batch paths — deliberately *not* part of the equivalence
+        #: contract, which compares clocks, state and tuple counters.
+        self.pages_pushed: int = 0
+        self.rows_selected: int = 0
 
     # -- time ----------------------------------------------------------
 
@@ -197,4 +204,6 @@ class Metrics:
             "result_rows": self.result_rows,
             "spill_bytes": self.spill_bytes,
             "spill_events": self.spill_events,
+            "pages_pushed": self.pages_pushed,
+            "rows_selected": self.rows_selected,
         }

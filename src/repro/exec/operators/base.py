@@ -66,6 +66,23 @@ class InjectedFilter:
         self.pruned += len(rows) - len(survivors)
         return survivors
 
+    def passes_page(self, page):
+        """Probe a column batch: the key column feeds the summary's
+        batch probe directly (no per-row gather), and survivors come
+        back as a selection of the page.  Counter advancement matches
+        :meth:`passes_many` over the same rows exactly."""
+        if not page.n_rows:
+            return page
+        self.probed += page.n_rows
+        verdicts = self.summary.might_contain_many(
+            page.columns[self.key_index]
+        )
+        if all(verdicts):
+            return page
+        selection = [i for i, ok in enumerate(verdicts) if ok]
+        self.pruned += page.n_rows - len(selection)
+        return page.select(selection)
+
 
 class Operator:
     """Base class for all physical operators."""
@@ -225,6 +242,36 @@ class Operator:
             )
         return alive
 
+    def passes_filters_page(self, page, port: int):
+        """Vet a column batch against the injected filters, returning
+        the surviving page (possibly ``page`` itself, zero-copy, when
+        nothing was pruned).  Charging, counters and the probe trace
+        event match :meth:`passes_filters_batch` over the same rows
+        exactly: each filter bills one probe per row still alive when
+        it is reached."""
+        filters = self._filters[port]
+        if not filters:
+            return page
+        cost = self.ctx.cost_model.semijoin_probe
+        n_in = page.n_rows
+        alive = page
+        for f in filters:
+            self.ctx.charge_events_op(self.op_id, alive.n_rows, cost)
+            alive = f.passes_page(alive)
+            if not alive.n_rows:
+                break
+        pruned = n_in - alive.n_rows
+        if pruned:
+            self.ctx.metrics.counters(self.op_id).tuples_pruned += pruned
+        tracer = self.ctx.tracer
+        if tracer is not None:
+            tracer.instant(
+                "aip.probe:%s" % self.name, "aip",
+                self.ctx.metrics.clock_ticks,
+                {"port": port, "rows": n_in, "pruned": pruned},
+            )
+        return alive
+
     # -- dataflow --------------------------------------------------------
 
     def push(self, row: Row, port: int = 0) -> None:
@@ -239,6 +286,17 @@ class Operator:
         charge costs in bulk."""
         for row in rows:
             self.push(row, port)
+
+    def push_page(self, page, port: int = 0) -> None:
+        """Process a :class:`~repro.exec.pages.ColumnBatch` arriving on
+        ``port``.
+
+        The default re-materialises the page's rows and delegates to
+        :meth:`push_batch` — the row-path fallback that keeps custom
+        operators (and any built-in whose state demands row order, like
+        a governed spilling operator) bit-identical inside page-driven
+        plans.  Built-in operators override it with column kernels."""
+        self.push_batch(page.rows(), port)
 
     def finish(self, port: int = 0) -> None:
         raise NotImplementedError
@@ -272,6 +330,46 @@ class Operator:
             for row in rows:
                 for parent, port in parents:
                     parent.push(row, port)
+
+    def emit_page(self, page) -> None:
+        """Forward a column batch of output rows, preserving order.
+
+        Mirrors :meth:`emit_batch` — same ``tuples_out`` advancement and
+        the same ``emit:`` trace instant — so the page path's observable
+        surface stays bit-identical to the row-batch path's.  The
+        multi-parent branch is unreachable from the engine (only
+        tree-shaped plans batch) but unrolls per row as a safety net."""
+        if not page.n_rows:
+            return
+        self.ctx.metrics.counters(self.op_id).tuples_out += page.n_rows
+        tracer = self.ctx.tracer
+        if tracer is not None:
+            tracer.instant(
+                "emit:%s" % self.name, "op", self.ctx.metrics.clock_ticks,
+                {"rows": page.n_rows},
+            )
+        parents = self.parents
+        if len(parents) == 1:
+            parent, port = parents[0]
+            parent.push_page(page, port)
+        else:
+            for row in page.rows():
+                for parent, port in parents:
+                    parent.push(row, port)
+
+    def _page_stats(self, rows_in: int, selected: int) -> None:
+        """Record one page-kernel invocation: the page-path-only
+        counters and, when tracing, a ``page:<op>`` instant.  Pure
+        observation — never touches the clock or tuple counters."""
+        metrics = self.ctx.metrics
+        metrics.pages_pushed += 1
+        metrics.rows_selected += selected
+        tracer = self.ctx.tracer
+        if tracer is not None:
+            tracer.instant(
+                "page:%s" % self.name, "op", metrics.clock_ticks,
+                {"rows": rows_in, "selected": selected},
+            )
 
     def finish_output(self) -> None:
         if self._output_done:

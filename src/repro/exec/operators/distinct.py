@@ -102,6 +102,38 @@ class PDistinct(Operator):
             self.ctx.strategy.after_tuples(self, 0, fresh)
             self.emit_batch(fresh)
 
+    def push_page(self, page, port: int = 0) -> None:
+        """Page kernel: the seen-set stores whole rows, so the page is
+        re-materialised once after AIP probing; the strategy hook sees
+        only the fresh rows (never the full page), matching the batch
+        path."""
+        if self._lease is not None:
+            self.push_batch(page.rows(), port)
+            return
+        cm = self.ctx.cost_model
+        metrics = self.ctx.metrics
+        n_in = page.n_rows
+        metrics.counters(self.op_id).tuples_in += n_in
+        self.ctx.charge_events_op(self.op_id, n_in, cm.tuple_base)
+        page = self.passes_filters_page(page, 0)
+        if not page.n_rows:
+            return
+        self.ctx.charge_events_op(self.op_id, page.n_rows, cm.hash_probe)
+        seen = self._seen
+        add = seen.add
+        fresh = []
+        append = fresh.append
+        for row in page.rows():
+            if row not in seen:
+                add(row)
+                append(row)
+        self._page_stats(n_in, len(fresh))
+        if fresh:
+            self.ctx.charge_events_op(self.op_id, len(fresh), cm.hash_insert)
+            metrics.adjust_state(self.op_id, len(fresh) * self._row_bytes)
+            self.ctx.strategy.after_tuples(self, 0, fresh)
+            self.emit_batch(fresh)
+
     def finish(self, port: int = 0) -> None:
         self._mark_input_done(port)
         if self._spilled:

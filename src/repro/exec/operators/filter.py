@@ -7,7 +7,8 @@ from typing import List
 from repro.data.schema import Schema
 from repro.exec.context import ExecutionContext
 from repro.exec.operators.base import Operator, Row
-from repro.expr.compiler import compile_predicate
+from repro.exec.pages import ColumnBatch
+from repro.expr.compiler import compile_predicate, compile_predicate_columns
 from repro.expr.expressions import Expr
 
 
@@ -27,6 +28,9 @@ class PFilter(Operator):
         self._predicate_batch = (
             lambda rows: [row for row in rows if predicate_fn(row)]
         )
+        #: Selection kernel for the page path: columns -> surviving
+        #: row indices, accepting exactly what ``predicate_fn`` accepts.
+        self._select_columns = compile_predicate_columns(predicate, schema)
 
     def push(self, row: Row, port: int = 0) -> None:
         cm = self.ctx.cost_model
@@ -50,6 +54,19 @@ class PFilter(Operator):
             return
         self.ctx.charge_events_op(self.op_id, len(rows), cm.predicate_eval)
         self.emit_batch(self._predicate_batch(rows))
+
+    def push_page(self, page: ColumnBatch, port: int = 0) -> None:
+        cm = self.ctx.cost_model
+        n_in = page.n_rows
+        self.ctx.metrics.counters(self.op_id).tuples_in += n_in
+        self.ctx.charge_events_op(self.op_id, n_in, cm.tuple_base)
+        page = self.passes_filters_page(page, 0)
+        if not page.n_rows:
+            return
+        self.ctx.charge_events_op(self.op_id, page.n_rows, cm.predicate_eval)
+        selection = self._select_columns(page.columns, page.n_rows)
+        self._page_stats(n_in, len(selection))
+        self.emit_page(page.select(selection))
 
     def finish(self, port: int = 0) -> None:
         self._mark_input_done(port)

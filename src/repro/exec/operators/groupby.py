@@ -27,7 +27,7 @@ from repro.data.schema import Schema
 from repro.exec.context import ExecutionContext
 from repro.exec.operators.base import Operator, Row
 from repro.expr.aggregates import AggregateSpec
-from repro.expr.compiler import compile_expr
+from repro.expr.compiler import compile_expr, compile_expr_columns
 
 
 class PGroupBy(Operator):
@@ -49,6 +49,13 @@ class PGroupBy(Operator):
         self._specs = tuple(aggregates)
         self._agg_fns = tuple(
             compile_expr(s.input, in_schema) if s.input is not None else None
+            for s in aggregates
+        )
+        #: Column kernels for the page path: aggregate inputs evaluate
+        #: once per column batch instead of once per row per spec.
+        self._agg_col_fns = tuple(
+            compile_expr_columns(s.input, in_schema)
+            if s.input is not None else None
             for s in aggregates
         )
         #: group key -> (key values tuple, [accumulators])
@@ -153,6 +160,58 @@ class PGroupBy(Operator):
         if specs:
             self.ctx.charge_events_op(self.op_id, len(rows) * len(specs), cm.agg_update)
         self.ctx.strategy.after_tuples(self, 0, rows)
+
+    def push_page(self, page, port: int = 0) -> None:
+        """Page kernel: group keys come straight off the key column(s)
+        and aggregate inputs evaluate column-at-a-time; the page's rows
+        are never re-materialised."""
+        if self._lease is not None:
+            self.push_batch(page.rows(), port)
+            return
+        cm = self.ctx.cost_model
+        metrics = self.ctx.metrics
+        n_in = page.n_rows
+        metrics.counters(self.op_id).tuples_in += n_in
+        self.ctx.charge_events_op(self.op_id, n_in, cm.tuple_base)
+        page = self.passes_filters_page(page, 0)
+        n = page.n_rows
+        if not n:
+            return
+        self.ctx.charge_events_op(self.op_id, n, cm.hash_probe)
+
+        indices = self._key_indices
+        single = len(indices) == 1
+        if single:
+            keys = page.columns[indices[0]]
+        elif indices:
+            keys = list(zip(*[page.columns[i] for i in indices]))
+        else:
+            keys = [()] * n  # keyless aggregate: one global group
+        cols = page.columns
+        specs = self._specs
+        val_cols = tuple(
+            fn(cols, n) if fn is not None else None
+            for fn in self._agg_col_fns
+        )
+        groups = self._groups
+        new_groups = 0
+        for i, key in enumerate(keys):
+            group = groups.get(key)
+            if group is None:
+                accumulators = [s.make_accumulator() for s in specs]
+                group = ((key,) if single else key, accumulators)
+                groups[key] = group
+                new_groups += 1
+            for vals, acc in zip(val_cols, group[1]):
+                acc.add(vals[i] if vals is not None else None)
+
+        if new_groups:
+            self.ctx.charge_events_op(self.op_id, new_groups, cm.hash_insert)
+            metrics.adjust_state(self.op_id, new_groups * self._group_bytes)
+        if specs:
+            self.ctx.charge_events_op(self.op_id, n * len(specs), cm.agg_update)
+        self.ctx.strategy.after_tuples_page(self, 0, page)
+        self._page_stats(n_in, n)
 
     def finish(self, port: int = 0) -> None:
         self._mark_input_done(port)

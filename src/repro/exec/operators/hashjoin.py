@@ -220,6 +220,71 @@ class PHashJoin(Operator):
         self.ctx.strategy.after_tuples(self, port, rows)
         self.emit_batch(out)
 
+    def push_page(self, page, port: int = 0) -> None:
+        """Page kernel: probe keys are read straight off the key
+        column(s) — zero-copy for single-key joins — and only surviving
+        rows are re-materialised for insert and output build."""
+        if self._lease is not None:
+            # Governed: fall back to the per-row path (spill decisions
+            # interleave at row granularity).
+            self.push_batch(page.rows(), port)
+            return
+        cm = self.ctx.cost_model
+        metrics = self.ctx.metrics
+        n_in = page.n_rows
+        metrics.counters(self.op_id).tuples_in += n_in
+        self.ctx.charge_events_op(self.op_id, n_in, cm.tuple_base)
+        page = self.passes_filters_page(page, port)
+        n = page.n_rows
+        if not n:
+            return
+
+        other = 1 - port
+        indices = self._key_indices[port]
+        if len(indices) == 1:
+            keys = page.columns[indices[0]]
+        else:
+            keys = list(zip(*[page.columns[i] for i in indices]))
+        rows = page.rows()
+        probe_get = self._tables[other].get
+        table = self._tables[port]
+        buffering = self._buffering[port]
+        residual = self._residual
+        left = port == 0
+        out = []
+        append_out = out.append
+        n_residual = 0
+
+        for key, row in zip(keys, rows):
+            matches = probe_get(key)
+            if matches:
+                for match in matches:
+                    combined = row + match if left else match + row
+                    if residual is not None:
+                        n_residual += 1
+                        if not residual(combined):
+                            continue
+                    append_out(combined)
+            if buffering:
+                bucket = table.get(key)
+                if bucket is None:
+                    table[key] = [row]
+                else:
+                    bucket.append(row)
+
+        self.ctx.charge_events_op(self.op_id, n, cm.hash_probe)
+        if n_residual:
+            self.ctx.charge_events_op(self.op_id, n_residual, cm.predicate_eval)
+        if out:
+            self.ctx.charge_events_op(self.op_id, len(out), cm.output_build)
+        if buffering:
+            self.ctx.charge_events_op(self.op_id, n, cm.hash_insert)
+            metrics.adjust_state(self.op_id, n * self._row_bytes[port])
+        self.ctx.strategy.after_tuples_page(self, port, page)
+        self._page_stats(n_in, n)
+        # Joins emit rows: output tuples are combined row-at-a-time.
+        self.emit_batch(out)
+
     def finish(self, port: int = 0) -> None:
         self._mark_input_done(port)
         other = 1 - port

@@ -75,6 +75,14 @@ class PMerge(Operator):
         if rows:
             self.emit_batch(rows)
 
+    def push_page(self, page, port: int = 0) -> None:
+        n_in = page.n_rows
+        self.ctx.metrics.counters(self.op_id).tuples_in += n_in
+        page = self.passes_filters_page(page, 0)
+        if page.n_rows:
+            self._page_stats(n_in, page.n_rows)
+            self.emit_page(page)
+
     def finish(self, port: int = 0) -> None:
         self._mark_input_done(port)
         if self.all_inputs_done:

@@ -32,6 +32,14 @@ class POutput(Operator):
         self.rows.extend(rows)
         self.ctx.metrics.result_rows += len(rows)
 
+    def push_page(self, page, port: int = 0) -> None:
+        n = page.n_rows
+        self.ctx.metrics.counters(self.op_id).tuples_in += n
+        self.ctx.charge_events_op(self.op_id, n, self.ctx.cost_model.tuple_base)
+        self.rows.extend(page.rows())
+        self.ctx.metrics.result_rows += n
+        self._page_stats(n, n)
+
     def finish(self, port: int = 0) -> None:
         self._mark_input_done(port)
         self.finished = True

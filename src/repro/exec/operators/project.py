@@ -7,7 +7,8 @@ from typing import Sequence, Tuple
 from repro.data.schema import Schema
 from repro.exec.context import ExecutionContext
 from repro.exec.operators.base import Operator, Row
-from repro.expr.compiler import compile_expr
+from repro.exec.pages import ColumnBatch
+from repro.expr.compiler import compile_expr, compile_expr_columns
 from repro.expr.expressions import Expr
 
 
@@ -28,6 +29,11 @@ class PProject(Operator):
         self._project_batch = (
             lambda rows: [tuple(fn(row) for fn in fns) for row in rows]
         )
+        #: Column kernels for the page path: one gather per output
+        #: column instead of one tuple build per input row.
+        self._col_fns = [
+            compile_expr_columns(expr, in_schema) for _, expr in outputs
+        ]
 
     def push(self, row: Row, port: int = 0) -> None:
         cm = self.ctx.cost_model
@@ -48,6 +54,21 @@ class PProject(Operator):
         if rows:
             self.ctx.charge_events_op(self.op_id, len(rows), cm.output_build)
             self.emit_batch(self._project_batch(rows))
+
+    def push_page(self, page: ColumnBatch, port: int = 0) -> None:
+        cm = self.ctx.cost_model
+        n_in = page.n_rows
+        self.ctx.metrics.counters(self.op_id).tuples_in += n_in
+        self.ctx.charge_events_op(self.op_id, n_in, cm.tuple_base)
+        page = self.passes_filters_page(page, 0)
+        if page.n_rows:
+            self.ctx.charge_events_op(self.op_id, page.n_rows, cm.output_build)
+            out = ColumnBatch(
+                [fn(page.columns, page.n_rows) for fn in self._col_fns],
+                page.n_rows,
+            )
+            self._page_stats(n_in, page.n_rows)
+            self.emit_page(out)
 
     def finish(self, port: int = 0) -> None:
         self._mark_input_done(port)

@@ -19,6 +19,7 @@ from repro.data.schema import Schema
 from repro.exec.arrival import ArrivalModel, SourceFilter
 from repro.exec.context import ExecutionContext
 from repro.exec.operators.base import Operator, Row
+from repro.exec.pages import ColumnBatch
 
 
 class PScan(Operator):
@@ -95,11 +96,14 @@ class PScan(Operator):
         now_ticks: int,
         boundary_when: Optional[float] = None,
         boundary_first: bool = False,
+        paged: bool = False,
     ) -> Optional[float]:
         """Push the pending tuple plus every further row arriving up to
         the cross-scan boundary (see ``ArrivalModel.next_batch``) as one
         batch; returns the next pending arrival time, or None when the
-        source is exhausted."""
+        source is exhausted.  With ``paged`` the run is transposed once
+        into a :class:`ColumnBatch` here at the source and flows through
+        the operators' page kernels instead of as a row list."""
         if self._pending is None:
             raise ExecutionError(
                 "%s driven with no pending tuple" % self.name
@@ -121,6 +125,12 @@ class PScan(Operator):
         counters = self.ctx.metrics.counters(self.op_id)
         counters.tuples_in += len(rows)
         self.ctx.charge_events_op(self.op_id, len(rows), self.ctx.cost_model.scan_read)
+        if paged:
+            page = ColumnBatch.from_rows(rows, len(self.out_schema))
+            page = self.passes_filters_page(page, 0)
+            self._page_stats(len(rows), page.n_rows)
+            self.emit_page(page)
+            return nxt
         rows = self.passes_filters_batch(rows, 0)
         self.emit_batch(rows)
         return nxt

@@ -209,6 +209,15 @@ class PSemiJoin(Operator):
         self.ctx.strategy.after_tuples(self, port, rows)
         self.emit_batch(out)
 
+    def push_page(self, page, port: int = 0) -> None:
+        """Page kernel for direct callers.  ``batch_safe = False``
+        keeps semijoin plans off the engine's batch (and therefore
+        page) path, but a caller holding a :class:`ColumnBatch` can
+        still push it; keys are probed off the key column and the
+        per-row semantics delegate to :meth:`push_batch`."""
+        self._page_stats(page.n_rows, page.n_rows)
+        self.push_batch(page.rows(), port)
+
     def finish(self, port: int = 0) -> None:
         self._mark_input_done(port)
         if port == SOURCE:

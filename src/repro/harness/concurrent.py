@@ -54,6 +54,11 @@ class CompositeStrategy(ExecutionStrategy):
         if strategy is not None:
             strategy.after_tuples(op, input_idx, rows)
 
+    def after_tuples_page(self, op, input_idx, page) -> None:
+        strategy = self._by_op.get(op.op_id)
+        if strategy is not None:
+            strategy.after_tuples_page(op, input_idx, page)
+
     def on_input_finished(self, op, input_idx) -> None:
         strategy = self._by_op.get(op.op_id)
         if strategy is not None:
@@ -101,7 +106,7 @@ def run_concurrent(
     ctx.strategy = composite
 
     translated: List[PhysicalPlan] = []
-    batchable = {}  # scan op_id -> its plan may be driven in batches
+    batchable = {}  # scan op_id -> (may batch, may carry column pages)
     for index, (plan, strategy) in enumerate(zip(plans, strategies)):
         physical = translate(plan, ctx, arrival_resolver)
         if strategy is not None:
@@ -114,8 +119,9 @@ def run_concurrent(
         if on_plan_translated is not None:
             on_plan_translated(index, physical)
         plan_batches = plan_batchable(ctx, strategy, physical)
+        plan_pages = plan_batches and ctx.page_execution
         for scan in physical.scans:
-            batchable[scan.op_id] = plan_batches
+            batchable[scan.op_id] = (plan_batches, plan_pages)
         translated.append(physical)
 
     composite.on_query_start()
@@ -140,15 +146,12 @@ def run_concurrent(
         # The arrival boundary spans ALL concurrent plans' sources: a
         # batch never reorders this query's rows past another query's
         # earlier arrivals on the shared clock.
+        batching, paging = batchable[scan.op_id]
         if tracer is None:
-            nxt = drive_scan(
-                scan, tie, heap, metrics, batchable[scan.op_id]
-            )
+            nxt = drive_scan(scan, tie, heap, metrics, batching, paging)
         else:
             drive_start = metrics.clock_ticks
-            nxt = drive_scan(
-                scan, tie, heap, metrics, batchable[scan.op_id]
-            )
+            nxt = drive_scan(scan, tie, heap, metrics, batching, paging)
             tracer.complete(
                 "drive:%s" % scan.name, "engine", drive_start,
                 metrics.clock_ticks - drive_start,

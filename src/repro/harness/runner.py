@@ -93,6 +93,7 @@ def run_workload_query(
     strategy_kwargs: Optional[dict] = None,
     short_circuit: bool = True,
     batch_execution: bool = True,
+    page_execution: bool = True,
     partitions: int = 0,
     network: Optional[NetworkModel] = None,
     memory_budget: Optional[int] = None,
@@ -111,7 +112,9 @@ def run_workload_query(
     the two is rejected rather than silently mislabelled.
     ``batch_execution=False`` forces the tuple-at-a-time engine loop
     (the vectorized path is observably identical; benchmarks compare
-    their wall-clock cost).
+    their wall-clock cost).  ``page_execution=False`` keeps a batched
+    run on row-list batches instead of column pages — the third
+    observably identical path the equivalence suite pins.
     ``memory_budget=N`` attaches a
     :class:`~repro.storage.governor.MemoryGovernor` with an ``N``-byte
     budget: scans stream buffer-pool pages and stateful operators
@@ -148,6 +151,7 @@ def run_workload_query(
         strategy=make_strategy(strategy, **(strategy_kwargs or {})),
         short_circuit=short_circuit,
         batch_execution=batch_execution,
+        page_execution=page_execution,
         governor=governor,
     )
     ctx.tracer = tracer

@@ -19,6 +19,8 @@ name                      ph    recorded at
 ``drive:<scan>``          X     one scan drive (an arrival run on the
                                 batch path; one tuple on the row path)
 ``emit:<op>``             i     an operator forwarding an output batch
+``page:<op>``             i     a column-page kernel invocation (rows
+                                in, rows selected)
 ``flush:<op>``            i     an operator completing its output
 ``aip.publish``           i     a completed AIP set published
 ``aip.inject``            i     a semijoin filter registered on a port

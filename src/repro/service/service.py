@@ -55,6 +55,7 @@ QuerySpec = Union[str, LogicalNode, Callable[[Catalog], LogicalNode]]
 _ENGINE_TOTAL_KEYS = (
     "tuples_pruned", "aip_sets_created", "aip_sets_declined",
     "aip_bytes_shipped", "network_bytes", "spill_bytes", "spill_events",
+    "pages_pushed", "rows_selected",
 )
 
 
@@ -331,6 +332,7 @@ class QueryService:
         strategy_kwargs: Optional[dict] = None,
         short_circuit: bool = True,
         batch_execution: bool = True,
+        page_execution: bool = True,
         placement=None,
         network=None,
         memory_budget: Optional[int] = None,
@@ -386,6 +388,9 @@ class QueryService:
         #: Batch-vectorized engine loop for every dispatched batch
         #: (observably identical to tuple-at-a-time; on by default).
         self.batch_execution = batch_execution
+        #: Column-page kernels on top of batching (observably identical
+        #: to row-list batches; on by default).
+        self.page_execution = page_execution
         self.coster = PlanCoster(catalog)
         #: The service's virtual clock, advanced batch by batch.
         self.clock = 0.0
@@ -683,6 +688,7 @@ class QueryService:
                 self.catalog,
                 short_circuit=self.short_circuit,
                 batch_execution=self.batch_execution,
+                page_execution=self.page_execution,
                 governor=self.governor,
             )
             ctx.tracer = tracer

@@ -163,7 +163,10 @@ class PagedRows:
     :class:`~repro.exec.operators.scan.PScan` stream it unchanged.
     """
 
-    __slots__ = ("_ctx", "_buffer", "_frames", "_n_rows", "_page_rows")
+    __slots__ = (
+        "_ctx", "_buffer", "_frames", "_n_rows", "_page_rows",
+        "_memo_index", "_memo_rows",
+    )
 
     def __init__(self, ctx, schema, rows, page_rows: Optional[int] = None):
         from repro.common.sizing import row_nbytes
@@ -179,6 +182,14 @@ class PagedRows:
         # pages spill to the backend while later ones are built.
         for page in build_pages(rows, schema, self._page_rows):
             self._frames.append(self._buffer.add(page, page.nbytes, ctx))
+        #: One-page row memo.  Scans walk rows in index order, which
+        #: used to rebuild a tuple from the column lists on *every*
+        #: access; now a page transposes once and every further row on
+        #: it is a list index.  Each access still pins the frame, so
+        #: the governor-observable surface — reload charges, LRU
+        #: recency, resident bytes — is exactly the pre-memo pattern.
+        self._memo_index = -1
+        self._memo_rows = None
 
     def __len__(self) -> int:
         return self._n_rows
@@ -188,10 +199,14 @@ class PagedRows:
             index += self._n_rows
         if not 0 <= index < self._n_rows:
             raise IndexError(index)
-        frame = self._frames[index // self._page_rows]
+        page_index, offset = divmod(index, self._page_rows)
+        frame = self._frames[page_index]
         page = self._buffer.pin(frame, self._ctx)
         try:
-            return page.row(index % self._page_rows)
+            if page_index != self._memo_index:
+                self._memo_rows = page.rows()
+                self._memo_index = page_index
+            return self._memo_rows[offset]
         finally:
             self._buffer.unpin(frame)
 
@@ -201,5 +216,7 @@ class PagedRows:
 
     def release(self) -> None:
         """Drop every page (called when the scan is exhausted)."""
+        self._memo_index = -1
+        self._memo_rows = None
         for frame in self._frames:
             self._buffer.release(frame)

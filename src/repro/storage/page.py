@@ -39,6 +39,10 @@ class ColumnPage:
         """Reconstruct one tuple by page-local index."""
         return tuple(column[index] for column in self.columns)
 
+    def column(self, index: int) -> List:
+        """One attribute's values across the page (zero-copy)."""
+        return self.columns[index]
+
     def rows(self) -> List[Row]:
         """Reconstruct every tuple, in build order."""
         return list(zip(*self.columns)) if self.columns else []

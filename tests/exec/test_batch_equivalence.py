@@ -157,6 +157,130 @@ def test_memory_budget_axis(qid, strategy, delayed):
     assert governed.storage["peak_resident_bytes"] <= budget
 
 
+@pytest.mark.parametrize("qid,strategy,delayed", _matrix())
+def test_paged_axis_equivalence(qid, strategy, delayed):
+    """Page-native kernels vs row-list batches, batching held fixed.
+
+    (The tuple-path anchor is ``test_workload_strategy_equivalence``,
+    whose batch run takes the page path by default — so the three paths
+    are pinned pairwise.)  The page-only counters must be zero on the
+    row path and positive exactly when the plan is batchable."""
+    row_batch = run_workload_query(
+        qid, strategy, scale_factor=SCALE, delayed=delayed,
+        batch_execution=True, page_execution=False,
+    )
+    paged = run_workload_query(
+        qid, strategy, scale_factor=SCALE, delayed=delayed,
+        batch_execution=True, page_execution=True,
+    )
+    _assert_identical(row_batch, paged)
+    assert row_batch.result.metrics.pages_pushed == 0
+    if strategy == "magic":
+        # DAG plans decline batching, so they never page either.
+        assert paged.result.metrics.pages_pushed == 0
+    else:
+        assert paged.result.metrics.pages_pushed > 0
+        assert paged.result.metrics.rows_selected > 0
+
+
+class TestPagedAxis:
+    """Page-path coverage beyond the single-query matrix: the memory
+    governor, the concurrent loop, the service layer, and tracing."""
+
+    def test_governed_paged_equivalence(self):
+        paths = {}
+        for page in (False, True):
+            paths[page] = run_workload_query(
+                "Q4A", "feedforward", scale_factor=SCALE,
+                memory_budget=1 << 40, page_execution=page,
+            )
+        # Governed stateful operators fall back per-row inside the page
+        # kernels, so even a governed run stays bit-identical.
+        _assert_identical(paths[False], paths[True])
+        assert paths[True].result.metrics.pages_pushed > 0
+
+    def test_concurrent_paged_equivalence(self):
+        def run(page_execution):
+            catalog = cached_tpch(scale_factor=SCALE)
+            plans = [
+                get_query("Q4A").build_baseline(catalog),
+                get_query("Q1A").build_baseline(catalog),
+                get_query("Q1A").build_magic(catalog),
+            ]
+            strategies = [
+                make_strategy("feedforward"),
+                make_strategy("costbased"),
+                None,
+            ]
+            ctx = ExecutionContext(catalog, page_execution=page_execution)
+            results = run_concurrent(plans, ctx, strategies=strategies)
+            return ctx, results
+
+        ctx_r, results_r = run(page_execution=False)
+        ctx_p, results_p = run(page_execution=True)
+        for r, p in zip(results_r, results_p):
+            assert p.rows == r.rows
+        assert ctx_p.metrics.clock == ctx_r.metrics.clock
+        assert (
+            ctx_p.metrics.peak_state_bytes == ctx_r.metrics.peak_state_bytes
+        )
+        assert _counter_rows(ctx_p.metrics) == _counter_rows(ctx_r.metrics)
+        assert ctx_r.metrics.pages_pushed == 0
+        assert ctx_p.metrics.pages_pushed > 0
+
+    def test_service_page_axis(self):
+        from repro.service.service import QueryService
+
+        def report(page_execution):
+            catalog = cached_tpch(scale_factor=SCALE)
+            service = QueryService(
+                catalog, strategy="feedforward",
+                page_execution=page_execution,
+            )
+            service.submit("Q1A", arrival=0.0)
+            service.submit("Q4A", arrival=0.0)
+            service.submit("Q3A", arrival=0.5, strategy="costbased")
+            out = service.run()
+            pages = service.registry.counter("engine.pages_pushed").value
+            service.close()
+            return out, pages
+
+        row_report, row_pages = report(page_execution=False)
+        page_report, page_pages = report(page_execution=True)
+        assert (
+            page_report.total_virtual_seconds
+            == row_report.total_virtual_seconds
+        )
+        assert page_report.peak_state_bytes == row_report.peak_state_bytes
+        for r, p in zip(row_report.outcomes, page_report.outcomes):
+            assert p.status == r.status
+            assert p.latency == r.latency
+            assert p.rows == r.rows
+        assert row_pages == 0
+        assert page_pages > 0
+
+    def test_service_pages_by_default(self):
+        from repro.service.service import QueryService
+
+        catalog = cached_tpch(scale_factor=SCALE)
+        assert QueryService(catalog).page_execution
+
+    def test_page_trace_events_validate(self):
+        from repro.obs.trace import Tracer, validate_chrome_trace
+
+        tracer = Tracer()
+        record = run_workload_query(
+            "Q4A", "feedforward", scale_factor=SCALE, tracer=tracer,
+        )
+        assert record.result.metrics.pages_pushed > 0
+        page_events = [e for e in tracer.events if e[1].startswith("page:")]
+        assert page_events
+        for event in page_events:
+            assert event[2] == "op"
+            assert set(event[5]) == {"rows", "selected"}
+        assert validate_chrome_trace(tracer.to_chrome()) == []
+
+
 class TestTracedAxis:
     """Tracing enabled vs disabled: a live Tracer must leave rows,
     clock, peak state and counters bit-identical on both execution

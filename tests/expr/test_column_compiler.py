@@ -1,0 +1,146 @@
+"""Tests for the column-kernel layer of the expression compiler.
+
+The contract every kernel must honour: evaluating over a transposed
+batch is value-identical, element by element, to mapping the row
+closure over the original tuples (``compile_expr_columns`` vs
+``compile_expr``), and a selection kernel picks exactly the indices
+the boolean row closure would accept (``compile_predicate_columns`` vs
+``compile_predicate``).  The page path's bit-identity to the row path
+rests on these two equalities.
+"""
+
+import pytest
+
+from repro.data.schema import DATE, FLOAT, INT, STR, Schema
+from repro.exec.pages import ColumnBatch
+from repro.expr.compiler import (
+    compile_expr,
+    compile_expr_columns,
+    compile_predicate,
+    compile_predicate_columns,
+)
+from repro.expr.expressions import And, Cmp, Func, Like, Not, Or, col, lit
+
+SCHEMA = Schema.of(("a", INT), ("b", FLOAT), ("s", STR), ("d", DATE))
+ROWS = [
+    (4, 2.5, "STANDARD ANODIZED TIN", "1995-06-30"),
+    (1, 9.0, "LARGE PLATED BRASS", "1994-01-02"),
+    (7, 0.5, "ECONOMY ANODIZED STEEL", "1996-12-31"),
+    (4, 4.0, "SMALL POLISHED TIN", "1995-06-30"),
+    (0, -1.0, "PROMO BURNISHED COPPER", "1993-07-04"),
+]
+BATCH = ColumnBatch.from_rows(ROWS, len(SCHEMA))
+
+
+def columns_match_rows(expr):
+    """Assert the column kernel equals the mapped row closure."""
+    row_fn = compile_expr(expr, SCHEMA)
+    col_fn = compile_expr_columns(expr, SCHEMA)
+    expected = [row_fn(row) for row in ROWS]
+    got = list(col_fn(BATCH.columns, BATCH.n_rows))
+    assert got == expected
+    return got
+
+
+def selection_matches_rows(expr):
+    """Assert the selection kernel equals the row-closure filter."""
+    pred = compile_predicate(expr, SCHEMA)
+    sel_fn = compile_predicate_columns(expr, SCHEMA)
+    expected = [i for i, row in enumerate(ROWS) if pred(row)]
+    got = sel_fn(BATCH.columns, BATCH.n_rows)
+    assert got == expected
+    return got
+
+
+class TestValueKernels:
+    def test_col_is_zero_copy(self):
+        fn = compile_expr_columns(col("a"), SCHEMA)
+        assert fn(BATCH.columns, BATCH.n_rows) is BATCH.columns[0]
+
+    def test_lit_broadcasts(self):
+        fn = compile_expr_columns(lit("x"), SCHEMA)
+        assert fn(BATCH.columns, BATCH.n_rows) == ["x"] * len(ROWS)
+
+    @pytest.mark.parametrize("expr", [
+        col("a") * lit(2),
+        col("a") + col("b"),
+        lit(10) - col("a"),
+        (col("a") + lit(1)) * (col("b") - lit(0.5)),
+        Func("year", col("d")),
+    ])
+    def test_arith_and_func(self, expr):
+        columns_match_rows(expr)
+
+    @pytest.mark.parametrize("op", ["=", "!=", "<", "<=", ">", ">="])
+    def test_cmp_col_lit(self, op):
+        columns_match_rows(Cmp(op, col("a"), lit(4)))
+
+    def test_cmp_col_col_and_lit_col(self):
+        columns_match_rows(Cmp("<", col("a"), col("b")))
+        columns_match_rows(Cmp(">=", lit(4), col("a")))
+
+    def test_boolean_connectives(self):
+        t, f = col("a").ge(1), col("b").lt(0)
+        columns_match_rows(And(t, f))
+        columns_match_rows(Or(t, f))
+        columns_match_rows(Not(f))
+
+    def test_like_over_column(self):
+        got = columns_match_rows(Like(col("s"), "%ANODIZED%"))
+        assert got == [True, False, True, False, False]
+
+    def test_empty_batch(self):
+        empty = ColumnBatch.from_rows([], len(SCHEMA))
+        fn = compile_expr_columns(col("a") * lit(2), SCHEMA)
+        assert list(fn(empty.columns, empty.n_rows)) == []
+
+
+class TestSelectionKernels:
+    @pytest.mark.parametrize("expr", [
+        col("a").eq(4),
+        col("a").lt(col("b")),
+        col("a").ge(1),
+        Like(col("s"), "%TIN"),
+        Not(col("a").eq(4)),
+        Or(col("a").eq(0), col("a").eq(7)),
+    ])
+    def test_single_terms(self, expr):
+        selection_matches_rows(expr)
+
+    def test_conjunction_refines(self):
+        sel = selection_matches_rows(
+            And(col("a").ge(1), col("b").gt(0), Like(col("s"), "%TIN"))
+        )
+        assert sel == [0, 3]
+
+    def test_contradiction_selects_nothing(self):
+        assert selection_matches_rows(And(col("a").lt(0), col("a").gt(0))) == []
+
+    def test_selection_is_ascending(self):
+        sel = selection_matches_rows(col("a").ge(0))
+        assert sel == sorted(sel)
+
+    def test_select_gathers_without_nulls(self):
+        """A gather over a selection touches only surviving indices —
+        column order is preserved and no placeholder values appear."""
+        sel_fn = compile_predicate_columns(col("a").eq(4), SCHEMA)
+        sel = sel_fn(BATCH.columns, BATCH.n_rows)
+        out = BATCH.select(sel)
+        assert out.rows() == [ROWS[0], ROWS[3]]
+        assert out.n_rows == 2
+
+    def test_full_selection_is_zero_copy(self):
+        sel_fn = compile_predicate_columns(col("a").ge(-1), SCHEMA)
+        sel = sel_fn(BATCH.columns, BATCH.n_rows)
+        assert BATCH.select(sel) is BATCH
+
+
+class TestColumnBatchRoundTrip:
+    def test_rows_round_trip(self):
+        assert BATCH.rows() == ROWS
+
+    def test_from_rows_empty_keeps_width(self):
+        empty = ColumnBatch.from_rows([], 4)
+        assert empty.n_rows == 0
+        assert len(empty.columns) == 4
+        assert empty.rows() == []
