@@ -116,6 +116,7 @@ def _cmd_run(args) -> int:
             partitions=args.partitions,
             memory_budget=args.memory_budget,
             tracer=tracer,
+            parallel=args.parallel,
         )
         s = record.summary
         print("%-14s %8d %12.4f %12.4f %9d %7d" % (
@@ -170,6 +171,12 @@ def _make_service(args, skew: float = 0.0, tracer=None):
     budget = None
     if args.budget_mb is not None:
         budget = args.budget_mb * 1e6
+    catalog_spec = None
+    if args.parallel:
+        # Workers rebuild the same deterministic catalog from its
+        # parameters instead of unpickling the table data.
+        from repro.parallel import CatalogSpec
+        catalog_spec = CatalogSpec.tpch(scale_factor=args.scale, skew=skew)
     return QueryService(
         catalog,
         strategy=args.strategy,
@@ -180,6 +187,9 @@ def _make_service(args, skew: float = 0.0, tracer=None):
         result_cache=not args.no_result_cache,
         memory_budget=args.memory_budget,
         tracer=tracer,
+        parallel=args.parallel,
+        catalog_spec=catalog_spec,
+        slo_seconds=args.slo_seconds,
     )
 
 
@@ -206,7 +216,7 @@ def _cmd_workload(args) -> int:
     span = max((item.arrival for item in base_items), default=0.0)
     items = [
         WorkloadItem(item.kind, item.text, item.arrival + k * span,
-                     item.strategy, item.label)
+                     item.strategy, item.label, tenant=item.tenant)
         for k in range(args.repeat) for item in base_items
     ]
     if not items:
@@ -383,6 +393,11 @@ def build_parser() -> argparse.ArgumentParser:
                             "(k/m/g suffixes ok): scans stream "
                             "buffer-pool pages and stateful operators "
                             "spill to disk under pressure")
+    p_run.add_argument("--parallel", type=int, default=None, metavar="N",
+                       help="evaluate partitioned-scan fragments on N "
+                            "real worker processes (wall-clock "
+                            "parallelism; rows stay identical to the "
+                            "serial run)")
     p_run.add_argument("--trace-out", default=None, metavar="PATH",
                        help="record a Chrome-trace/Perfetto JSON timeline "
                             "of the execution (requires one --strategy)")
@@ -437,6 +452,15 @@ def build_parser() -> argparse.ArgumentParser:
                        help="disable the cross-query AIP-set cache")
         p.add_argument("--no-result-cache", action="store_true",
                        help="disable the result cache")
+        p.add_argument("--parallel", type=int, default=None, metavar="N",
+                       help="run each admitted batch on N real worker "
+                            "processes (wall-clock concurrency; "
+                            "disables the cross-query AIP cache's "
+                            "in-batch injection)")
+        p.add_argument("--slo", type=float, default=None, metavar="SECONDS",
+                       dest="slo_seconds",
+                       help="latency objective in virtual seconds: shed "
+                            "queries whose projected latency exceeds it")
 
     p_workload = sub.add_parser(
         "workload",

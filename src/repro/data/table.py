@@ -18,12 +18,13 @@ Row = Tuple
 class Table:
     """A named relation with a schema and materialised rows."""
 
-    __slots__ = ("name", "schema", "rows")
+    __slots__ = ("name", "schema", "rows", "_partition_cache")
 
     def __init__(self, name: str, schema: Schema, rows: Iterable[Row] = ()):
         self.name = name
         self.schema = schema
         self.rows: List[Row] = list(rows)
+        self._partition_cache = None
         width = len(schema)
         for row in self.rows:
             if len(row) != width:
@@ -54,6 +55,40 @@ class Table:
 
     def renamed(self, mapping) -> "Table":
         return Table(self.name, self.schema.renamed(mapping), self.rows)
+
+    def partition_rows(self, spec, key_index: int) -> List[List[Row]]:
+        """``spec.split(self.rows, key_index)``, memoised per spec.
+
+        Partition-parallel execution re-splits the same base table on
+        every run (and, in the worker pool, once per worker per
+        fragment); the split is deterministic in the spec and the rows,
+        so repeated splits of an unchanged table can share one result.
+        Partition lists hold references to the table's row tuples, so
+        the cache costs list overhead only.  Keyed by the spec's value
+        fields — two equal specs built independently hit the same entry.
+        """
+        key = (
+            spec.key, spec.scheme, tuple(spec.sites),
+            tuple(spec.bounds) if spec.bounds is not None else None,
+            key_index,
+        )
+        cache = self._partition_cache
+        if cache is None:
+            cache = self._partition_cache = {}
+        parts = cache.get(key)
+        if parts is None:
+            parts = spec.split(self.rows, key_index)
+            cache[key] = parts
+        return parts
+
+    def __getstate__(self):
+        # The split cache is pure memoisation and can be large; rebuild
+        # lazily on the other side instead of shipping it.
+        return (self.name, self.schema, self.rows)
+
+    def __setstate__(self, state) -> None:
+        self.name, self.schema, self.rows = state
+        self._partition_cache = None
 
     def byte_size(self) -> int:
         return len(self.rows) * self.schema.row_byte_size()

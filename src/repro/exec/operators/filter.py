@@ -23,14 +23,27 @@ class PFilter(Operator):
         predicate: Expr,
     ):
         super().__init__(ctx, op_id, schema, [schema], "Filter")
-        predicate_fn = self._predicate = compile_predicate(predicate, schema)
+        #: The predicate AST — kept so pickled fragments recompile the
+        #: closures worker-side instead of shipping them.
+        self.predicate = predicate
+        self._rebuild_compiled()
+
+    _compiled_attrs = ("_predicate", "_predicate_batch", "_select_columns")
+
+    def _rebuild_compiled(self) -> None:
+        schema = self.input_schemas[0]
+        predicate_fn = self._predicate = compile_predicate(
+            self.predicate, schema
+        )
         #: Batch closure: one call filters a whole batch in order.
         self._predicate_batch = (
             lambda rows: [row for row in rows if predicate_fn(row)]
         )
         #: Selection kernel for the page path: columns -> surviving
         #: row indices, accepting exactly what ``predicate_fn`` accepts.
-        self._select_columns = compile_predicate_columns(predicate, schema)
+        self._select_columns = compile_predicate_columns(
+            self.predicate, schema
+        )
 
     def push(self, row: Row, port: int = 0) -> None:
         cm = self.ctx.cost_model

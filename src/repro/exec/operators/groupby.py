@@ -47,17 +47,7 @@ class PGroupBy(Operator):
         super().__init__(ctx, op_id, out_schema, [in_schema], "GroupBy")
         self._key_indices = tuple(in_schema.index_of(k) for k in keys)
         self._specs = tuple(aggregates)
-        self._agg_fns = tuple(
-            compile_expr(s.input, in_schema) if s.input is not None else None
-            for s in aggregates
-        )
-        #: Column kernels for the page path: aggregate inputs evaluate
-        #: once per column batch instead of once per row per spec.
-        self._agg_col_fns = tuple(
-            compile_expr_columns(s.input, in_schema)
-            if s.input is not None else None
-            for s in aggregates
-        )
+        self._rebuild_compiled()
         #: group key -> (key values tuple, [accumulators])
         self._groups: Dict = {}
         self.keys = tuple(keys)
@@ -77,6 +67,22 @@ class PGroupBy(Operator):
         else:
             self._spilled = None
             self._merged = None
+
+    _compiled_attrs = ("_agg_fns", "_agg_col_fns")
+
+    def _rebuild_compiled(self) -> None:
+        in_schema = self.input_schemas[0]
+        self._agg_fns = tuple(
+            compile_expr(s.input, in_schema) if s.input is not None else None
+            for s in self._specs
+        )
+        #: Column kernels for the page path: aggregate inputs evaluate
+        #: once per column batch instead of once per row per spec.
+        self._agg_col_fns = tuple(
+            compile_expr_columns(s.input, in_schema)
+            if s.input is not None else None
+            for s in self._specs
+        )
 
     def _key_of(self, row: Row):
         indices = self._key_indices

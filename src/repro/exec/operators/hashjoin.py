@@ -83,11 +83,10 @@ class PHashJoin(Operator):
             right_schema.row_byte_size(),
         )
         self._buffering = [True, True]
-        self._residual = (
-            compile_predicate(residual, out_schema)
-            if residual is not None
-            else None
-        )
+        #: The residual predicate AST — kept so pickled fragments
+        #: recompile the closure worker-side instead of shipping it.
+        self.residual = residual
+        self._rebuild_compiled()
         self.left_keys = tuple(left_keys)
         self.right_keys = tuple(right_keys)
         if self._lease is not None:
@@ -102,6 +101,15 @@ class PHashJoin(Operator):
             self._replaying = False
         else:
             self._spilled = None
+
+    _compiled_attrs = ("_residual",)
+
+    def _rebuild_compiled(self) -> None:
+        self._residual = (
+            compile_predicate(self.residual, self.out_schema)
+            if self.residual is not None
+            else None
+        )
 
     def _key_of(self, row: Row, port: int):
         indices = self._key_indices[port]

@@ -24,7 +24,18 @@ class PProject(Operator):
         outputs: Sequence[Tuple[str, Expr]],
     ):
         super().__init__(ctx, op_id, out_schema, [in_schema], "Project")
-        fns = self._fns = [compile_expr(expr, in_schema) for _, expr in outputs]
+        #: The ``name := expr`` ASTs — kept so pickled fragments
+        #: recompile the closures worker-side instead of shipping them.
+        self.outputs = tuple(outputs)
+        self._rebuild_compiled()
+
+    _compiled_attrs = ("_fns", "_project_batch", "_col_fns")
+
+    def _rebuild_compiled(self) -> None:
+        in_schema = self.input_schemas[0]
+        fns = self._fns = [
+            compile_expr(expr, in_schema) for _, expr in self.outputs
+        ]
         #: Batch closure: one call projects a whole batch in order.
         self._project_batch = (
             lambda rows: [tuple(fn(row) for fn in fns) for row in rows]
@@ -32,7 +43,7 @@ class PProject(Operator):
         #: Column kernels for the page path: one gather per output
         #: column instead of one tuple build per input row.
         self._col_fns = [
-            compile_expr_columns(expr, in_schema) for _, expr in outputs
+            compile_expr_columns(expr, in_schema) for _, expr in self.outputs
         ]
 
     def push(self, row: Row, port: int = 0) -> None:

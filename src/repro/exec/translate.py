@@ -144,7 +144,7 @@ def _build_partitioned_scan(
     table = ctx.catalog.table(node.table_name)
     # Partitioning keys address the base schema (pre-rename).
     key_index = table.schema.index_of(spec.key)
-    parts = spec.split(table.rows, key_index)
+    parts = table.partition_rows(spec, key_index)
     merge = PMerge(
         ctx, node.node_id, node.schema, spec.n_partitions,
         table_name=node.table_name,

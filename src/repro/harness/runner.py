@@ -98,6 +98,8 @@ def run_workload_query(
     network: Optional[NetworkModel] = None,
     memory_budget: Optional[int] = None,
     tracer=None,
+    parallel: Optional[int] = None,
+    pool=None,
 ) -> RunRecord:
     """Execute ``qid`` under ``strategy`` and return its metrics.
 
@@ -128,11 +130,22 @@ def run_workload_query(
     ``tracer`` attaches a :class:`~repro.obs.trace.Tracer` to the run
     (engine spans, AIP/governor instants); None — the default — keeps
     execution bit-identical to an uninstrumented build.
+    ``parallel=N`` evaluates eligible partition-scan fragments on N
+    real worker processes (see ``repro.parallel``); rows stay
+    bit-identical to the serial run under baseline/feedforward and
+    multiset-identical always.  ``pool`` reuses an already-warm
+    :class:`~repro.parallel.pool.WorkerPool` across calls (benchmarks,
+    the service); without it a run-scoped pool is started and closed.
     """
     if partitions and delayed:
         raise ValueError(
             "delayed sources and partition-parallel placement are "
             "different arrival regimes; pick one"
+        )
+    if (parallel or pool is not None) and memory_budget is not None:
+        raise ValueError(
+            "parallel fragment execution needs plain row lists; it "
+            "cannot be combined with a governed memory budget"
         )
     query = get_query(qid)
     catalog = cached_tpch(scale_factor=scale_factor, skew=query.skew, seed=seed)
@@ -146,6 +159,17 @@ def run_workload_query(
         from repro.storage.governor import MemoryGovernor
         governor = MemoryGovernor(memory_budget)
         governor.tracer = tracer
+    owned_pool = None
+    if pool is None and parallel:
+        from repro.parallel import CatalogSpec, WorkerPool
+        owned_pool = WorkerPool(
+            parallel,
+            CatalogSpec.tpch(
+                scale_factor=scale_factor, skew=query.skew, seed=seed
+            ),
+            tracer=tracer,
+        )
+        pool = owned_pool.start()
     ctx = ExecutionContext(
         catalog,
         strategy=make_strategy(strategy, **(strategy_kwargs or {})),
@@ -153,6 +177,7 @@ def run_workload_query(
         batch_execution=batch_execution,
         page_execution=page_execution,
         governor=governor,
+        pool=pool,
     )
     ctx.tracer = tracer
 
@@ -189,6 +214,8 @@ def run_workload_query(
         # the run.
         if governor is not None:
             governor.close()
+        if owned_pool is not None:
+            owned_pool.close()
 
     storage = None
     if governor is not None:

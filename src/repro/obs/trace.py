@@ -110,6 +110,18 @@ class Tracer:
         """Record a span covering ``[ts, ts + dur]`` virtual ticks."""
         self._record(PH_COMPLETE, name, cat, ts + self.offset, dur, args)
 
+    def replay(self, events, offset: int = 0) -> None:
+        """Fold another tracer's raw event tuples onto this timeline.
+
+        Used by the parallel service to merge trace events a pool
+        worker collected on its own zero-based query clock: ``offset``
+        shifts them to where the batch sits on the service timeline.
+        ``self.offset`` is deliberately not applied on top — the caller
+        computed the placement already.
+        """
+        for ph, name, cat, ts, dur, args in events:
+            self._record(ph, name, cat, ts + offset, dur, args)
+
     def __len__(self) -> int:
         return len(self.events)
 

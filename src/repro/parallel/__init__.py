@@ -1,0 +1,30 @@
+"""Real wall-clock parallel execution.
+
+Everything else in the engine runs on one deterministic *virtual*
+clock inside one process; this package maps the existing partition
+fan-out (and whole service queries) onto actual OS-level parallelism
+with a persistent ``multiprocessing`` worker pool:
+
+* :mod:`repro.parallel.pool` — the spawn-safe pool of warm workers;
+* :mod:`repro.parallel.tasks` — picklable task specs (the wire format);
+* :mod:`repro.parallel.worker` — the worker-process main loop;
+* :mod:`repro.parallel.replay` — the arrival model that replays
+  worker-computed arrival times on the master, keeping rows
+  bit-identical to serial execution;
+* :mod:`repro.parallel.executor` — the coordinator side: fragment
+  collection, dispatch, deterministic merge and metric fold-in.
+
+See DESIGN.md section 11 for the wire format, worker lifecycle and
+determinism guarantees.
+"""
+
+from repro.parallel.pool import WorkerPool
+from repro.parallel.tasks import CatalogSpec, CrashTask, FragmentTask, QueryTask
+
+__all__ = [
+    "WorkerPool",
+    "CatalogSpec",
+    "CrashTask",
+    "FragmentTask",
+    "QueryTask",
+]

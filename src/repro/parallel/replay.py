@@ -1,0 +1,94 @@
+"""Arrival replay: the determinism bridge between workers and master.
+
+A fragment worker computes, for its partition, exactly the arrival
+times the serial engine would have computed — same fresh
+:class:`~repro.exec.arrival.ArrivalModel`, same per-row float
+accumulation — and ships back the surviving ``(when, row)`` pairs.
+The coordinator then swaps each partition scan's arrival model for a
+:class:`ReplayArrival` over those recorded times, and runs the normal
+engine: every surviving row enters the heap at its *serial* arrival
+time, so the cross-scan interleaving — and therefore the result row
+order — is bit-identical to serial execution, for any worker count.
+
+Mid-flight source filters (AIP summaries shipped to a partition source
+while the query runs) still work: the replay honours
+``activation_time`` against each row's recorded arrival time.  Because
+worker-side evaluation removed the rows a prefetch-time filter would
+have dropped, a mid-flight filter can only prune rows the downstream
+semijoin would discard anyway, so the result multiset is unaffected.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.exec.arrival import ArrivalModel
+from repro.exec.metrics import seconds_to_ticks
+
+Row = Tuple
+
+
+class ReplayArrival(ArrivalModel):
+    """Replays pre-computed arrival times for a reduced row list.
+
+    ``times[i]`` is the recorded arrival time of ``rows[i]`` as the
+    serial model would have produced it.  ``template`` carries the
+    original model's constructor parameters so byte accounting
+    (``bandwidth``/``row_bytes``/``fanout``) matches; the coordinator
+    additionally presets :attr:`rows_transferred` with the worker-side
+    transfer count of the rows that did *not* survive, so the final
+    ``bytes_transferred`` equals the serial run's.
+    """
+
+    def __init__(self, times: List[float], template: dict):
+        super().__init__(**template)
+        self._times = times
+
+    # -- arrival computation -------------------------------------------
+
+    def next_arrival(self, rows, start: int) -> Optional[Tuple[int, float, Row]]:
+        i = start
+        n = len(rows)
+        times = self._times
+        while i < n:
+            row = rows[i]
+            when = times[i]
+            i += 1
+            self._emitted += 1
+            # The recorded time doubles as the filter-activation clock:
+            # a summary shipped mid-run prunes rows recorded after its
+            # activation, exactly as the live link would.
+            self._link_time = when
+            if not self._passes_active_filters(row):
+                self.rows_filtered_at_source += 1
+                continue
+            self.rows_transferred += 1
+            return (i, when, row)
+        return None
+
+    def next_batch(
+        self,
+        rows,
+        start: int,
+        now_ticks: int,
+        boundary_when: Optional[float] = None,
+        boundary_first: bool = False,
+    ):
+        # The parent's trivial-source fast path assumes every remaining
+        # row shares one arrival time; replayed rows each carry their
+        # own, so this override is the parent's general loop only.
+        batch: List[Row] = []
+        cursor = start
+        while True:
+            found = self.next_arrival(rows, cursor)
+            if found is None:
+                return cursor, batch, None
+            cursor, when, row = found
+            if seconds_to_ticks(when) <= now_ticks and (
+                boundary_when is None
+                or when < boundary_when
+                or (when == boundary_when and not boundary_first)
+            ):
+                batch.append(row)
+                continue
+            return cursor, batch, (when, row)

@@ -30,6 +30,22 @@ def fresh_node_id() -> int:
     operators that have no logical counterpart, such as result sinks)."""
     return next(_NODE_IDS)
 
+
+def ensure_node_ids_above(floor: int) -> None:
+    """Advance the process-wide node-id counter past ``floor``.
+
+    A plan pickled in one process and unpickled in another carries the
+    *originating* process's node ids; before translating it, the
+    receiving process must push its own counter past the largest
+    imported id, or a ``fresh_node_id()`` (result sinks, partition
+    scans) could collide with an imported node and corrupt the
+    ``by_node_id`` map.  Worker processes call this on every received
+    plan; it never moves the counter backwards.
+    """
+    global _NODE_IDS
+    current = next(_NODE_IDS)
+    _NODE_IDS = itertools.count(max(current, floor) + 1)
+
 #: Maps an output column name to its base ``(table, column)`` when the
 #: value flows through unchanged from a scan.
 Origins = Dict[str, Tuple[str, str]]

@@ -29,7 +29,10 @@ from repro.service.schedulers import (
     FifoScheduler, Scheduler, ShortestCostFirstScheduler, make_scheduler,
     SCHEDULERS,
 )
-from repro.service.service import QueryOutcome, QueryService, ServiceReport
+from repro.service.service import (
+    CACHED, ERROR, OK, SHED_STATUS, QueryOutcome, QueryService,
+    ServiceReport,
+)
 from repro.service.workload import WorkloadItem, parse_workload
 
 __all__ = [
@@ -39,5 +42,6 @@ __all__ = [
     "Scheduler", "FifoScheduler", "ShortestCostFirstScheduler",
     "make_scheduler", "SCHEDULERS",
     "QueryService", "QueryOutcome", "ServiceReport",
+    "OK", "CACHED", "SHED_STATUS", "ERROR",
     "WorkloadItem", "parse_workload",
 ]

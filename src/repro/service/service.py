@@ -46,6 +46,8 @@ from repro.workloads.registry import QUERIES, get_query
 OK = "ok"
 CACHED = "cached"
 SHED_STATUS = "shed"
+#: Parallel mode only: the worker carrying this query died or raised.
+ERROR = "error"
 
 QuerySpec = Union[str, LogicalNode, Callable[[Catalog], LogicalNode]]
 
@@ -64,11 +66,11 @@ class _PendingQuery:
 
     __slots__ = (
         "seq", "label", "plan", "signature", "arrival", "strategy_name",
-        "state_estimate", "cost_estimate", "miss_counted",
+        "state_estimate", "cost_estimate", "tenant", "miss_counted",
     )
 
     def __init__(self, seq, label, plan, signature, arrival, strategy_name,
-                 state_estimate, cost_estimate):
+                 state_estimate, cost_estimate, tenant=None):
         self.seq = seq
         self.label = label
         self.plan = plan
@@ -77,9 +79,37 @@ class _PendingQuery:
         self.strategy_name = strategy_name
         self.state_estimate = state_estimate
         self.cost_estimate = cost_estimate
+        #: Fair-share scheduling class (None = the anonymous tenant).
+        self.tenant = tenant
         #: Whether this query's first result-cache miss was recorded
         #: (re-probes while queued must not inflate the miss count).
         self.miss_counted = False
+
+
+def _fair_interleave(ordered: List["_PendingQuery"]) -> List["_PendingQuery"]:
+    """Round-robin the scheduler's ordering across tenants.
+
+    Within one tenant the scheduler's relative order is preserved;
+    across tenants, admission slots alternate so one tenant's burst
+    cannot starve another's single query out of a packed batch.
+    Tenants rotate in first-appearance order, so the result is
+    deterministic for a given input ordering.
+    """
+    by_tenant: Dict[Optional[str], List[_PendingQuery]] = {}
+    for entry in ordered:
+        by_tenant.setdefault(entry.tenant, []).append(entry)
+    if len(by_tenant) <= 1:
+        return ordered
+    out: List[_PendingQuery] = []
+    queues = list(by_tenant.values())
+    while queues:
+        still_live = []
+        for queue in queues:
+            out.append(queue.pop(0))
+            if queue:
+                still_live.append(queue)
+        queues = still_live
+    return out
 
 
 class QueryOutcome:
@@ -178,6 +208,11 @@ class ServiceReport:
         return [o for o in self.outcomes if o.status == SHED_STATUS]
 
     @property
+    def failed(self) -> List[QueryOutcome]:
+        """Parallel mode only: queries lost to worker faults."""
+        return [o for o in self.outcomes if o.status == ERROR]
+
+    @property
     def queries_per_second(self) -> float:
         if self.total_virtual_seconds <= 0:
             return 0.0
@@ -211,6 +246,7 @@ class ServiceReport:
             "queries": len(self.outcomes),
             "completed": len(self.completed),
             "shed": len(self.shed),
+            "failed": len(self.failed),
             "total_virtual_seconds": self.total_virtual_seconds,
             "queries_per_second": self.queries_per_second,
             "mean_latency": self.mean_latency(),
@@ -250,9 +286,10 @@ class ServiceReport:
             ))
         s = self.summary()
         lines.append(
-            "-- %d queries (%d completed, %d shed) in %.4f virtual s "
+            "-- %d queries (%d completed, %d shed%s) in %.4f virtual s "
             "= %.2f q/s" % (
                 s["queries"], s["completed"], s["shed"],
+                ", %d failed" % s["failed"] if s["failed"] else "",
                 s["total_virtual_seconds"], s["queries_per_second"],
             )
         )
@@ -337,9 +374,39 @@ class QueryService:
         network=None,
         memory_budget: Optional[int] = None,
         tracer=None,
+        parallel: Optional[int] = None,
+        pool=None,
+        catalog_spec=None,
+        slo_seconds: Optional[float] = None,
     ):
+        if (parallel or pool is not None) and memory_budget is not None:
+            raise ValueError(
+                "parallel service execution cannot share one enforced "
+                "memory governor across worker processes; drop "
+                "memory_budget or parallel"
+            )
+        if parallel is not None and parallel < 1:
+            raise ValueError("parallel must be >= 1; got %r" % parallel)
         self.catalog = catalog
         self.default_strategy = strategy
+        #: Worker-pool size for real wall-clock parallel batches; None
+        #: keeps the serial shared-clock loop.  ``pool`` supplies an
+        #: already-warm :class:`~repro.parallel.pool.WorkerPool` to
+        #: reuse (the service then never closes it); otherwise the pool
+        #: is started lazily on the first parallel batch, warm-loading
+        #: ``catalog_spec`` (or shipping the catalog object itself).
+        self.parallel = (
+            parallel if parallel is not None
+            else (pool.n_workers if pool is not None else None)
+        )
+        self._pool = pool
+        self._owns_pool = False
+        self._catalog_spec = catalog_spec
+        #: Latency objective in virtual seconds: at dispatch, a query
+        #: whose projected latency (wait so far + the forming batch's
+        #: cost spread over the pool) exceeds it is shed immediately —
+        #: serving a doomed query late helps nobody.
+        self.slo_seconds = slo_seconds
         #: Enforced engine budget: a service-lifetime
         #: :class:`~repro.storage.governor.MemoryGovernor` every batch
         #: context shares, so scans stream buffer-pool pages and
@@ -412,6 +479,7 @@ class QueryService:
         arrival: float = 0.0,
         strategy: Optional[str] = None,
         label: Optional[str] = None,
+        tenant: Optional[str] = None,
     ) -> int:
         """Enqueue one query; returns its sequence number.
 
@@ -419,7 +487,9 @@ class QueryService:
         plan, or a builder callable ``fn(catalog) -> LogicalNode``.
         ``arrival`` is relative to the service's *current* clock, so a
         reused service replays a stream's spacing rather than dating
-        arrivals into its past.
+        arrivals into its past.  ``tenant`` names the query's
+        fair-share class: a parallel service interleaves admission
+        across tenants so no tenant's burst monopolises a batch.
         """
         strategy_name = strategy or self.default_strategy
         # Fail fast on a bad strategy name: raising later, mid-batch,
@@ -438,6 +508,7 @@ class QueryService:
             self.clock + arrival, strategy_name,
             estimate_query_state_bytes(plan, self.coster),
             self.coster.total_cost(plan),
+            tenant=tenant,
         ))
         return self._seq
 
@@ -445,7 +516,7 @@ class QueryService:
         query = item.text
         return self.submit(
             query, arrival=item.arrival, strategy=item.strategy,
-            label=item.label,
+            label=item.label, tenant=getattr(item, "tenant", None),
         )
 
     def _build_plan(
@@ -552,6 +623,8 @@ class QueryService:
         from repro.harness.strategies import BASELINE, MAGIC
 
         tracer = self.tracer
+        if self._parallel_mode():
+            ordered = _fair_interleave(ordered)
         if tracer is not None:
             tracer.instant(
                 "sched.pick", "service", seconds_to_ticks(self.clock),
@@ -564,6 +637,8 @@ class QueryService:
         self.registry.gauge("admission.queue_depth").set(len(self._pending))
         outcomes: List[QueryOutcome] = []
         batch: List[_PendingQuery] = []
+        #: Estimated cost already packed, for SLO latency projection.
+        packed_cost = 0.0
         #: signature -> strategy name of the twin already in the batch.
         batch_signatures: Dict[str, str] = {}
         consumed: set = set()
@@ -622,6 +697,36 @@ class QueryService:
                         )
                     self.registry.counter("cache.result.misses").inc()
                 entry.miss_counted = True
+            if self.slo_seconds is not None:
+                # Project this query's latency were it packed now: the
+                # wait it has already accrued plus the forming batch's
+                # estimated cost spread across the engine slots.  A
+                # query that cannot meet its objective is shed *now* —
+                # finishing it late would only steal capacity from
+                # queries that can still make theirs.
+                slots = max(1, self.parallel or 1)
+                projected = (self.clock - entry.arrival) + (
+                    packed_cost + entry.cost_estimate
+                ) / slots
+                if projected > self.slo_seconds:
+                    self.registry.counter("slo.shed").inc()
+                    if tracer is not None:
+                        tracer.instant(
+                            "admission.slo_shed", "service",
+                            seconds_to_ticks(self.clock),
+                            {
+                                "query": entry.label,
+                                "projected_latency": projected,
+                                "slo_seconds": self.slo_seconds,
+                            },
+                        )
+                    consumed.add(entry.seq)
+                    outcomes.append(QueryOutcome(
+                        entry.seq, entry.label, SHED_STATUS,
+                        entry.strategy_name, entry.arrival, self.clock,
+                        self.clock, None, -1, entry.state_estimate,
+                    ))
+                    continue
             decision = self.admission.decide(entry.state_estimate)
             if tracer is not None:
                 tracer.instant(
@@ -650,6 +755,7 @@ class QueryService:
             self.admission.acquire(entry.state_estimate)
             consumed.add(entry.seq)
             batch.append(entry)
+            packed_cost += entry.cost_estimate
             batch_signatures.setdefault(entry.signature, entry.strategy_name)
         if consumed:
             # One filter pass instead of per-entry list.remove scans.
@@ -657,7 +763,10 @@ class QueryService:
                 p for p in self._pending if p.seq not in consumed
             ]
         if batch:
-            outcomes.extend(self._run_batch(batch))
+            outcomes.extend(
+                self._run_batch_parallel(batch)
+                if self._parallel_mode() else self._run_batch(batch)
+            )
         return outcomes
 
     def _arrival_resolver(self):
@@ -838,6 +947,181 @@ class QueryService:
             outcomes.append(outcome)
         return outcomes
 
+    # -- parallel execution ------------------------------------------------
+
+    def _parallel_mode(self) -> bool:
+        return self._pool is not None or bool(self.parallel)
+
+    def _ensure_pool(self):
+        """The service's worker pool, started lazily on the first
+        parallel batch so a parallel-configured service that only ever
+        serves cache hits never pays the spawn cost."""
+        if self._pool is None:
+            from repro.parallel import CatalogSpec, WorkerPool
+            spec = self._catalog_spec
+            if spec is None:
+                spec = CatalogSpec.from_object(self.catalog)
+            self._pool = WorkerPool(
+                self.parallel, spec,
+                registry=self.registry, tracer=self.tracer,
+            ).start()
+            self._owns_pool = True
+        return self._pool
+
+    def _run_batch_parallel(
+        self, batch: List[_PendingQuery]
+    ) -> List[QueryOutcome]:
+        """Dispatch one admitted batch onto the worker pool.
+
+        Each admitted query runs start-to-finish in its own worker
+        process — real wall-clock concurrency, where the serial loop
+        interleaves one engine on one shared clock.  Virtual
+        accounting: every query keeps its *own* engine clock; the
+        service clock advances by the slowest member (the workers
+        genuinely overlap) and each query's finish uses its own clock.
+        A worker that dies or raises fails only the queries it carried
+        (status ``error``); admission is released exactly once per
+        entry either way.  Worker trace events and engine counters are
+        folded back onto the service timeline and registry.
+
+        Trade-off (DESIGN.md section 11): worker processes share no
+        AIP state, so cross-query AIP-cache injection/harvest and
+        feedback recording are unavailable in this mode.
+        """
+        import pickle
+
+        from repro.parallel.tasks import CatalogSpec, QueryTask
+
+        pool = self._ensure_pool()
+        tracer = self.tracer
+        # Warm workers resolve their init catalog once; tasks then name
+        # it symbolically instead of re-shipping it per query.
+        task_spec = (
+            CatalogSpec.warm() if pool.catalog_spec is not None
+            else CatalogSpec.from_object(self.catalog)
+        )
+        errors: Dict[int, str] = {}
+        payloads: Dict[int, dict] = {}
+        try:
+            task_ids: Dict[int, int] = {}
+            for index, entry in enumerate(batch):
+                task = QueryTask(
+                    task_spec, entry.plan, entry.strategy_name,
+                    strategy_kwargs=self.strategy_kwargs,
+                    short_circuit=self.short_circuit,
+                    batch_execution=self.batch_execution,
+                    page_execution=self.page_execution,
+                    network=self.network,
+                    trace=tracer is not None,
+                    label=entry.label,
+                )
+                try:
+                    # Validate before the queue's feeder thread would
+                    # turn an unpicklable plan into a silent hang.
+                    pickle.dumps(task)
+                except Exception as exc:
+                    errors[index] = (
+                        "query task is not picklable: %r" % (exc,)
+                    )
+                    continue
+                task_ids[index] = pool.submit(task)
+            for index, result in zip(
+                task_ids, pool.gather(list(task_ids.values()))
+            ):
+                if result.error is not None:
+                    errors[index] = result.error
+                else:
+                    payloads[index] = result.payload
+        finally:
+            for entry in batch:
+                self.admission.release(entry.state_estimate)
+
+        batch_seconds = 0.0
+        peak_total = 0
+        for payload in payloads.values():
+            metrics = payload["result"].metrics
+            batch_seconds = max(batch_seconds, metrics.clock)
+            peak_total += metrics.peak_state_bytes
+        # The concurrent aggregate the estimates tried to predict is
+        # the sum of per-worker peaks: the queries genuinely overlap.
+        self.admission.observe(
+            sum(entry.state_estimate for entry in batch), peak_total
+        )
+        self.peak_state_bytes = max(self.peak_state_bytes, peak_total)
+        self._run_peak = max(self._run_peak, peak_total)
+        batch_index = self.batches_run
+        self.batches_run += 1
+        start = self.clock
+        self.clock += batch_seconds
+
+        self._fold_parallel_metrics(
+            [payloads[i]["result"].metrics.summary()
+             for i in sorted(payloads)],
+            peak_total,
+        )
+        if tracer is not None:
+            offset = seconds_to_ticks(start)
+            for index in sorted(payloads):
+                tracer.replay(payloads[index]["trace_events"], offset)
+            tracer.complete(
+                "service.batch", "service", seconds_to_ticks(start),
+                seconds_to_ticks(batch_seconds),
+                {
+                    "batch": batch_index, "queries": len(batch),
+                    "parallel": pool.n_workers,
+                },
+            )
+        pool.record_busy_fractions()
+
+        outcomes = []
+        for index, entry in enumerate(batch):
+            if index in errors:
+                self.registry.counter("queries.failed").inc()
+                if tracer is not None:
+                    tracer.instant(
+                        "service.query_error", "service",
+                        seconds_to_ticks(start),
+                        {"query": entry.label, "error": errors[index]},
+                    )
+                outcomes.append(QueryOutcome(
+                    entry.seq, entry.label, ERROR, entry.strategy_name,
+                    entry.arrival, start, start, None, batch_index,
+                    entry.state_estimate,
+                ))
+                continue
+            result = payloads[index]["result"]
+            q_seconds = result.metrics.clock
+            if self.result_cache is not None:
+                self.result_cache.store(
+                    entry.signature, result.rows, result.schema, q_seconds,
+                )
+            outcome = QueryOutcome(
+                entry.seq, entry.label, OK, entry.strategy_name,
+                entry.arrival, start, start + q_seconds, result,
+                batch_index, entry.state_estimate,
+            )
+            self.registry.counter("queries.completed").inc()
+            self.registry.histogram("query.latency_s").observe(
+                outcome.latency
+            )
+            self.registry.histogram("query.queue_wait_s").observe(
+                outcome.queue_wait
+            )
+            outcomes.append(outcome)
+        return outcomes
+
+    def _fold_parallel_metrics(self, summaries, peak_total) -> None:
+        """Parallel-mode counterpart of :meth:`_fold_batch_metrics`:
+        every worker ran its own metric store, so fold each returned
+        summary into the run totals and the lifetime registry."""
+        registry = self.registry
+        for summary in summaries:
+            for key in self._run_engine:
+                self._run_engine[key] += summary[key]
+            for key in _ENGINE_TOTAL_KEYS:
+                registry.counter("engine.%s" % key).inc(summary[key])
+        registry.gauge("engine.peak_state_bytes").set(peak_total)
+
     def _fold_batch_metrics(self, ctx, physicals) -> None:
         """Accumulate one finished batch's engine counters into the
         run totals and the service-lifetime registry."""
@@ -871,10 +1155,15 @@ class QueryService:
     # -- lifecycle ---------------------------------------------------------
 
     def close(self) -> None:
-        """Tear down the storage governor's spill directory (no-op for
-        an unbudgeted service)."""
+        """Tear down the storage governor's spill directory and any
+        worker pool the service started itself (a pool passed in stays
+        up — its owner closes it)."""
         if self.governor is not None:
             self.governor.close()
+        if self._owns_pool and self._pool is not None:
+            self._pool.close()
+            self._pool = None
+            self._owns_pool = False
 
     def __enter__(self) -> "QueryService":
         return self

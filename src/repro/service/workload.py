@@ -14,6 +14,9 @@ Script grammar, one item per line::
     @0.5 Q3A                       arrival time in virtual seconds
     @1.0 select count(*) as n from part       anything else is SQL
     Q1A !costbased                 per-query strategy override
+    Q1A %acme                      fair-share tenant tag (parallel
+                                   services interleave admission
+                                   across tenants)
 """
 
 from __future__ import annotations
@@ -29,7 +32,8 @@ SQL = "sql"
 _QID_LINE = re.compile(
     r"^(?P<qid>[A-Za-z]\w*)"
     r"(?:\s*\*\s*(?P<repeat>\d+))?"
-    r"(?:\s+!(?P<strategy>[\w-]+))?$"
+    r"(?:\s+!(?P<strategy>[\w-]+))?"
+    r"(?:\s+%(?P<tenant>[\w-]+))?$"
 )
 _ARRIVAL = re.compile(r"^@(?P<t>\d+(?:\.\d+)?)\s+(?P<body>.+)$")
 
@@ -37,7 +41,7 @@ _ARRIVAL = re.compile(r"^@(?P<t>\d+(?:\.\d+)?)\s+(?P<body>.+)$")
 class WorkloadItem:
     """One query arrival in a stream."""
 
-    __slots__ = ("kind", "text", "arrival", "strategy", "label")
+    __slots__ = ("kind", "text", "arrival", "strategy", "label", "tenant")
 
     def __init__(
         self,
@@ -46,6 +50,7 @@ class WorkloadItem:
         arrival: float = 0.0,
         strategy: Optional[str] = None,
         label: Optional[str] = None,
+        tenant: Optional[str] = None,
     ):
         if kind not in (QID, SQL):
             raise ValueError("kind must be %r or %r" % (QID, SQL))
@@ -55,6 +60,8 @@ class WorkloadItem:
         #: Per-item strategy override (None = the service default).
         self.strategy = strategy
         self.label = label or (text if kind == QID else "sql")
+        #: Fair-share class a parallel service interleaves admission by.
+        self.tenant = tenant
 
     def __repr__(self) -> str:
         return "WorkloadItem(%s %r @%g)" % (self.kind, self.text, self.arrival)
@@ -71,8 +78,10 @@ def _parse_line(line: str) -> List[WorkloadItem]:
         qid = m.group("qid")
         repeat = int(m.group("repeat") or 1)
         strategy = m.group("strategy")
+        tenant = m.group("tenant")
         return [
-            WorkloadItem(QID, qid, arrival, strategy) for _ in range(repeat)
+            WorkloadItem(QID, qid, arrival, strategy, tenant=tenant)
+            for _ in range(repeat)
         ]
     return [WorkloadItem(SQL, line, arrival)]
 

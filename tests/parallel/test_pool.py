@@ -1,0 +1,94 @@
+"""Pool lifecycle and fault handling: a killed worker fails its task
+with a clean error, is respawned with the same warm init, and the pool
+(and everything queued behind the crash) keeps working.
+
+Each test class shares one pool — spawning processes dominates test
+wall-clock, so fixtures are module-scoped where possible.
+"""
+
+import pickle
+
+import pytest
+
+from repro.common.errors import ExecutionError
+from repro.obs.registry import MetricsRegistry
+from repro.parallel.pool import WorkerPool
+from repro.parallel.tasks import CatalogSpec, CrashTask, QueryTask
+from repro.workloads.registry import get_query
+
+SCALE = 0.001
+
+
+@pytest.fixture(scope="module")
+def pool():
+    pool = WorkerPool(
+        2,
+        CatalogSpec.tpch(scale_factor=SCALE),
+        registry=MetricsRegistry(),
+    ).start()
+    yield pool
+    pool.close()
+
+
+def _query_task(qid="Q2A", strategy="baseline"):
+    from repro.data.tpch import cached_tpch
+
+    catalog = cached_tpch(scale_factor=SCALE)
+    plan = get_query(qid).build_baseline(catalog)
+    return QueryTask(CatalogSpec.warm(), plan, strategy, label=qid)
+
+
+def test_query_task_runs(pool):
+    result = pool.run(_query_task(), timeout=120)
+    assert result.ok, result.error
+    assert result.payload["result"].rows
+    assert result.payload["wall_seconds"] > 0
+
+
+def test_crash_is_a_task_error_not_a_pool_error(pool):
+    before = pool.registry.counter("pool.workers_respawned").value
+    result = pool.run(CrashTask(), timeout=120)
+    assert not result.ok
+    assert "died" in result.error
+    assert "exit code 17" in result.error
+    assert pool.registry.counter("pool.workers_respawned").value == before + 1
+
+
+def test_pool_stays_usable_after_crash(pool):
+    crash = pool.run(CrashTask(exit_code=3), timeout=120)
+    assert "exit code 3" in crash.error
+    result = pool.run(_query_task("Q4A"), timeout=120)
+    assert result.ok, result.error
+    assert result.payload["result"].rows
+    # two workers again after every crash
+    alive = sum(
+        1 for h in pool._workers.values() if h.process.is_alive()
+    )
+    assert alive == 2
+
+
+def test_unpicklable_task_rejected_before_dispatch():
+    # The mp queue feeder thread raises pickling errors asynchronously
+    # (the coordinator would hang waiting for a task that never left),
+    # so anything shipped to a pool must be validated eagerly.
+    with pytest.raises(Exception):
+        pickle.dumps(lambda: None)
+
+
+def test_closed_pool_refuses_submissions(pool):
+    throwaway = WorkerPool(1, CatalogSpec.tpch(scale_factor=SCALE))
+    throwaway._closed = True
+    with pytest.raises(ExecutionError):
+        throwaway.submit(CrashTask())
+
+
+def test_pool_counters_and_busy_fractions(pool):
+    snapshot = pool.registry.snapshot()
+    assert snapshot["pool.tasks_dispatched"]["value"] >= 4
+    assert snapshot["pool.tasks_failed"]["value"] >= 2
+    assert snapshot["pool.workers"]["value"] == 2
+    pool.record_busy_fractions()
+    snapshot = pool.registry.snapshot()
+    for index in range(2):
+        key = "pool.worker.%d.busy_fraction" % index
+        assert 0.0 <= snapshot[key]["value"] <= 1.0

@@ -6,7 +6,8 @@ from repro.data.tpch import cached_tpch
 from repro.expr.expressions import col
 from repro.plan.builder import scan
 from repro.service.fingerprint import (
-    party_state_signature, plan_fingerprint, plan_signature,
+    invalidate_signatures, party_state_signature, plan_fingerprint,
+    plan_signature,
 )
 from repro.workloads.registry import get_query
 
@@ -51,6 +52,43 @@ class TestPlanSignature:
         assert plan_signature(query.build_baseline(catalog)) != plan_signature(
             query.build_magic(catalog)
         )
+
+
+class TestSignatureMemo:
+    def test_signature_is_memoised_per_node(self, catalog):
+        plan = get_query("Q2A").build_baseline(catalog)
+        assert "_signature_memo" not in plan.__dict__
+        sig = plan_signature(plan)
+        assert plan.__dict__["_signature_memo"] == sig
+        # the memo, not a recomputation, is returned
+        plan.__dict__["_signature_memo"] = "sentinel"
+        assert plan_signature(plan) == "sentinel"
+
+    def test_invalidate_clears_whole_walk(self, catalog):
+        plan = get_query("Q2A").build_baseline(catalog)
+        sig = plan_signature(plan)
+        memoised = [
+            node for node in plan.walk()
+            if "_signature_memo" in node.__dict__
+        ]
+        assert memoised  # the root render memoises child subtrees too
+        invalidate_signatures(plan)
+        assert all(
+            "_signature_memo" not in node.__dict__ for node in plan.walk()
+        )
+        assert plan_signature(plan) == sig
+
+    def test_site_stamping_invalidates(self, catalog):
+        """The one mutating path (scan-site stamping) must change the
+        signature it invalidated, not serve the stale memo."""
+        from repro.distributed.coordinator import mark_remote_scans
+        from repro.distributed.site import Placement, Site
+
+        plan = get_query("Q2A").build_baseline(catalog)
+        before = plan_signature(plan)
+        placement = Placement([Site("remote-1", tables=("lineitem",))])
+        mark_remote_scans(plan, placement)
+        assert plan_signature(plan) != before
 
 
 class TestPartyStateSignature:
