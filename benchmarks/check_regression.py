@@ -2,7 +2,8 @@
 
 Every perf benchmark (``bench_vectorized.py``, ``bench_summary_layer.py``,
 ``bench_partitioned.py``, ``bench_spill.py``,
-``bench_service_throughput.py``, ``bench_parallel.py``) has a
+``bench_service_throughput.py``, ``bench_parallel.py``,
+``bench_frontdoor.py``) has a
 ``--json <path>`` mode — all
 routed through :func:`benchmarks.figlib.write_bench_json` — writing::
 
@@ -27,9 +28,10 @@ Regenerating the baseline after an intentional perf change::
     PYTHONPATH=src python benchmarks/bench_spill.py --smoke --json /tmp/sp.json
     PYTHONPATH=src python benchmarks/bench_service_throughput.py --json /tmp/st.json
     PYTHONPATH=src python benchmarks/bench_parallel.py --smoke --json /tmp/par.json
+    PYTHONPATH=src python benchmarks/bench_frontdoor.py --smoke --json /tmp/fd.json
     python benchmarks/check_regression.py benchmarks/baseline.json \
         /tmp/v.json /tmp/pg.json /tmp/s.json /tmp/p.json /tmp/sp.json \
-        /tmp/st.json /tmp/par.json --update
+        /tmp/st.json /tmp/par.json /tmp/fd.json --update
 
 (the same invocation CI uses, plus ``--update``; commit the rewritten
 ``baseline.json`` with a line in the PR explaining the shift).

@@ -1,0 +1,123 @@
+"""The socket front door, driven as a user would drive it.
+
+Two modes:
+
+* Default — start a `ReproServer` in this process on an ephemeral
+  port, then talk to it exactly as a remote client would: `connect()`,
+  per-tenant sessions, a quota shed with its retry hint, and the
+  in-process twin returning bit-identical results.
+* ``--selftest`` — the CI smoke: spawn the real ``repro serve``
+  subprocess, parse its banner for the port, run the same scripted
+  session over the wire, stop it with the shutdown frame, and require
+  a clean exit.  Exits non-zero on any divergence.
+
+Run with ``PYTHONPATH=src python examples/client.py [--selftest]``.
+"""
+
+import re
+import subprocess
+import sys
+
+from repro import (
+    InProcessClient, QueryService, ServiceConfig, TenantQuota, cached_tpch,
+    connect,
+)
+
+SCALE = 0.002
+QUOTAS = {"metered": TenantQuota(max_state_bytes=1.0)}
+
+
+def scripted_session(port) -> int:
+    """One client session against a live server; returns 0 when every
+    check holds."""
+    failures = 0
+
+    def check(ok, what):
+        nonlocal failures
+        print("  %s %s" % ("ok " if ok else "FAIL", what))
+        failures += 0 if ok else 1
+
+    with connect(port=port, tenant="analytics") as client:
+        first = client.query("Q1A")
+        check(first.ok, "Q1A over the wire: %s, %d rows, %.4f vs"
+              % (first.status, len(first), first.latency))
+        again = client.query("Q1A")
+        check(again.cached, "repeat served from the result cache")
+        check(again.tenant == "analytics", "tenant bound at hello")
+        sql = client.query("select count(*) as n from part")
+        check(sql.columns == ("n",), "SQL text works too: n=%s"
+              % (sql.rows[0][0] if sql.rows else "?"))
+
+    # The metered tenant is over its state quota: shed, with a hint.
+    with connect(port=port, tenant="metered") as client:
+        shed = client.query("Q2A")
+        check(shed.status == "shed" and shed.reason == "quota:state",
+              "metered tenant shed (%s)" % shed.reason)
+        check((client.last_shed_retry_s or 0) > 0,
+              "shed carried retry_after_s=%s" % client.last_shed_retry_s)
+
+    return failures
+
+
+def equivalence_check() -> int:
+    """The same stream through both transports, from the same starting
+    state (fresh service each side — caches, clock and submission
+    counter all advance identically), must yield *equal* objects."""
+    from repro.net.server import ReproServer
+
+    catalog = cached_tpch(scale_factor=SCALE)
+    failures = 0
+    with ReproServer(QueryService(catalog, ServiceConfig())) as server, \
+            connect(port=server.port, tenant="twin") as remote, \
+            InProcessClient(catalog, ServiceConfig(),
+                            tenant="twin") as local:
+        for text in ("Q1A", "Q3A", "Q1A"):
+            ok = remote.query(text) == local.query(text)
+            print("  %s %s bit-identical across transports"
+                  % ("ok " if ok else "FAIL", text))
+            failures += 0 if ok else 1
+    return failures
+
+
+def run_embedded() -> int:
+    from repro.net.server import ReproServer
+
+    catalog = cached_tpch(scale_factor=SCALE)
+    service = QueryService(catalog, ServiceConfig(quotas=dict(QUOTAS)))
+    with ReproServer(service) as server:
+        print("embedded server on port %d" % server.port)
+        failures = scripted_session(server.port)
+    return failures + equivalence_check()
+
+
+def run_selftest() -> int:
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0",
+         "--scale", str(SCALE), "--quota", "metered=:1"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+    )
+    try:
+        banner = proc.stdout.readline()
+        print("server: %s" % banner.strip())
+        match = re.search(r"listening on [\d.]+:(\d+)", banner)
+        if not match:
+            print("FAIL: no listening banner")
+            return 1
+        failures = scripted_session(int(match.group(1)))
+        failures += equivalence_check()
+        with connect(port=int(match.group(1))) as client:
+            client.shutdown_server()
+        code = proc.wait(timeout=60)
+        print("server exit code: %d" % code)
+        print(proc.stdout.read().strip())
+        return failures or code
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+
+
+if __name__ == "__main__":
+    selftest = "--selftest" in sys.argv[1:]
+    rc = run_selftest() if selftest else run_embedded()
+    print("PASS" if rc == 0 else "FAIL (%d)" % rc)
+    sys.exit(0 if rc == 0 else 1)

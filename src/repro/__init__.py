@@ -29,6 +29,14 @@ clock.  Pass ``memory_budget=`` to ``run_workload_query`` /
 without it, execution is bit-identical to the storage-free engine.
 DESIGN.md section 8 has the full protocol.
 
+The service also has a network front door (:mod:`repro.net`): ``repro
+serve`` listens on a TCP socket speaking a versioned length-prefixed
+JSON protocol, ``repro.connect()`` returns a socket client, and
+:class:`~repro.client.InProcessClient` is its embedded twin — both
+hand back the same :class:`~repro.service.result.QueryResult`
+bit-identically, with per-tenant hard quotas shedding over-cap
+queries with retry hints.  DESIGN.md section 12 has the protocol.
+
 Quickstart::
 
     from repro import (
@@ -57,7 +65,7 @@ from repro.plan.validate import validate_plan
 from repro.exec.arrival import ArrivalModel
 from repro.exec.context import ExecutionContext, ExecutionStrategy
 from repro.exec.costs import CostModel
-from repro.exec.engine import QueryResult, execute_plan
+from repro.exec.engine import EngineResult, execute_plan
 from repro.aip.feedforward import FeedForwardStrategy
 from repro.aip.manager import CostBasedStrategy
 from repro.optimizer.magic import apply_magic, magic_filter_set
@@ -71,12 +79,14 @@ from repro.optimizer.explain import explain
 from repro.optimizer.planner import ConjunctiveQuery, plan_query
 from repro.sql import parse as parse_sql, sql_to_plan
 from repro.service import (
-    AdmissionController, AIPSetCache, QueryService, ResultCache,
-    ServiceReport, WorkloadItem, parse_workload, plan_signature,
+    AdmissionController, AIPSetCache, QueryResult, QueryService,
+    ResultCache, ServiceConfig, ServiceReport, TenantQuota, WorkloadItem,
+    parse_workload, plan_signature,
 )
+from repro.client import Client, InProcessClient, connect
 from repro.workloads.registry import QUERIES, get_query
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "Catalog", "TpchConfig", "cached_tpch", "generate_tpch",
@@ -84,7 +94,7 @@ __all__ = [
     "col", "lit", "And", "Or", "Not", "Like", "Func",
     "PlanBuilder", "scan", "validate_plan",
     "ArrivalModel", "ExecutionContext", "ExecutionStrategy", "CostModel",
-    "QueryResult", "execute_plan",
+    "EngineResult", "execute_plan",
     "FeedForwardStrategy", "CostBasedStrategy",
     "apply_magic", "magic_filter_set",
     "DistributedQuery", "NetworkModel", "Placement", "Site",
@@ -95,4 +105,6 @@ __all__ = [
     "QueryService", "ServiceReport", "AdmissionController",
     "AIPSetCache", "ResultCache", "WorkloadItem", "parse_workload",
     "plan_signature",
+    "QueryResult", "ServiceConfig", "TenantQuota",
+    "Client", "InProcessClient", "connect",
 ]

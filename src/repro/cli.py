@@ -11,7 +11,8 @@ Usage (``python -m repro ...``)::
     python -m repro explain Q3A --analyze --strategy costbased
     python -m repro workload "Q2A*3,Q1A" --scheduler sjf
     python -m repro workload "Q2A*3" --trace-out t.json --metrics-out m.json
-    python -m repro serve --scale 0.01
+    python -m repro serve --port 7734 --quota tenant-a=2:64m
+    python -m repro serve --stdin --scale 0.01
 """
 
 from __future__ import annotations
@@ -44,6 +45,43 @@ def _parse_nbytes(text: str) -> int:
     if value < 0:
         raise argparse.ArgumentTypeError("memory budget must be >= 0")
     return value
+
+
+def _parse_quota(text: str):
+    """Parse ``--quota TENANT=CONCURRENT[:STATE_BYTES]``.
+
+    Either axis may be left empty: ``t1=2`` caps concurrency only,
+    ``t1=:64m`` caps estimated state only, ``t1=2:64m`` caps both.
+    """
+    from repro.service import TenantQuota
+
+    tenant, sep, caps = text.partition("=")
+    tenant = tenant.strip()
+    if not sep or not tenant:
+        raise argparse.ArgumentTypeError(
+            "expected TENANT=CONCURRENT[:STATE_BYTES]; got %r" % text
+        )
+    concurrent_raw, _, state_raw = caps.partition(":")
+    try:
+        max_concurrent = (
+            int(concurrent_raw) if concurrent_raw.strip() else None
+        )
+        max_state = (
+            float(_parse_nbytes(state_raw)) if state_raw.strip() else None
+        )
+        quota = TenantQuota(
+            max_concurrent=max_concurrent, max_state_bytes=max_state,
+        )
+    except (ValueError, argparse.ArgumentTypeError) as exc:
+        raise argparse.ArgumentTypeError(
+            "bad quota %r: %s" % (text, exc)
+        ) from None
+    if max_concurrent is None and max_state is None:
+        raise argparse.ArgumentTypeError(
+            "quota %r caps neither axis; give CONCURRENT and/or "
+            ":STATE_BYTES" % text
+        )
+    return tenant, quota
 
 
 def _cmd_list(args) -> int:
@@ -165,7 +203,7 @@ def _cmd_sql(args) -> int:
 
 
 def _make_service(args, skew: float = 0.0, tracer=None):
-    from repro.service import QueryService
+    from repro.service import QueryService, ServiceConfig
 
     catalog = cached_tpch(scale_factor=args.scale, skew=skew)
     budget = None
@@ -177,8 +215,7 @@ def _make_service(args, skew: float = 0.0, tracer=None):
         # parameters instead of unpickling the table data.
         from repro.parallel import CatalogSpec
         catalog_spec = CatalogSpec.tpch(scale_factor=args.scale, skew=skew)
-    return QueryService(
-        catalog,
+    config = ServiceConfig(
         strategy=args.strategy,
         scheduler=args.scheduler,
         memory_budget_bytes=budget,
@@ -190,7 +227,9 @@ def _make_service(args, skew: float = 0.0, tracer=None):
         parallel=args.parallel,
         catalog_spec=catalog_spec,
         slo_seconds=args.slo_seconds,
+        quotas=dict(getattr(args, "quota", None) or []),
     )
+    return QueryService(catalog, config)
 
 
 def _cmd_workload(args) -> int:
@@ -242,56 +281,73 @@ def _cmd_workload(args) -> int:
     if args.trace_out:
         from repro.obs.trace import Tracer
         tracer = Tracer()
-    service = None
+    # The service is a context manager owning its spill dir and worker
+    # pool; every exit path — errors included — releases them.
     try:
-        service = _make_service(args, skew=skew, tracer=tracer)
-        report = service.run_workload(items)
+        with _make_service(args, skew=skew, tracer=tracer) as service:
+            report = service.run_workload(items)
+            print("workload of %d queries (strategy %s, scheduler %s)" % (
+                len(items), args.strategy, service.scheduler.describe(),
+            ))
+            print(report.render())
+            if tracer is not None:
+                tracer.write_chrome(args.trace_out)
+                print("-- trace: %d events written to %s"
+                      % (len(tracer), args.trace_out))
+            if args.metrics_out:
+                import json
+
+                payload = {
+                    "registry": service.registry.snapshot(),
+                    "feedback": service.feedback.export(),
+                    "summary": report.summary(),
+                }
+                with open(args.metrics_out, "w") as fh:
+                    json.dump(payload, fh, indent=1, sort_keys=True)
+                    fh.write("\n")
+                print("-- metrics: %d feedback records written to %s"
+                      % (len(payload["feedback"]), args.metrics_out))
     except (ReproError, ValueError) as exc:
         # ValueError: bad strategy/scheduler names from stream
         # overrides, or out-of-range service options.
         print("error: %s" % exc, file=sys.stderr)
         return 2
-    finally:
-        if service is not None:
-            service.close()
-    print("workload of %d queries (strategy %s, scheduler %s)" % (
-        len(items), args.strategy, service.scheduler.describe(),
-    ))
-    print(report.render())
-    if tracer is not None:
-        tracer.write_chrome(args.trace_out)
-        print("-- trace: %d events written to %s"
-              % (len(tracer), args.trace_out))
-    if args.metrics_out:
-        import json
-
-        payload = {
-            "registry": service.registry.snapshot(),
-            "feedback": service.feedback.export(),
-            "summary": report.summary(),
-        }
-        with open(args.metrics_out, "w") as fh:
-            json.dump(payload, fh, indent=1, sort_keys=True)
-            fh.write("\n")
-        print("-- metrics: %d feedback records written to %s"
-              % (len(payload["feedback"]), args.metrics_out))
     return 0
 
 
 def _cmd_serve(args) -> int:
-    """Interactive front door: one query per line, SQL or workload id."""
+    """The front door: a socket server by default, or the legacy
+    line-per-query stdin REPL behind ``--stdin``."""
     try:
         service = _make_service(args)
     except ValueError as exc:  # out-of-range service options
         print("error: %s" % exc, file=sys.stderr)
         return 2
-    print("repro query service — SQL or workload id per line; "
-          "'quit' to exit")
-    try:
-        return _serve_loop(service, args)
-    finally:
-        # Ctrl-C / stdin errors included: never strand the spill dir.
-        service.close()
+    if args.stdin:
+        print("repro query service — SQL or workload id per line; "
+              "'quit' to exit")
+        try:
+            return _serve_loop(service, args)
+        finally:
+            # Ctrl-C / stdin errors included: never strand the spill dir.
+            service.close()
+    from repro.net.protocol import PROTOCOL_VERSION
+    from repro.net.server import ReproServer
+
+    # The server owns the service: leaving the with-block — clean
+    # shutdown frame, Ctrl-C, or a crash — closes spill dirs and pools.
+    with ReproServer(service, host=args.host, port=args.port) as server:
+        print("repro server listening on %s:%d (protocol v%d) — "
+              "repro.connect(port=%d), or a shutdown frame, to talk"
+              % (server.host, server.port, PROTOCOL_VERSION, server.port))
+        sys.stdout.flush()
+        try:
+            server.wait()
+        except KeyboardInterrupt:
+            pass
+    print("-- server stopped after %d queries; %.4f virtual s served"
+          % (server._served_queries, service.clock))
+    return 0
 
 
 def _serve_loop(service, args) -> int:
@@ -461,6 +517,12 @@ def build_parser() -> argparse.ArgumentParser:
                        dest="slo_seconds",
                        help="latency objective in virtual seconds: shed "
                             "queries whose projected latency exceeds it")
+        p.add_argument("--quota", type=_parse_quota, action="append",
+                       default=None, metavar="TENANT=CONC[:BYTES]",
+                       help="hard per-tenant cap, repeatable: concurrent "
+                            "queries and/or estimated state bytes "
+                            "(k/m/g suffixes ok); over-quota queries "
+                            "are shed with a retry hint")
 
     p_workload = sub.add_parser(
         "workload",
@@ -489,11 +551,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     p_serve = sub.add_parser(
-        "serve", help="interactive query service (one query per line)",
+        "serve",
+        help="serve the query service over a socket (or --stdin REPL)",
     )
     add_service_options(p_serve)
+    p_serve.add_argument("--host", default="127.0.0.1",
+                         help="listen address (default 127.0.0.1)")
+    p_serve.add_argument("--port", type=int, default=7734,
+                         help="listen port; 0 picks an ephemeral port "
+                              "(default 7734)")
+    p_serve.add_argument("--stdin", action="store_true",
+                         help="legacy line-per-query REPL on stdin "
+                              "instead of the socket server")
     p_serve.add_argument("--limit", type=int, default=20,
-                         help="max rows to print per query")
+                         help="max rows to print per query (--stdin only)")
 
     return parser
 

@@ -1,0 +1,240 @@
+"""The unified client API: one ``QueryResult``, two transports.
+
+``connect(host, port)`` returns a socket :class:`Client` speaking the
+:mod:`repro.net.protocol` frame format to a running server;
+:class:`InProcessClient` is its twin that embeds a
+:class:`~repro.service.QueryService` directly.  Both expose the same
+surface —
+
+* ``query(text, strategy=..., label=...)`` returning the public
+  :class:`~repro.service.result.QueryResult` (status ``ok``/``cached``
+  or ``shed``; engine faults raise
+  :class:`~repro.common.errors.ExecutionError` on either transport);
+* ``last_shed_retry_s`` — the server's backoff hint after a shed;
+* context-manager lifecycle (``close()`` releases the socket, or the
+  owned service's spill dirs and pools).
+
+Bit-identity between the two is a tested invariant: results travel as
+:meth:`QueryResult.to_payload` payloads, every field of which is
+JSON-exact, so the same query stream against the same catalog hands
+back *equal* objects from both transports.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from typing import Optional
+
+from repro.common.errors import ExecutionError
+from repro.net.protocol import (
+    FRAME_ERROR, FRAME_ROWS, FRAME_SHED, FRAME_SHUTDOWN, FRAME_SUMMARY,
+    MAX_FRAME_BYTES, ProtocolError, check_hello, encode_frame, hello_frame,
+    read_frame,
+)
+from repro.service.result import ERROR, SHED, QueryResult
+
+__all__ = ["Client", "InProcessClient", "connect"]
+
+
+class Client:
+    """A socket connection to a :class:`~repro.net.ReproServer`.
+
+    One client is one protocol session on one TCP connection; it is
+    **not** thread-safe (open one client per thread — connections are
+    cheap, and the stress bench does exactly that).
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        tenant: Optional[str] = None,
+        timeout: Optional[float] = 60.0,
+        max_frame: int = MAX_FRAME_BYTES,
+    ):
+        self.host = host
+        self.port = port
+        self.tenant = tenant
+        self.max_frame = max_frame
+        #: ``retry_after_s`` from the most recent shed response.
+        self.last_shed_retry_s: Optional[float] = None
+        self._next_id = 0
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._rfile = self._sock.makefile("rb")
+        self._closed = False
+        try:
+            self._send(hello_frame(tenant=tenant))
+            check_hello(read_frame(self._rfile, max_frame), "server")
+        except BaseException:
+            self.close()
+            raise
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _send(self, frame) -> None:
+        self._sock.sendall(encode_frame(frame))
+
+    def _recv(self):
+        return read_frame(self._rfile, self.max_frame)
+
+    # -- the API -----------------------------------------------------------
+
+    def query(
+        self,
+        text: str,
+        strategy: Optional[str] = None,
+        label: Optional[str] = None,
+    ) -> QueryResult:
+        """Run one query; returns the unified result or raises
+        :class:`ExecutionError` (mirroring the in-process twin)."""
+        self._next_id += 1
+        qid = self._next_id
+        self._send({
+            "type": "query", "id": qid, "text": text,
+            "strategy": strategy, "label": label,
+        })
+        rows = []
+        while True:
+            frame = self._recv()
+            if frame.get("id") != qid:
+                raise ProtocolError(
+                    "response id %r does not match query id %d"
+                    % (frame.get("id"), qid)
+                )
+            kind = frame.get("type")
+            if kind == FRAME_ROWS:
+                rows.extend(frame.get("rows") or [])
+                continue
+            if kind == FRAME_SUMMARY:
+                payload = dict(frame["result"])
+                payload["rows"] = rows
+                return QueryResult.from_payload(payload)
+            if kind == FRAME_SHED:
+                payload = dict(frame["result"])
+                payload["rows"] = []
+                self.last_shed_retry_s = frame.get("retry_after_s")
+                return QueryResult.from_payload(payload)
+            if kind == FRAME_ERROR:
+                raise ExecutionError(
+                    frame.get("message") or "query failed"
+                )
+            raise ProtocolError("unexpected %r frame in response" % kind)
+
+    def shutdown_server(self) -> None:
+        """Ask the server to stop cleanly; waits for the ack."""
+        self._send({"type": FRAME_SHUTDOWN})
+        frame = self._recv()
+        if frame.get("type") != FRAME_SHUTDOWN:
+            raise ProtocolError(
+                "expected a shutdown ack; got %r" % frame.get("type")
+            )
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for closer in (self._rfile.close, self._sock.close):
+            try:
+                closer()
+            except OSError:
+                pass
+
+    def __enter__(self) -> "Client":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+class InProcessClient:
+    """The in-process twin: same API, no socket.
+
+    Construct it over a catalog (optionally with a
+    :class:`~repro.service.ServiceConfig`) to own a private service,
+    or pass ``service=`` to borrow one that an outer scope owns.  A
+    lock serialises ``query()`` so many threads may share one twin —
+    mirroring how the socket server serialises batches onto the one
+    service.
+    """
+
+    def __init__(
+        self,
+        catalog=None,
+        config=None,
+        tenant: Optional[str] = None,
+        service=None,
+    ):
+        if service is None:
+            if catalog is None:
+                raise ValueError(
+                    "InProcessClient needs a catalog or a service"
+                )
+            from repro.service.service import QueryService
+
+            service = QueryService(catalog, config)
+            self._owns_service = True
+        else:
+            if catalog is not None or config is not None:
+                raise ValueError(
+                    "pass either a borrowed service or a catalog/config "
+                    "to own, not both"
+                )
+            self._owns_service = False
+        self.service = service
+        self.tenant = tenant
+        self.last_shed_retry_s: Optional[float] = None
+        self._lock = threading.Lock()
+        self._closed = False
+
+    def query(
+        self,
+        text: str,
+        strategy: Optional[str] = None,
+        label: Optional[str] = None,
+    ) -> QueryResult:
+        with self._lock:
+            try:
+                seq = self.service.submit(
+                    text, strategy=strategy, label=label,
+                    tenant=self.tenant,
+                )
+            except Exception as exc:
+                raise ExecutionError(str(exc)) from exc
+            report = self.service.run()
+        for outcome in report.outcomes:
+            if outcome.seq == seq:
+                break
+        else:
+            raise ExecutionError("query vanished from the service report")
+        result = outcome.to_result()
+        if result.status == ERROR:
+            raise ExecutionError(result.reason or "query failed")
+        if result.status == SHED:
+            self.last_shed_retry_s = max(
+                report.total_virtual_seconds, 0.001
+            )
+        return result
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        if self._owns_service:
+            self.service.close()
+
+    def __enter__(self) -> "InProcessClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+def connect(
+    host: str = "127.0.0.1",
+    port: int = 7734,
+    tenant: Optional[str] = None,
+    timeout: Optional[float] = 60.0,
+) -> Client:
+    """Open a socket :class:`Client` to a running repro server."""
+    return Client(host=host, port=port, tenant=tenant, timeout=timeout)

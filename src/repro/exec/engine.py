@@ -51,6 +51,12 @@ class QueryResult:
         )
 
 
+#: Public alias: ``repro.QueryResult`` now names the transport-neutral
+#: client result (repro.service.result); the engine-internal shape is
+#: exported as ``repro.EngineResult``.
+EngineResult = QueryResult
+
+
 def plan_batchable(ctx: ExecutionContext, strategy, physical) -> bool:
     """Whether one translated plan may be driven in batches: the
     context opts in, the plan's strategy has no per-row-cadence

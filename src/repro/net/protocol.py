@@ -1,0 +1,166 @@
+"""The wire protocol: versioned, length-prefixed JSON frames.
+
+One frame on the wire is::
+
+    +----------------+----------------------------------------+
+    | 4-byte big-    | UTF-8 JSON object, exactly `length`    |
+    | endian length  | bytes, with a mandatory "type" key     |
+    +----------------+----------------------------------------+
+
+Frame types (``PROTOCOL_VERSION`` = 1):
+
+``hello``
+    First frame in each direction.  Client: ``{"type": "hello",
+    "version": 1, "tenant": <str|null>}``.  Server echoes its version
+    and identity; a version mismatch is answered with ``error`` and
+    the connection closes.
+``query``
+    ``{"type": "query", "id": <int>, "text": <sql-or-workload-id>,
+    "strategy": <str|null>, "label": <str|null>}``.  ``id`` is the
+    client's correlation key, echoed on every response frame.
+``rows``
+    Zero or more per query: ``{"type": "rows", "id": n,
+    "rows": [[...], ...]}`` — result rows in chunks, so a slow
+    consumer throttles only its own connection, never the service.
+``summary``
+    Terminal success frame: the full
+    :meth:`repro.service.result.QueryResult.to_payload` dict minus
+    ``rows`` (already streamed), under ``"result"``.
+``shed``
+    Terminal frame for a query the service refused (admission budget,
+    SLO, or per-tenant quota): carries ``reason`` and a
+    ``retry_after_s`` hint — the client may resubmit after backing off.
+``error``
+    Terminal frame for a failed query or a protocol violation.
+``shutdown``
+    Client asks the server to stop accepting and exit cleanly; echoed
+    back as the ack before the listener closes.
+
+Framing errors never hang and never kill the process: a truncated,
+oversized or non-JSON frame raises :class:`ProtocolError` (or
+:class:`ConnectionClosed` at clean EOF) and the server drops only that
+connection.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Dict, Optional
+
+from repro.common.errors import ReproError
+
+PROTOCOL_VERSION = 1
+
+#: Hard ceiling on one frame's payload; a length prefix past this is a
+#: corrupt or hostile stream, not a big result (rows are chunked).
+MAX_FRAME_BYTES = 32 << 20
+
+_HEADER = struct.Struct(">I")
+
+FRAME_HELLO = "hello"
+FRAME_QUERY = "query"
+FRAME_ROWS = "rows"
+FRAME_SUMMARY = "summary"
+FRAME_ERROR = "error"
+FRAME_SHED = "shed"
+FRAME_SHUTDOWN = "shutdown"
+
+FRAME_TYPES = frozenset((
+    FRAME_HELLO, FRAME_QUERY, FRAME_ROWS, FRAME_SUMMARY, FRAME_ERROR,
+    FRAME_SHED, FRAME_SHUTDOWN,
+))
+
+#: Rows per ``rows`` frame: small enough that a slow consumer's
+#: backpressure engages quickly, large enough to amortise framing.
+ROWS_PER_FRAME = 512
+
+
+class ProtocolError(ReproError):
+    """A malformed frame: bad length, bad JSON, bad shape."""
+
+
+class ConnectionClosed(ReproError):
+    """The peer closed the stream (mid-frame closes carry detail)."""
+
+
+def encode_frame(frame: Dict) -> bytes:
+    """Serialise one frame dict to its wire bytes."""
+    frame_type = frame.get("type")
+    if frame_type not in FRAME_TYPES:
+        raise ProtocolError("unknown frame type %r" % (frame_type,))
+    payload = json.dumps(frame, separators=(",", ":")).encode("utf-8")
+    if len(payload) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            "frame of %d bytes exceeds the %d-byte frame ceiling"
+            % (len(payload), MAX_FRAME_BYTES)
+        )
+    return _HEADER.pack(len(payload)) + payload
+
+
+def read_frame(stream, max_frame: int = MAX_FRAME_BYTES) -> Dict:
+    """Read one frame from a binary file-like object (``.read(n)``).
+
+    Sockets pass their ``makefile("rb")``; tests pass ``io.BytesIO``.
+    Raises :class:`ConnectionClosed` on clean EOF before a frame
+    starts, and :class:`ProtocolError` for every malformed case —
+    truncated header, truncated payload, oversized length, non-JSON
+    bytes, or a JSON payload that is not a typed object.
+    """
+    header = stream.read(_HEADER.size)
+    if not header:
+        raise ConnectionClosed("connection closed between frames")
+    if len(header) < _HEADER.size:
+        raise ProtocolError(
+            "truncated frame header: %d of %d bytes"
+            % (len(header), _HEADER.size)
+        )
+    (length,) = _HEADER.unpack(header)
+    if length > max_frame:
+        raise ProtocolError(
+            "frame length %d exceeds the %d-byte ceiling"
+            % (length, max_frame)
+        )
+    payload = stream.read(length) if length else b""
+    if len(payload) < length:
+        raise ProtocolError(
+            "truncated frame payload: %d of %d bytes"
+            % (len(payload), length)
+        )
+    try:
+        frame = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError("frame payload is not JSON: %s" % exc) from None
+    if not isinstance(frame, dict):
+        raise ProtocolError(
+            "frame payload must be a JSON object; got %s"
+            % type(frame).__name__
+        )
+    if frame.get("type") not in FRAME_TYPES:
+        raise ProtocolError("unknown frame type %r" % (frame.get("type"),))
+    return frame
+
+
+def hello_frame(tenant: Optional[str] = None, server: bool = False) -> Dict:
+    frame = {"type": FRAME_HELLO, "version": PROTOCOL_VERSION}
+    if server:
+        frame["server"] = "repro"
+    else:
+        frame["tenant"] = tenant
+    return frame
+
+
+def check_hello(frame: Dict, side: str) -> Dict:
+    """Validate the peer's hello; raises :class:`ProtocolError`."""
+    if frame.get("type") != FRAME_HELLO:
+        raise ProtocolError(
+            "expected a hello frame from the %s; got %r"
+            % (side, frame.get("type"))
+        )
+    version = frame.get("version")
+    if version != PROTOCOL_VERSION:
+        raise ProtocolError(
+            "protocol version mismatch: %s speaks %r, this side speaks %d"
+            % (side, version, PROTOCOL_VERSION)
+        )
+    return frame

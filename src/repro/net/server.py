@@ -1,0 +1,435 @@
+"""The socket front door: a threaded server around one QueryService.
+
+Architecture (DESIGN.md section 12): an **accept thread** hands each
+connection to its own daemon **handler thread**; handlers parse frames
+and enqueue :class:`_Request`\\ s on one queue; a single **dispatcher
+thread** drains that queue in groups and drives the service — so
+concurrent clients genuinely *batch* (one ``service.run()`` packs every
+request that arrived while the previous batch executed, exactly the
+group-commit shape the batch-sequential service wants), while each
+handler streams its own response frames back at its client's pace.  A
+slow consumer therefore throttles only its own connection: the
+dispatcher resolved its request long ago and moved on.
+
+Admission, SLO shedding and the per-tenant hard quotas all run inside
+:meth:`QueryService._dispatch` — the server adds no second policy
+layer; it just translates shed outcomes into ``shed`` frames carrying
+``retry_after_s`` hints.
+
+Observability rides the service's own registry and tracer: gauges
+``net.connections`` / ``net.inflight``, counters ``net.frames.<type>``,
+a wall-clock request-latency histogram, and per-frame trace instants.
+"""
+
+from __future__ import annotations
+
+import queue
+import socket
+import threading
+import time
+from typing import Dict, List, Optional
+
+from repro.net.protocol import (
+    FRAME_ERROR, FRAME_HELLO, FRAME_QUERY, FRAME_ROWS, FRAME_SHED,
+    FRAME_SHUTDOWN, FRAME_SUMMARY, MAX_FRAME_BYTES, ROWS_PER_FRAME,
+    ConnectionClosed, ProtocolError, check_hello, encode_frame, hello_frame,
+    read_frame,
+)
+from repro.service.service import ERROR, SHED_STATUS
+
+#: Dispatcher wake-up sentinel.
+_STOP = object()
+
+#: Floor on the retry hint a shed frame carries, in (virtual) seconds.
+MIN_RETRY_HINT_S = 0.001
+
+
+class _Request:
+    """One query in flight between a handler and the dispatcher."""
+
+    __slots__ = (
+        "text", "strategy", "label", "tenant", "done", "result", "error",
+        "retry_after_s",
+    )
+
+    def __init__(self, text, strategy, label, tenant):
+        self.text = text
+        self.strategy = strategy
+        self.label = label
+        self.tenant = tenant
+        self.done = threading.Event()
+        #: A repro.service.result.QueryResult on success/shed/error
+        #: status; None when ``error`` carries a message instead.
+        self.result = None
+        self.error: Optional[str] = None
+        #: Backoff hint attached to shed outcomes (the virtual seconds
+        #: the batch that refused this query took — by then capacity
+        #: has turned over at least once).
+        self.retry_after_s: float = MIN_RETRY_HINT_S
+
+    def fail(self, message: str) -> None:
+        self.error = message
+        self.done.set()
+
+    def resolve(self, result, retry_after_s: float) -> None:
+        self.result = result
+        self.retry_after_s = max(retry_after_s, MIN_RETRY_HINT_S)
+        self.done.set()
+
+
+class ReproServer:
+    """Serves the length-prefixed JSON protocol on a TCP listener.
+
+    The server *wraps* a long-lived :class:`~repro.service.QueryService`
+    and owns its lifecycle while running: ``close()`` (or the context
+    manager) stops the listener, fails outstanding requests, closes
+    every connection, and closes the service (spill dirs, worker
+    pools) unless it was passed in with ``owns_service=False``.
+    """
+
+    def __init__(
+        self,
+        service,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        backlog: int = 128,
+        max_batch: int = 64,
+        request_timeout_s: float = 300.0,
+        owns_service: bool = True,
+        max_frame: int = MAX_FRAME_BYTES,
+    ):
+        self.service = service
+        self.host = host
+        self._requested_port = port
+        self.backlog = backlog
+        #: Most requests one dispatcher round may drain; bounds how
+        #: long the oldest queued request waits for batch formation.
+        self.max_batch = max_batch
+        self.request_timeout_s = request_timeout_s
+        self.owns_service = owns_service
+        self.max_frame = max_frame
+        self.registry = service.registry
+        self.tracer = service.tracer
+        self._listener: Optional[socket.socket] = None
+        self._queue: "queue.Queue" = queue.Queue()
+        self._stop = threading.Event()
+        self._threads: List[threading.Thread] = []
+        self._conns: set = set()
+        self._conn_lock = threading.Lock()
+        self._obs_lock = threading.Lock()
+        self._inflight = 0
+        self._served_queries = 0
+        self._started = False
+        self._closed = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolves ``port=0`` ephemeral binds)."""
+        if self._listener is None:
+            return self._requested_port
+        return self._listener.getsockname()[1]
+
+    def start(self) -> "ReproServer":
+        if self._started:
+            raise RuntimeError("server already started")
+        self._started = True
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self.host, self._requested_port))
+        listener.listen(self.backlog)
+        self._listener = listener
+        for name, target in (
+            ("repro-net-dispatch", self._dispatch_loop),
+            ("repro-net-accept", self._accept_loop),
+        ):
+            thread = threading.Thread(target=target, name=name, daemon=True)
+            thread.start()
+            self._threads.append(thread)
+        return self
+
+    def stop(self) -> None:
+        """Signal shutdown; safe to call from handler threads."""
+        self._stop.set()
+        listener = self._listener
+        if listener is not None:
+            try:
+                listener.close()
+            except OSError:
+                pass
+        self._queue.put(_STOP)
+
+    def close(self) -> None:
+        """Stop, join the core threads, drop connections, and (when
+        owned) close the underlying service."""
+        if self._closed:
+            return
+        self._closed = True
+        self.stop()
+        for thread in self._threads:
+            if thread is not threading.current_thread():
+                thread.join(timeout=10.0)
+        with self._conn_lock:
+            conns = list(self._conns)
+            self._conns.clear()
+        for conn in conns:
+            self._drop(conn)
+        if self.owns_service:
+            self.service.close()
+
+    def _drop(self, conn) -> None:
+        try:
+            conn.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            conn.close()
+        except OSError:
+            pass
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until shutdown is signalled; True if it was."""
+        return self._stop.wait(timeout)
+
+    @property
+    def stopping(self) -> bool:
+        return self._stop.is_set()
+
+    def __enter__(self) -> "ReproServer":
+        if not self._started:
+            self.start()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # -- observability -----------------------------------------------------
+
+    def _observe(self, connections_delta=0, inflight_delta=0,
+                 frame: Optional[str] = None,
+                 wall_latency_s: Optional[float] = None) -> None:
+        """All registry writes funnel through one lock: the registry
+        (like the service) is single-threaded by design, and the
+        server is the only concurrent writer in the process."""
+        with self._obs_lock:
+            if connections_delta:
+                with self._conn_lock:
+                    live = len(self._conns)
+                self.registry.gauge("net.connections").set(live)
+            if inflight_delta:
+                self._inflight += inflight_delta
+                self.registry.gauge("net.inflight").set(self._inflight)
+            if frame is not None:
+                self.registry.counter("net.frames.%s" % frame).inc()
+                if self.tracer is not None:
+                    self.tracer.instant_now(
+                        "net.frame.%s" % frame, "net", None
+                    )
+            if wall_latency_s is not None:
+                self.registry.histogram(
+                    "net.request_wall_s"
+                ).observe(wall_latency_s)
+
+    # -- accept / handler threads ------------------------------------------
+
+    def _accept_loop(self) -> None:
+        while not self._stop.is_set():
+            try:
+                conn, addr = self._listener.accept()
+            except OSError:
+                break  # listener closed by stop()
+            with self._conn_lock:
+                self._conns.add(conn)
+            self._observe(connections_delta=1)
+            thread = threading.Thread(
+                target=self._handle, args=(conn,),
+                name="repro-net-conn", daemon=True,
+            )
+            thread.start()
+
+    def _handle(self, conn) -> None:
+        rfile = conn.makefile("rb")
+        try:
+            hello = read_frame(rfile, self.max_frame)
+            check_hello(hello, "client")
+            self._observe(frame=FRAME_HELLO)
+            tenant = hello.get("tenant")
+            conn.sendall(encode_frame(hello_frame(server=True)))
+            while not self._stop.is_set():
+                frame = read_frame(rfile, self.max_frame)
+                kind = frame.get("type")
+                if kind == FRAME_SHUTDOWN:
+                    self._observe(frame=FRAME_SHUTDOWN)
+                    conn.sendall(encode_frame({"type": FRAME_SHUTDOWN}))
+                    self.stop()
+                    return
+                if kind != FRAME_QUERY:
+                    raise ProtocolError(
+                        "unexpected %r frame mid-session" % kind
+                    )
+                self._observe(frame=FRAME_QUERY)
+                self._serve_query(conn, frame, tenant)
+        except ConnectionClosed:
+            pass
+        except ProtocolError as exc:
+            self._try_send(conn, {
+                "type": FRAME_ERROR, "id": None, "message": str(exc),
+            })
+        except OSError:
+            pass  # client went away mid-write
+        finally:
+            try:
+                rfile.close()
+            except OSError:
+                pass
+            with self._conn_lock:
+                self._conns.discard(conn)
+            self._drop(conn)
+            self._observe(connections_delta=-1)
+
+    def _serve_query(self, conn, frame: Dict, tenant) -> None:
+        qid = frame.get("id")
+        request = _Request(
+            frame.get("text"), frame.get("strategy"), frame.get("label"),
+            tenant,
+        )
+        if not isinstance(request.text, str) or not request.text.strip():
+            conn.sendall(encode_frame({
+                "type": FRAME_ERROR, "id": qid,
+                "message": "query frame needs a non-empty 'text' field",
+            }))
+            return
+        started = time.monotonic()
+        self._observe(inflight_delta=1)
+        try:
+            self._queue.put(request)
+            if not request.done.wait(self.request_timeout_s):
+                conn.sendall(encode_frame({
+                    "type": FRAME_ERROR, "id": qid,
+                    "message": "request timed out after %.0fs in the "
+                               "service queue" % self.request_timeout_s,
+                }))
+                return
+        finally:
+            self._observe(
+                inflight_delta=-1,
+                wall_latency_s=time.monotonic() - started,
+            )
+        self._send_response(conn, qid, request)
+
+    def _send_response(self, conn, qid, request: _Request) -> None:
+        if request.error is not None:
+            self._observe(frame=FRAME_ERROR)
+            conn.sendall(encode_frame({
+                "type": FRAME_ERROR, "id": qid, "message": request.error,
+            }))
+            return
+        result = request.result
+        payload = result.to_payload()
+        rows = payload.pop("rows")
+        if result.status == SHED_STATUS:
+            self._observe(frame=FRAME_SHED)
+            conn.sendall(encode_frame({
+                "type": FRAME_SHED, "id": qid,
+                "reason": result.reason,
+                "retry_after_s": request.retry_after_s,
+                "result": payload,
+            }))
+            return
+        if result.status == ERROR:
+            self._observe(frame=FRAME_ERROR)
+            conn.sendall(encode_frame({
+                "type": FRAME_ERROR, "id": qid,
+                "message": result.reason or "query failed",
+                "result": payload,
+            }))
+            return
+        # Success: stream rows in chunks, then the summary.  Each
+        # sendall may block on a slow consumer — that is the point:
+        # backpressure lands on this connection's thread alone.
+        for offset in range(0, len(rows), ROWS_PER_FRAME):
+            self._observe(frame=FRAME_ROWS)
+            conn.sendall(encode_frame({
+                "type": FRAME_ROWS, "id": qid,
+                "rows": rows[offset:offset + ROWS_PER_FRAME],
+            }))
+        self._observe(frame=FRAME_SUMMARY)
+        conn.sendall(encode_frame({
+            "type": FRAME_SUMMARY, "id": qid, "result": payload,
+        }))
+
+    def _try_send(self, conn, frame: Dict) -> None:
+        try:
+            conn.sendall(encode_frame(frame))
+        except OSError:
+            pass
+
+    # -- the dispatcher ----------------------------------------------------
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is _STOP:
+                break
+            requests = [item]
+            while len(requests) < self.max_batch:
+                try:
+                    extra = self._queue.get_nowait()
+                except queue.Empty:
+                    break
+                if extra is _STOP:
+                    self._queue.put(_STOP)
+                    break
+                requests.append(extra)
+            self._run_requests(requests)
+        # Shutdown: fail whatever is still queued so no handler hangs.
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if item is not _STOP:
+                item.fail("server shutting down")
+
+    def _run_requests(self, requests: List[_Request]) -> None:
+        """Drive one service batch for one drained request group."""
+        service = self.service
+        seqs: Dict[int, _Request] = {}
+        for request in requests:
+            try:
+                seq = service.submit(
+                    request.text, strategy=request.strategy,
+                    label=request.label, tenant=request.tenant,
+                )
+            except Exception as exc:  # bad SQL/strategy: fail one query
+                request.fail(str(exc))
+                continue
+            seqs[seq] = request
+        if not seqs:
+            return
+        try:
+            report = service.run()
+        except Exception as exc:  # engine fault: fail the whole group
+            for request in seqs.values():
+                request.fail("service batch failed: %s" % exc)
+            return
+        self._served_queries += len(seqs)
+        elapsed = max(report.total_virtual_seconds, MIN_RETRY_HINT_S)
+        by_seq = {outcome.seq: outcome for outcome in report.outcomes}
+        for seq, request in seqs.items():
+            outcome = by_seq.get(seq)
+            if outcome is None:
+                request.fail("query vanished from the service report")
+                continue
+            request.resolve(outcome.to_result(), retry_after_s=elapsed)
+
+
+def serve(
+    service,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    **kwargs,
+) -> ReproServer:
+    """Start a :class:`ReproServer` on ``service`` and return it."""
+    return ReproServer(service, host=host, port=port, **kwargs).start()

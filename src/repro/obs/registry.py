@@ -88,6 +88,14 @@ class Gauge:
         if self.min_value is None or value < self.min_value:
             self.min_value = value
 
+    def inc(self, delta: float = 1.0) -> None:
+        """Adjust relative to the current value (connection counts and
+        other net-layer levels move by deltas, not absolutes)."""
+        self.set(self.value + delta)
+
+    def dec(self, delta: float = 1.0) -> None:
+        self.set(self.value - delta)
+
     def snapshot(self) -> Dict:
         return {
             "type": "gauge",

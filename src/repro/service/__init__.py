@@ -23,7 +23,11 @@ from repro.service.admission import (
     AdmissionController, estimate_query_state_bytes,
 )
 from repro.service.aip_cache import AIPSetCache
+from repro.service.config import ServiceConfig, TenantQuota
 from repro.service.fingerprint import plan_signature
+from repro.service.result import (
+    QueryResult, result_from_outcome, results_from_report,
+)
 from repro.service.result_cache import ResultCache
 from repro.service.schedulers import (
     FifoScheduler, Scheduler, ShortestCostFirstScheduler, make_scheduler,
@@ -38,6 +42,8 @@ from repro.service.workload import WorkloadItem, parse_workload
 __all__ = [
     "AdmissionController", "estimate_query_state_bytes",
     "AIPSetCache", "ResultCache",
+    "ServiceConfig", "TenantQuota",
+    "QueryResult", "result_from_outcome", "results_from_report",
     "plan_signature",
     "Scheduler", "FifoScheduler", "ShortestCostFirstScheduler",
     "make_scheduler", "SCHEDULERS",

@@ -36,7 +36,9 @@ from repro.service.admission import (
     ADMIT, SHED, AdmissionController, estimate_query_state_bytes,
 )
 from repro.service.aip_cache import AIPSetCache
+from repro.service.config import ServiceConfig, TenantQuota, coerce_config
 from repro.service.fingerprint import plan_signature
+from repro.service.result import result_from_outcome
 from repro.service.result_cache import ResultCache
 from repro.service.schedulers import Scheduler, make_scheduler
 from repro.service.workload import WorkloadItem
@@ -118,13 +120,14 @@ class QueryOutcome:
     __slots__ = (
         "seq", "label", "status", "strategy", "arrival", "start", "finish",
         "result", "batch", "state_estimate", "aip_filters_injected",
-        "aip_tuples_pruned",
+        "aip_tuples_pruned", "tenant", "reason",
     )
 
     def __init__(self, seq: int, label: str, status: str, strategy: str,
                  arrival: float, start: float, finish: float,
                  result: Optional[QueryResult], batch: int,
-                 state_estimate: float):
+                 state_estimate: float, tenant: Optional[str] = None,
+                 reason: Optional[str] = None):
         self.seq = seq
         self.label = label
         self.status = status
@@ -136,6 +139,11 @@ class QueryOutcome:
         #: Index of the concurrent batch this query ran in (-1 if none).
         self.batch = batch
         self.state_estimate = state_estimate
+        #: Fair-share / quota class the query was submitted under.
+        self.tenant = tenant
+        #: Why a non-ok outcome ended: ``admission``, ``slo``,
+        #: ``quota:concurrent``, ``quota:state`` or an error message.
+        self.reason = reason
         #: Filters re-injected from the cross-query AIP cache, and the
         #: tuples they pruned in this query.
         self.aip_filters_injected = 0
@@ -152,6 +160,12 @@ class QueryOutcome:
     @property
     def rows(self) -> int:
         return len(self.result) if self.result is not None else 0
+
+    def to_result(self):
+        """The public transport-independent view of this outcome (one
+        :class:`repro.service.result.QueryResult`); the shape both the
+        socket server and the in-process client hand to callers."""
+        return result_from_outcome(self, tenant=self.tenant)
 
     def __repr__(self) -> str:
         return "QueryOutcome(%s %s: wait=%.4f latency=%.4f)" % (
@@ -198,6 +212,13 @@ class ServiceReport:
         self.engine = dict(engine or {})
         #: Governor observations for this run, or None un-governed.
         self.storage = storage
+
+    @property
+    def results(self) -> List:
+        """Per-query public :class:`~repro.service.result.QueryResult`
+        views — the same objects a client (socket or in-process) would
+        have been handed for this stream."""
+        return [o.to_result() for o in self.outcomes]
 
     @property
     def completed(self) -> List[QueryOutcome]:
@@ -279,10 +300,14 @@ class ServiceReport:
             "#", "query", "status", "rows", "wait (vs)", "latency",
             "finish", "xq-cut",
         )]
+        # The per-query columns come from the unified public view, so
+        # this table can never drift from what a client was handed.
         for o in self.outcomes:
+            view = o.to_result()
             lines.append("%-4d %-10s %-7s %8d %10.4f %10.4f %10.4f %7d" % (
-                o.seq, o.label[:10], o.status, o.rows, o.queue_wait,
-                o.latency, o.finish, o.aip_tuples_pruned,
+                view.seq, view.label[:10], view.status, len(view),
+                view.queue_wait, view.latency, o.finish,
+                o.aip_tuples_pruned,
             ))
         s = self.summary()
         lines.append(
@@ -357,36 +382,22 @@ class ServiceReport:
 class QueryService:
     """Runs a stream of queries against one catalog on one clock."""
 
-    def __init__(
-        self,
-        catalog: Catalog,
-        strategy: str = "feedforward",
-        scheduler: Union[str, Scheduler] = "fifo",
-        memory_budget_bytes: Optional[float] = None,
-        max_concurrent: int = 4,
-        aip_cache: bool = True,
-        result_cache: bool = True,
-        strategy_kwargs: Optional[dict] = None,
-        short_circuit: bool = True,
-        batch_execution: bool = True,
-        page_execution: bool = True,
-        placement=None,
-        network=None,
-        memory_budget: Optional[int] = None,
-        tracer=None,
-        parallel: Optional[int] = None,
-        pool=None,
-        catalog_spec=None,
-        slo_seconds: Optional[float] = None,
-    ):
-        if (parallel or pool is not None) and memory_budget is not None:
-            raise ValueError(
-                "parallel service execution cannot share one enforced "
-                "memory governor across worker processes; drop "
-                "memory_budget or parallel"
-            )
-        if parallel is not None and parallel < 1:
-            raise ValueError("parallel must be >= 1; got %r" % parallel)
+    def __init__(self, catalog: Catalog, config=None, **kwargs):
+        """``config`` is a :class:`ServiceConfig` (the redesigned API);
+        the historical loose kwargs — ``QueryService(catalog,
+        strategy=..., max_concurrent=...)`` — are still accepted and
+        folded into a config by the compatibility shim, as is the old
+        positional-strategy form.  Kwargs passed *alongside* a config
+        override its fields."""
+        config = coerce_config(config, kwargs)
+        #: The resolved configuration; every knob below reads from it.
+        self.config = config
+        strategy = config.strategy
+        scheduler = config.scheduler
+        memory_budget = config.memory_budget
+        parallel = config.parallel
+        pool = config.pool
+        tracer = config.tracer
         self.catalog = catalog
         self.default_strategy = strategy
         #: Worker-pool size for real wall-clock parallel batches; None
@@ -401,12 +412,18 @@ class QueryService:
         )
         self._pool = pool
         self._owns_pool = False
-        self._catalog_spec = catalog_spec
+        self._catalog_spec = config.catalog_spec
         #: Latency objective in virtual seconds: at dispatch, a query
         #: whose projected latency (wait so far + the forming batch's
         #: cost spread over the pool) exceeds it is shed immediately —
         #: serving a doomed query late helps nobody.
-        self.slo_seconds = slo_seconds
+        self.slo_seconds = config.slo_seconds
+        #: Hard per-tenant caps (concurrent queries, estimated state
+        #: bytes) enforced during dispatch; over-quota queries are shed
+        #: with a ``quota:*`` reason while other tenants proceed.
+        self.quotas: Dict[Optional[str], TenantQuota] = dict(
+            config.quotas or {}
+        )
         #: Enforced engine budget: a service-lifetime
         #: :class:`~repro.storage.governor.MemoryGovernor` every batch
         #: context shares, so scans stream buffer-pool pages and
@@ -438,26 +455,26 @@ class QueryService:
         #: broadcast/co-partitioning join analysis is applied.  The
         #: optional network model supplies per-site links for arrival
         #: pacing and per-partition AIP shipping accounting.
-        self.placement = placement
+        self.placement = config.placement
         from repro.distributed.network import NetworkModel
-        self.network = network or NetworkModel()
+        self.network = config.network or NetworkModel()
         self.scheduler = (
             scheduler if isinstance(scheduler, Scheduler)
             else make_scheduler(scheduler)
         )
         self.admission = AdmissionController(
-            memory_budget_bytes, max_concurrent
+            config.memory_budget_bytes, config.max_concurrent
         )
-        self.aip_cache = AIPSetCache() if aip_cache else None
-        self.result_cache = ResultCache() if result_cache else None
-        self.strategy_kwargs = dict(strategy_kwargs or {})
-        self.short_circuit = short_circuit
+        self.aip_cache = AIPSetCache() if config.aip_cache else None
+        self.result_cache = ResultCache() if config.result_cache else None
+        self.strategy_kwargs = dict(config.strategy_kwargs or {})
+        self.short_circuit = config.short_circuit
         #: Batch-vectorized engine loop for every dispatched batch
         #: (observably identical to tuple-at-a-time; on by default).
-        self.batch_execution = batch_execution
+        self.batch_execution = config.batch_execution
         #: Column-page kernels on top of batching (observably identical
         #: to row-list batches; on by default).
-        self.page_execution = page_execution
+        self.page_execution = config.page_execution
         self.coster = PlanCoster(catalog)
         #: The service's virtual clock, advanced batch by batch.
         self.clock = 0.0
@@ -639,6 +656,10 @@ class QueryService:
         batch: List[_PendingQuery] = []
         #: Estimated cost already packed, for SLO latency projection.
         packed_cost = 0.0
+        #: Per-tenant packed load this round, for hard-quota checks
+        #: (batch-sequential service: nothing else is in flight).
+        tenant_packed: Dict[Optional[str], int] = {}
+        tenant_bytes: Dict[Optional[str], float] = {}
         #: signature -> strategy name of the twin already in the batch.
         batch_signatures: Dict[str, str] = {}
         consumed: set = set()
@@ -685,7 +706,7 @@ class QueryService:
                     outcomes.append(QueryOutcome(
                         entry.seq, entry.label, CACHED, entry.strategy_name,
                         entry.arrival, start, self.clock, result, -1,
-                        entry.state_estimate,
+                        entry.state_estimate, tenant=entry.tenant,
                     ))
                     continue
                 if not entry.miss_counted:
@@ -697,6 +718,33 @@ class QueryService:
                         )
                     self.registry.counter("cache.result.misses").inc()
                 entry.miss_counted = True
+            quota_reason = self._quota_violation(
+                entry, tenant_packed, tenant_bytes
+            )
+            if quota_reason is not None:
+                # A hard cap, not fair interleaving: the over-quota
+                # tenant's query is shed outright (the front door turns
+                # this into a `shed` frame with a retry hint) while
+                # other tenants in this very round keep packing.
+                self.registry.counter("quota.shed").inc()
+                if tracer is not None:
+                    tracer.instant(
+                        "admission.quota_shed", "service",
+                        seconds_to_ticks(self.clock),
+                        {
+                            "query": entry.label,
+                            "tenant": entry.tenant,
+                            "reason": quota_reason,
+                        },
+                    )
+                consumed.add(entry.seq)
+                outcomes.append(QueryOutcome(
+                    entry.seq, entry.label, SHED_STATUS,
+                    entry.strategy_name, entry.arrival, self.clock,
+                    self.clock, None, -1, entry.state_estimate,
+                    tenant=entry.tenant, reason=quota_reason,
+                ))
+                continue
             if self.slo_seconds is not None:
                 # Project this query's latency were it packed now: the
                 # wait it has already accrued plus the forming batch's
@@ -725,6 +773,7 @@ class QueryService:
                         entry.seq, entry.label, SHED_STATUS,
                         entry.strategy_name, entry.arrival, self.clock,
                         self.clock, None, -1, entry.state_estimate,
+                        tenant=entry.tenant, reason="slo",
                     ))
                     continue
             decision = self.admission.decide(entry.state_estimate)
@@ -743,7 +792,8 @@ class QueryService:
                 outcomes.append(QueryOutcome(
                     entry.seq, entry.label, SHED_STATUS, entry.strategy_name,
                     entry.arrival, self.clock, self.clock, None, -1,
-                    entry.state_estimate,
+                    entry.state_estimate, tenant=entry.tenant,
+                    reason="admission",
                 ))
                 continue
             if decision != ADMIT:
@@ -756,6 +806,12 @@ class QueryService:
             consumed.add(entry.seq)
             batch.append(entry)
             packed_cost += entry.cost_estimate
+            tenant_packed[entry.tenant] = (
+                tenant_packed.get(entry.tenant, 0) + 1
+            )
+            tenant_bytes[entry.tenant] = (
+                tenant_bytes.get(entry.tenant, 0.0) + entry.state_estimate
+            )
             batch_signatures.setdefault(entry.signature, entry.strategy_name)
         if consumed:
             # One filter pass instead of per-entry list.remove scans.
@@ -768,6 +824,35 @@ class QueryService:
                 if self._parallel_mode() else self._run_batch(batch)
             )
         return outcomes
+
+    def _quota_violation(
+        self,
+        entry: _PendingQuery,
+        tenant_packed: Dict[Optional[str], int],
+        tenant_bytes: Dict[Optional[str], float],
+    ) -> Optional[str]:
+        """The ``quota:*`` reason this entry must be shed for, or None.
+
+        Checked against the tenant's load already packed this dispatch
+        round (the service is batch-sequential, so the packing round
+        *is* the concurrent set).  Result-cache hits never get here —
+        serving a cached copy consumes no engine capacity.
+        """
+        quota = self.quotas.get(entry.tenant)
+        if quota is None:
+            return None
+        if (
+            quota.max_concurrent is not None
+            and tenant_packed.get(entry.tenant, 0) >= quota.max_concurrent
+        ):
+            return "quota:concurrent"
+        if (
+            quota.max_state_bytes is not None
+            and tenant_bytes.get(entry.tenant, 0.0) + entry.state_estimate
+            > quota.max_state_bytes
+        ):
+            return "quota:state"
+        return None
 
     def _arrival_resolver(self):
         """Remote scans pace on the service's network links via the
@@ -932,7 +1017,7 @@ class QueryService:
             outcome = QueryOutcome(
                 entry.seq, entry.label, OK, entry.strategy_name,
                 entry.arrival, start, finish, result, batch_index,
-                entry.state_estimate,
+                entry.state_estimate, tenant=entry.tenant,
             )
             filters = injected.get(index, ())
             outcome.aip_filters_injected = len(filters)
@@ -1086,7 +1171,8 @@ class QueryService:
                 outcomes.append(QueryOutcome(
                     entry.seq, entry.label, ERROR, entry.strategy_name,
                     entry.arrival, start, start, None, batch_index,
-                    entry.state_estimate,
+                    entry.state_estimate, tenant=entry.tenant,
+                    reason=errors[index],
                 ))
                 continue
             result = payloads[index]["result"]
@@ -1098,7 +1184,7 @@ class QueryService:
             outcome = QueryOutcome(
                 entry.seq, entry.label, OK, entry.strategy_name,
                 entry.arrival, start, start + q_seconds, result,
-                batch_index, entry.state_estimate,
+                batch_index, entry.state_estimate, tenant=entry.tenant,
             )
             self.registry.counter("queries.completed").inc()
             self.registry.histogram("query.latency_s").observe(

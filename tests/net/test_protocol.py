@@ -1,0 +1,151 @@
+"""Wire-format tests: round trips, and every way a frame can be bad."""
+
+import io
+import json
+import random
+import struct
+
+import pytest
+
+from repro.net.protocol import (
+    FRAME_TYPES, MAX_FRAME_BYTES, PROTOCOL_VERSION, ConnectionClosed,
+    ProtocolError, check_hello, encode_frame, hello_frame, read_frame,
+)
+
+
+def roundtrip(frame):
+    return read_frame(io.BytesIO(encode_frame(frame)))
+
+
+class TestRoundTrip:
+    def test_every_frame_type_round_trips(self):
+        for frame_type in sorted(FRAME_TYPES):
+            frame = {"type": frame_type, "id": 7, "payload": ["x", 1, None]}
+            assert roundtrip(frame) == frame
+
+    def test_json_exact_values_survive(self):
+        frame = {
+            "type": "rows", "id": 1,
+            "rows": [["a", -3, 0.1 + 0.2, True, None], []],
+        }
+        out = roundtrip(frame)
+        assert out["rows"][0][2] == 0.1 + 0.2  # float bit-identity
+        assert out == frame
+
+    def test_unicode_payloads(self):
+        frame = {"type": "query", "id": 1, "text": "sélect '☃'"}
+        assert roundtrip(frame) == frame
+
+    def test_back_to_back_frames_on_one_stream(self):
+        stream = io.BytesIO(
+            encode_frame({"type": "hello", "version": 1})
+            + encode_frame({"type": "query", "id": 1, "text": "Q1A"})
+        )
+        assert read_frame(stream)["type"] == "hello"
+        assert read_frame(stream)["id"] == 1
+        with pytest.raises(ConnectionClosed):
+            read_frame(stream)
+
+
+class TestMalformedFrames:
+    def test_clean_eof_is_connection_closed(self):
+        with pytest.raises(ConnectionClosed):
+            read_frame(io.BytesIO(b""))
+
+    def test_truncated_header(self):
+        with pytest.raises(ProtocolError, match="truncated frame header"):
+            read_frame(io.BytesIO(b"\x00\x00"))
+
+    def test_truncated_payload(self):
+        wire = encode_frame({"type": "query", "id": 1, "text": "Q1A"})
+        for cut in (5, len(wire) // 2, len(wire) - 1):
+            with pytest.raises(ProtocolError, match="truncated"):
+                read_frame(io.BytesIO(wire[:cut]))
+
+    def test_oversized_length_rejected_without_allocation(self):
+        header = struct.pack(">I", MAX_FRAME_BYTES + 1)
+        with pytest.raises(ProtocolError, match="ceiling"):
+            read_frame(io.BytesIO(header))
+
+    def test_per_call_ceiling_override(self):
+        wire = encode_frame({"type": "query", "id": 1, "text": "x" * 100})
+        with pytest.raises(ProtocolError, match="ceiling"):
+            read_frame(io.BytesIO(wire), max_frame=16)
+
+    def test_non_json_payload(self):
+        wire = struct.pack(">I", 9) + b"not json!"
+        with pytest.raises(ProtocolError, match="not JSON"):
+            read_frame(io.BytesIO(wire))
+
+    def test_non_utf8_payload(self):
+        wire = struct.pack(">I", 4) + b"\xff\xfe\xfd\xfc"
+        with pytest.raises(ProtocolError, match="not JSON"):
+            read_frame(io.BytesIO(wire))
+
+    def test_non_object_json(self):
+        for payload in (b"[1,2]", b'"hi"', b"42", b"null"):
+            wire = struct.pack(">I", len(payload)) + payload
+            with pytest.raises(ProtocolError, match="JSON object"):
+                read_frame(io.BytesIO(wire))
+
+    def test_untyped_and_unknown_types(self):
+        for frame in ({"id": 1}, {"type": "warp", "id": 1}, {"type": None}):
+            payload = json.dumps(frame).encode()
+            wire = struct.pack(">I", len(payload)) + payload
+            with pytest.raises(ProtocolError, match="unknown frame type"):
+                read_frame(io.BytesIO(wire))
+
+    def test_encode_rejects_unknown_type(self):
+        with pytest.raises(ProtocolError, match="unknown frame type"):
+            encode_frame({"type": "warp"})
+
+    def test_garbage_fuzz_never_hangs_or_crashes(self):
+        """Random byte soup must always end in a clean protocol error
+        (or ConnectionClosed at offset 0), never an exception escape."""
+        rng = random.Random(0xF4A3)
+        for _ in range(300):
+            blob = bytes(
+                rng.randrange(256) for _ in range(rng.randrange(0, 64))
+            )
+            stream = io.BytesIO(blob)
+            try:
+                while True:
+                    read_frame(stream)
+            except (ProtocolError, ConnectionClosed):
+                pass
+
+    def test_bitflip_fuzz_on_valid_frames(self):
+        rng = random.Random(0xBEEF)
+        wire = encode_frame({"type": "query", "id": 3, "text": "Q1A"})
+        survived = 0
+        for _ in range(300):
+            mutated = bytearray(wire)
+            mutated[rng.randrange(len(wire))] ^= 1 << rng.randrange(8)
+            stream = io.BytesIO(bytes(mutated))
+            try:
+                frame = read_frame(stream)
+            except (ProtocolError, ConnectionClosed):
+                continue
+            # A flip in the payload body may still be valid JSON; it
+            # must at least still be a typed object.
+            assert frame.get("type") in FRAME_TYPES
+            survived += 1
+        assert survived < 300  # most flips must be *detected*
+
+
+class TestHello:
+    def test_hello_exchange(self):
+        client = hello_frame(tenant="t1")
+        assert check_hello(client, "client")["tenant"] == "t1"
+        server = hello_frame(server=True)
+        assert check_hello(server, "server")["server"] == "repro"
+        assert client["version"] == server["version"] == PROTOCOL_VERSION
+
+    def test_version_mismatch(self):
+        stale = dict(hello_frame(), version=PROTOCOL_VERSION + 1)
+        with pytest.raises(ProtocolError, match="version mismatch"):
+            check_hello(stale, "client")
+
+    def test_wrong_first_frame(self):
+        with pytest.raises(ProtocolError, match="expected a hello"):
+            check_hello({"type": "query", "id": 1}, "client")

@@ -1,0 +1,136 @@
+"""Per-tenant hard quotas at the service admission layer."""
+
+import pytest
+
+from repro.data.tpch import cached_tpch
+from repro.service import QueryService, ServiceConfig, TenantQuota
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return cached_tpch(scale_factor=0.002)
+
+
+def service_with(catalog, quotas, **kwargs):
+    kwargs.setdefault("result_cache", False)
+    return QueryService(catalog, ServiceConfig(quotas=quotas, **kwargs))
+
+
+def statuses_by_tenant(report):
+    out = {}
+    for outcome in report.outcomes:
+        out.setdefault(outcome.tenant, []).append(outcome.status)
+    return out
+
+
+class TestConcurrentCap:
+    def test_overflow_is_shed_not_queued(self, catalog):
+        # Three *distinct* queries (same-signature twins would defer to
+        # later batches anyway and never contend for the cap).
+        quotas = {"noisy": TenantQuota(max_concurrent=1)}
+        with service_with(catalog, quotas, max_concurrent=8) as service:
+            for text in ("Q1A", "Q2A", "Q3A"):
+                service.submit(text, tenant="noisy")
+            report = service.run()
+        statuses = [o.status for o in report.outcomes]
+        assert statuses.count("ok") == 1
+        assert statuses.count("shed") == 2
+        for outcome in report.outcomes:
+            if outcome.status == "shed":
+                assert outcome.reason == "quota:concurrent"
+                assert outcome.tenant == "noisy"
+
+    def test_other_tenants_proceed_in_same_round(self, catalog):
+        quotas = {"noisy": TenantQuota(max_concurrent=1)}
+        with service_with(catalog, quotas, max_concurrent=8) as service:
+            for text, tenant in (("Q1A", "noisy"), ("Q2A", "noisy"),
+                                 ("Q3A", "calm"), ("Q5A", "calm")):
+                service.submit(text, tenant=tenant)
+            by_tenant = statuses_by_tenant(service.run())
+        assert sorted(by_tenant["noisy"]) == ["ok", "shed"]
+        assert by_tenant["calm"] == ["ok", "ok"]
+
+    def test_cap_is_per_round_not_per_lifetime(self, catalog):
+        quotas = {"noisy": TenantQuota(max_concurrent=1)}
+        with service_with(catalog, quotas) as service:
+            service.submit("Q1A", tenant="noisy")
+            assert service.run().outcomes[0].status == "ok"
+            service.submit("Q1A", tenant="noisy")
+            assert service.run().outcomes[0].status == "ok"
+
+    def test_zero_cap_sheds_everything(self, catalog):
+        quotas = {"banned": TenantQuota(max_concurrent=0)}
+        with service_with(catalog, quotas) as service:
+            service.submit("Q1A", tenant="banned")
+            outcome = service.run().outcomes[0]
+        assert (outcome.status, outcome.reason) == (
+            "shed", "quota:concurrent",
+        )
+
+
+class TestStateCap:
+    def test_aggregate_estimate_over_cap_sheds(self, catalog):
+        # A cap below one query's estimate: everything from the tenant
+        # sheds with the state reason.
+        quotas = {"tiny": TenantQuota(max_state_bytes=1.0)}
+        with service_with(catalog, quotas) as service:
+            service.submit("Q2A", tenant="tiny")
+            outcome = service.run().outcomes[0]
+        assert (outcome.status, outcome.reason) == ("shed", "quota:state")
+        assert outcome.result is None
+
+    def test_cap_admits_first_sheds_aggregate_overflow(self, catalog):
+        # Probe the two queries' estimates, then cap the tenant so the
+        # first fits alone but the pair's aggregate does not.
+        with QueryService(catalog, ServiceConfig(result_cache=False)) \
+                as probe:
+            probe.submit("Q1A", tenant="x")
+            probe.submit("Q2A", tenant="x")
+            est_a, est_b = [p.state_estimate for p in probe._pending]
+            probe.run()
+        quotas = {"t": TenantQuota(max_state_bytes=est_a + est_b * 0.5)}
+        with service_with(catalog, quotas, max_concurrent=8) as service:
+            service.submit("Q1A", tenant="t")
+            service.submit("Q2A", tenant="t")
+            statuses = sorted(o.status for o in service.run().outcomes)
+        assert statuses == ["ok", "shed"]
+
+    def test_anonymous_tenant_can_be_quotad(self, catalog):
+        quotas = {None: TenantQuota(max_state_bytes=1.0)}
+        with service_with(catalog, quotas) as service:
+            service.submit("Q1A")  # no tenant tag
+            service.submit("Q1A", tenant="named")
+            by_tenant = statuses_by_tenant(service.run())
+        assert by_tenant[None] == ["shed"]
+        assert by_tenant["named"] == ["ok"]
+
+
+class TestQuotaObservability:
+    def test_shed_counter_and_outcome_fields(self, catalog):
+        quotas = {"t": TenantQuota(max_state_bytes=1.0)}
+        with service_with(catalog, quotas) as service:
+            service.submit("Q1A", tenant="t")
+            report = service.run()
+            assert service.registry.counter("quota.shed").value == 1
+        outcome = report.outcomes[0]
+        assert outcome.tenant == "t"
+        assert outcome.latency >= 0.0
+        view = outcome.to_result()
+        assert view.status == "shed"
+        assert view.reason == "quota:state"
+        assert view.metrics == {}
+
+    def test_quotas_do_not_change_unquotad_tenants(self, catalog):
+        def run(quotas):
+            config = ServiceConfig(result_cache=False, quotas=quotas)
+            with QueryService(catalog, config) as service:
+                for text in ("Q1A", "Q2A"):
+                    service.submit(text, tenant="steady")
+                return [
+                    (o.label, o.status, o.latency)
+                    for o in service.run().outcomes
+                ]
+
+        baseline = run({})
+        quotad = run({"other": TenantQuota(max_concurrent=1)})
+        assert baseline == quotad

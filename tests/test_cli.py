@@ -269,7 +269,7 @@ class TestServeCommand:
                 "# comment\nselect count(*) as n from part\nQ1A\nquit\n"
             ),
         )
-        assert main(["serve", "--scale", "0.002"]) == 0
+        assert main(["serve", "--stdin", "--scale", "0.002"]) == 0
         out = capsys.readouterr().out
         assert "query service" in out
         assert "latency" in out
@@ -280,7 +280,7 @@ class TestServeCommand:
         monkeypatch.setattr(
             "sys.stdin", io.StringIO("select nonsense(\nQ1A\n"),
         )
-        assert main(["serve", "--scale", "0.002"]) == 0
+        assert main(["serve", "--stdin", "--scale", "0.002"]) == 0
         captured = capsys.readouterr()
         assert "error:" in captured.err
         assert "latency" in captured.out
