@@ -9,10 +9,15 @@ blocks nobody but itself.  This bench holds that claim to numbers:
 * **stress** — N client threads (a barrier guarantees all N are
   connected at once), each running several reconnect *sessions*
   (connection churn) of a per-tenant query mix, plus a band of slow
-  consumers that sleep between frame reads.  Per-query wall-clock
+  consumers that sleep between frame reads.  The service runs with the
+  full telemetry plane on (profile ring, slow-query threshold, event
+  log), and one extra connection polls the ``stats``/``proclist``/
+  ``health`` admin frames throughout — introspection must answer under
+  saturation without perturbing the tails.  Per-query wall-clock
   latency is collected across every thread; the run exports requests
   per second and inverse p50/p99 so the CI gate fails when the tails
-  regress.
+  regress (the committed baseline predates the telemetry plane, so the
+  gate is also the telemetry-overhead budget).
 * **equivalence** — the same query × strategy matrix through a fresh
   socket server and a fresh :class:`repro.client.InProcessClient`;
   every result payload must match bit-for-bit.
@@ -27,7 +32,9 @@ zero failures, bit-identity) are exact.
 """
 
 import argparse
+import os
 import sys
+import tempfile
 import threading
 import time
 
@@ -102,41 +109,95 @@ def _client_thread(port, tenant, mix, sessions, queries_per_session,
             latencies.extend(local)
 
 
+def _admin_poller(port, stop, counts):
+    """Hammer the admin frames from one more connection for the whole
+    stress window: introspection must answer while the front door is
+    saturated, and it must never wedge the dispatcher."""
+    try:
+        with Client(port=port, tenant="admin") as admin:
+            while not stop.is_set():
+                stats = admin.stats()
+                admin.proclist()
+                health = admin.health()
+                counts["polls"] += 1
+                if health.get("status") not in ("ok", "stopping"):
+                    counts["errors"] += 1
+                if "registry" not in stats:
+                    counts["errors"] += 1
+                time.sleep(0.02)
+    except Exception as exc:
+        counts["errors"] += 1
+        counts["last_error"] = str(exc)
+
+
 def _run_stress(clients, sessions, queries_per_session, slow_consumers):
     catalog = cached_tpch(scale_factor=SCALE_FACTOR)
-    service = QueryService(catalog, ServiceConfig(strategy="feedforward"))
+    # Full telemetry on: the rps/p50/p99 gates below therefore hold the
+    # profile ring, slow-query log and event log to <tolerance overhead.
+    event_log_fd, event_log_path = tempfile.mkstemp(
+        prefix="frontdoor-events-", suffix=".jsonl",
+    )
+    os.close(event_log_fd)
+    service = QueryService(catalog, ServiceConfig(
+        strategy="feedforward",
+        event_log=event_log_path,
+        slow_query_ms=30_000.0,  # virtual ms; counts only pathological runs
+        profile_retention=256,
+    ))
     tenants = sorted(TENANT_MIXES)
     latencies, failures = [], []
     lock = threading.Lock()
     barrier = threading.Barrier(clients)
-    with ReproServer(service, max_batch=256) as server:
-        # Warm the result cache so the stress phase measures the front
-        # door at steady state, not four cold engine executions.
-        with InProcessClient(service=service) as warm:
-            for mix in TENANT_MIXES.values():
-                for text in mix:
-                    warm.query(text)
-        threads = []
-        for i in range(clients):
-            tenant = tenants[i % len(tenants)]
-            threads.append(threading.Thread(
-                target=_client_thread,
-                args=(server.port, tenant, TENANT_MIXES[tenant], sessions,
-                      queries_per_session, barrier, i < slow_consumers,
-                      latencies, failures, lock),
+    admin_counts = {"polls": 0, "errors": 0}
+    admin_stop = threading.Event()
+    try:
+        with ReproServer(service, max_batch=256) as server:
+            # Warm the result cache so the stress phase measures the
+            # front door at steady state, not four cold executions.
+            with InProcessClient(service=service) as warm:
+                for mix in TENANT_MIXES.values():
+                    for text in mix:
+                        warm.query(text)
+            admin_thread = threading.Thread(
+                target=_admin_poller,
+                args=(server.port, admin_stop, admin_counts),
                 daemon=True,
-            ))
-        started = time.monotonic()
-        for thread in threads:
-            thread.start()
-        for thread in threads:
-            thread.join(timeout=600)
-        elapsed = time.monotonic() - started
-        peak_connections = server.registry.gauge(
-            "net.connections"
-        ).max_value or 0
-        inflight_peak = server.registry.gauge("net.inflight").max_value or 0
-        served = server._served_queries
+            )
+            threads = []
+            for i in range(clients):
+                tenant = tenants[i % len(tenants)]
+                threads.append(threading.Thread(
+                    target=_client_thread,
+                    args=(server.port, tenant, TENANT_MIXES[tenant],
+                          sessions, queries_per_session, barrier,
+                          i < slow_consumers, latencies, failures, lock),
+                    daemon=True,
+                ))
+            started = time.monotonic()
+            admin_thread.start()
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=600)
+            elapsed = time.monotonic() - started
+            admin_stop.set()
+            admin_thread.join(timeout=30)
+            peak_connections = server.registry.gauge(
+                "net.connections"
+            ).max_value or 0
+            inflight_peak = server.registry.gauge(
+                "net.inflight"
+            ).max_value or 0
+            served = server._served_queries
+            profiles_retained = len(service.profiles)
+            events_written = service.eventlog.events_written
+    finally:
+        admin_stop.set()
+        try:
+            os.unlink(event_log_path)
+            os.unlink(event_log_path + ".1")
+        except OSError:
+            pass
     return {
         "latencies": sorted(latencies),
         "failures": failures,
@@ -145,6 +206,11 @@ def _run_stress(clients, sessions, queries_per_session, slow_consumers):
         "peak_inflight": int(inflight_peak),
         "served": served,
         "expected": clients * sessions * queries_per_session,
+        "admin_polls": admin_counts["polls"],
+        "admin_errors": admin_counts["errors"],
+        "admin_last_error": admin_counts.get("last_error"),
+        "profiles_retained": profiles_retained,
+        "events_written": events_written,
     }
 
 
@@ -207,6 +273,11 @@ def main(argv=None) -> int:
           ))
     print("  wall latency p50 %.1f ms, p99 %.1f ms"
           % (p50 * 1e3, p99 * 1e3))
+    print("  telemetry: %d admin polls answered mid-stress (%d errors); "
+          "%d profiles retained, %d events logged" % (
+              stats["admin_polls"], stats["admin_errors"],
+              stats["profiles_retained"], stats["events_written"],
+          ))
     for failure in stats["failures"][:5]:
         print("  FAILURE %s" % failure)
 
@@ -241,6 +312,15 @@ def main(argv=None) -> int:
     if len(lats) != stats["expected"]:
         print("FAIL: %d of %d queries completed"
               % (len(lats), stats["expected"]))
+        ok = False
+    if stats["admin_polls"] < 1 or stats["admin_errors"]:
+        print("FAIL: admin introspection under load: %d polls, %d errors"
+              " (%s)" % (stats["admin_polls"], stats["admin_errors"],
+                         stats["admin_last_error"]))
+        ok = False
+    if stats["events_written"] < 1:
+        print("FAIL: the event log recorded nothing for %d queries"
+              % stats["served"])
         ok = False
     return 0 if ok else 1
 

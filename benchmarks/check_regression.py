@@ -52,8 +52,12 @@ def load(path: str) -> dict:
 
 
 def check_benchmark(name: str, current: dict, baseline: dict,
-                    default_tolerance: float) -> list:
-    """Failure messages for one benchmark's current payload."""
+                    default_tolerance: float, trend: list) -> list:
+    """Failure messages for one benchmark's current payload.
+
+    Every compared metric also lands in ``trend`` as ``(delta_pct,
+    name, key, base, current, status)`` for the summary table.
+    """
     failures = []
     base_entry = baseline.get(name)
     if base_entry is None:
@@ -72,10 +76,15 @@ def check_benchmark(name: str, current: dict, baseline: dict,
         base_value = base_metrics[key]
         cur_value = cur_metrics[key]
         floor = base_value * (1.0 - tolerance)
+        delta_pct = (
+            (cur_value - base_value) / base_value * 100.0
+            if base_value else 0.0
+        )
         status = "ok" if cur_value >= floor else "REGRESSED"
-        print("%-12s %-24s baseline %10.3f  current %10.3f  "
+        print("%-12s %-24s baseline %10.3f  current %10.3f  %+7.1f%%  "
               "(floor %10.3f) %s"
-              % (name, key, base_value, cur_value, floor, status))
+              % (name, key, base_value, cur_value, delta_pct, floor, status))
+        trend.append((delta_pct, name, key, base_value, cur_value, status))
         if cur_value < floor:
             failures.append(
                 "%s/%s: %.3f dropped >%d%% below baseline %.3f"
@@ -85,6 +94,21 @@ def check_benchmark(name: str, current: dict, baseline: dict,
         print("note: %s/%s is new (%.3f); --update to baseline it"
               % (name, key, cur_metrics[key]))
     return failures
+
+
+def print_trend_table(trend: list) -> None:
+    """Baseline-vs-current movement, worst first — the at-a-glance
+    answer to "what drifted in this run" even when nothing gated."""
+    if not trend:
+        return
+    print()
+    print("trend (worst movement first; metrics are higher-is-better):")
+    print("  %-12s %-24s %10s %10s %8s  %s"
+          % ("benchmark", "metric", "baseline", "current", "delta", ""))
+    for delta_pct, name, key, base, cur, status in sorted(trend):
+        print("  %-12s %-24s %10.3f %10.3f %+7.1f%%  %s"
+              % (name, key, base, cur, delta_pct,
+                 status if status != "ok" else ""))
 
 
 def main(argv=None) -> int:
@@ -125,10 +149,12 @@ def main(argv=None) -> int:
 
     baseline = load(args.baseline)
     failures = []
+    trend = []
     for name, payload in sorted(currents.items()):
         failures.extend(
-            check_benchmark(name, payload, baseline, args.tolerance)
+            check_benchmark(name, payload, baseline, args.tolerance, trend)
         )
+    print_trend_table(trend)
     if failures:
         for message in failures:
             print("FAIL: %s" % message)

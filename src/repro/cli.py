@@ -12,7 +12,11 @@ Usage (``python -m repro ...``)::
     python -m repro workload "Q2A*3,Q1A" --scheduler sjf
     python -m repro workload "Q2A*3" --trace-out t.json --metrics-out m.json
     python -m repro serve --port 7734 --quota tenant-a=2:64m
+    python -m repro serve --slow-query-ms 50 --event-log events.jsonl
     python -m repro serve --stdin --scale 0.01
+    python -m repro stats --port 7734
+    python -m repro stats --port 7734 --prom
+    python -m repro top --port 7734 --interval 2
 """
 
 from __future__ import annotations
@@ -228,6 +232,8 @@ def _make_service(args, skew: float = 0.0, tracer=None):
         catalog_spec=catalog_spec,
         slo_seconds=args.slo_seconds,
         quotas=dict(getattr(args, "quota", None) or []),
+        slow_query_ms=getattr(args, "slow_query_ms", None),
+        event_log=getattr(args, "event_log", None),
     )
     return QueryService(catalog, config)
 
@@ -336,7 +342,9 @@ def _cmd_serve(args) -> int:
 
     # The server owns the service: leaving the with-block — clean
     # shutdown frame, Ctrl-C, or a crash — closes spill dirs and pools.
-    with ReproServer(service, host=args.host, port=args.port) as server:
+    with ReproServer(service, host=args.host, port=args.port,
+                     prom_out=args.prom_out,
+                     prom_interval_s=args.prom_interval) as server:
         print("repro server listening on %s:%d (protocol v%d) — "
               "repro.connect(port=%d), or a shutdown frame, to talk"
               % (server.host, server.port, PROTOCOL_VERSION, server.port))
@@ -385,6 +393,139 @@ def _serve_loop(service, args) -> int:
         print("-- served %.4f virtual s; peak state %.3f MB"
               % (service.clock, service.peak_state_bytes / 1e6))
     return 0
+
+
+def _connect_admin(args):
+    from repro.client import connect
+
+    return connect(host=args.host, port=args.port, tenant=args.tenant)
+
+
+def _cmd_stats(args) -> int:
+    """One-shot introspection of a running server."""
+    import json
+
+    from repro.common.errors import ReproError
+
+    try:
+        with _connect_admin(args) as client:
+            if args.prom:
+                sys.stdout.write(client.prometheus())
+            else:
+                json.dump(client.stats(), sys.stdout,
+                          indent=1, sort_keys=True)
+                sys.stdout.write("\n")
+    except (OSError, ReproError) as exc:
+        print("error: cannot reach %s:%d: %s"
+              % (args.host, args.port, exc), file=sys.stderr)
+        return 2
+    return 0
+
+
+def _top_screen(health, stats, queries) -> str:
+    """Render one ``repro top`` refresh from the admin payloads."""
+    registry = stats.get("registry", {})
+    server = stats.get("server", {})
+    service = stats.get("service", {})
+
+    def counter(name):
+        metric = registry.get(name) or {}
+        return int(metric.get("value", 0))
+
+    def quantile(name, q):
+        return (registry.get(name) or {}).get(q)
+
+    lines = [
+        "repro top — %s  uptime %.0fs  conns %d  inflight %d  "
+        "queue %d" % (
+            health.get("status", "?"),
+            server.get("uptime_wall_s", 0.0),
+            server.get("connections", 0),
+            server.get("inflight", 0),
+            server.get("queue_depth", 0),
+        ),
+        "queries: %d served  %d cached  %d shed  %d slow  |  "
+        "batches %d  clock %.3f vs" % (
+            server.get("served_queries", 0),
+            counter("cache.result.hits"),
+            counter("admission.shed") + counter("slo.shed")
+            + counter("quota.shed"),
+            counter("queries.slow"),
+            service.get("batches_run", 0),
+            service.get("clock", 0.0),
+        ),
+    ]
+    latency = registry.get("query.latency_s") or {}
+    if latency.get("count"):
+        parts = []
+        for q in ("p50", "p95", "p99"):
+            value = quantile("query.latency_s", q)
+            if value is not None:
+                parts.append("%s %.4f" % (q, value))
+        lines.append("latency (vs): %s  over %d queries"
+                     % ("  ".join(parts) or "n/a", latency["count"]))
+    lines.append(
+        "state: peak %.3f MB  profiles %d kept/%d evicted  "
+        "feedback %d fingerprints" % (
+            service.get("peak_state_bytes", 0) / 1e6,
+            service.get("profiles_retained", 0),
+            service.get("profiles_evicted", 0),
+            service.get("feedback_fingerprints", 0),
+        )
+    )
+    lines.append("")
+    lines.append("%-5s %-12s %-12s %-10s %9s %9s %10s %6s" % (
+        "qid", "tenant", "label", "phase", "wall (s)", "virt (s)",
+        "est MB", "wkr",
+    ))
+    if not queries:
+        lines.append("  (no queries in flight)")
+    for row in queries:
+        estimate = row.get("state_estimate_bytes")
+        lines.append("%-5s %-12s %-12s %-10s %9.3f %9.4f %10s %6s" % (
+            row.get("qid", "?"),
+            (row.get("tenant") or "-")[:12],
+            (row.get("label") or "-")[:12],
+            row.get("phase", "?"),
+            row.get("elapsed_wall_s") or 0.0,
+            row.get("virtual_elapsed_s") or 0.0,
+            "%.3f" % (estimate / 1e6) if estimate is not None else "-",
+            row.get("worker") if row.get("worker") is not None else "-",
+        ))
+    return "\n".join(lines)
+
+
+def _cmd_top(args) -> int:
+    """A live text dashboard: poll stats + proclist, redraw."""
+    import time
+
+    from repro.common.errors import ReproError
+
+    refreshes = 0
+    try:
+        with _connect_admin(args) as client:
+            while True:
+                screen = _top_screen(
+                    client.health(), client.stats(), client.proclist(),
+                )
+                if args.plain:
+                    sys.stdout.write(screen + "\n--\n")
+                else:
+                    # Home the cursor and clear below: a flicker-free
+                    # redraw that leaves scrollback alone.
+                    sys.stdout.write("\x1b[H\x1b[J" + screen + "\n")
+                sys.stdout.flush()
+                refreshes += 1
+                if args.iterations is not None \
+                        and refreshes >= args.iterations:
+                    return 0
+                time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
+    except (OSError, ReproError) as exc:
+        print("error: cannot reach %s:%d: %s"
+              % (args.host, args.port, exc), file=sys.stderr)
+        return 2
 
 
 def _cmd_explain(args) -> int:
@@ -523,6 +664,16 @@ def build_parser() -> argparse.ArgumentParser:
                             "queries and/or estimated state bytes "
                             "(k/m/g suffixes ok); over-quota queries "
                             "are shed with a retry hint")
+        p.add_argument("--slow-query-ms", type=float, default=None,
+                       metavar="MS",
+                       help="slow-query threshold in milliseconds of "
+                            "virtual latency: completed queries at or "
+                            "past it are counted and logged with their "
+                            "full profile")
+        p.add_argument("--event-log", default=None, metavar="PATH",
+                       help="append lifecycle events (admit/shed/spill/"
+                            "crash/slow_query/batch_complete) as JSON "
+                            "lines to PATH, rotating by size")
 
     p_workload = sub.add_parser(
         "workload",
@@ -565,6 +716,47 @@ def build_parser() -> argparse.ArgumentParser:
                               "instead of the socket server")
     p_serve.add_argument("--limit", type=int, default=20,
                          help="max rows to print per query (--stdin only)")
+    p_serve.add_argument("--prom-out", default=None, metavar="PATH",
+                         help="write a Prometheus text-format metrics "
+                              "snapshot to PATH periodically (and once "
+                              "at shutdown) for a node-exporter-style "
+                              "textfile collector")
+    p_serve.add_argument("--prom-interval", type=float, default=5.0,
+                         metavar="SECONDS",
+                         help="seconds between --prom-out snapshots "
+                              "(default 5)")
+
+    def add_admin_options(p):
+        p.add_argument("--host", default="127.0.0.1",
+                       help="server address (default 127.0.0.1)")
+        p.add_argument("--port", type=int, default=7734,
+                       help="server port (default 7734)")
+        p.add_argument("--tenant", default=None,
+                       help="tenant name to identify as")
+
+    p_stats = sub.add_parser(
+        "stats",
+        help="print a running server's stats (JSON or Prometheus text)",
+    )
+    add_admin_options(p_stats)
+    p_stats.add_argument("--prom", action="store_true",
+                         help="print the Prometheus text-format page "
+                              "instead of the JSON snapshot")
+
+    p_top = sub.add_parser(
+        "top",
+        help="live dashboard over a running server (stats + proclist)",
+    )
+    add_admin_options(p_top)
+    p_top.add_argument("--interval", type=float, default=2.0,
+                       metavar="SECONDS",
+                       help="seconds between refreshes (default 2)")
+    p_top.add_argument("--iterations", type=int, default=None, metavar="N",
+                       help="stop after N refreshes (default: run until "
+                            "interrupted)")
+    p_top.add_argument("--plain", action="store_true",
+                       help="print each refresh as a plain block instead "
+                            "of redrawing the screen (for logs/CI)")
 
     return parser
 
@@ -579,6 +771,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "sql": _cmd_sql,
         "workload": _cmd_workload,
         "serve": _cmd_serve,
+        "stats": _cmd_stats,
+        "top": _cmd_top,
     }
     try:
         return handlers[args.command](args)

@@ -11,6 +11,9 @@ surface —
   or ``shed``; engine faults raise
   :class:`~repro.common.errors.ExecutionError` on either transport);
 * ``last_shed_retry_s`` — the server's backoff hint after a shed;
+* the introspection surface — ``stats(prom=...)``, ``proclist()``,
+  ``profile(seq)``, ``health()`` — answering from the admin frames
+  (socket) or the service's own registry/profile ring (in-process);
 * context-manager lifecycle (``close()`` releases the socket, or the
   owned service's spill dirs and pools).
 
@@ -28,7 +31,8 @@ from typing import Optional
 
 from repro.common.errors import ExecutionError
 from repro.net.protocol import (
-    FRAME_ERROR, FRAME_ROWS, FRAME_SHED, FRAME_SHUTDOWN, FRAME_SUMMARY,
+    FRAME_ERROR, FRAME_HEALTH, FRAME_PROCLIST, FRAME_PROFILE, FRAME_ROWS,
+    FRAME_SHED, FRAME_SHUTDOWN, FRAME_STATS, FRAME_SUMMARY,
     MAX_FRAME_BYTES, ProtocolError, check_hello, encode_frame, hello_frame,
     read_frame,
 )
@@ -120,6 +124,53 @@ class Client:
                     frame.get("message") or "query failed"
                 )
             raise ProtocolError("unexpected %r frame in response" % kind)
+
+    # -- introspection -----------------------------------------------------
+
+    def _admin(self, kind: str, **extra):
+        """One admin request/response round-trip."""
+        self._next_id += 1
+        qid = self._next_id
+        frame = {"type": kind, "id": qid}
+        frame.update(extra)
+        self._send(frame)
+        response = self._recv()
+        if response.get("type") == FRAME_ERROR:
+            raise ExecutionError(
+                response.get("message") or "%s frame failed" % kind
+            )
+        if response.get("type") != kind or response.get("id") != qid:
+            raise ProtocolError(
+                "expected a %s response for id %d; got %r id %r"
+                % (kind, qid, response.get("type"), response.get("id"))
+            )
+        return response
+
+    def stats(self) -> dict:
+        """The server's live stats: registry snapshot + gauges."""
+        return self._admin(FRAME_STATS)["stats"]
+
+    def prometheus(self) -> str:
+        """The server's metrics as a Prometheus text-format page."""
+        return self._admin(FRAME_STATS, prom=True).get("prom", "")
+
+    def proclist(self) -> list:
+        """The live in-flight query table."""
+        return self._admin(FRAME_PROCLIST)["queries"]
+
+    def profile(self, seq: int) -> Optional[dict]:
+        """The retained profile for service sequence ``seq``, or None
+        if it was never recorded or has been evicted from the ring."""
+        return self._admin(FRAME_PROFILE, seq=seq).get("profile")
+
+    def health(self) -> dict:
+        """The server's readiness snapshot (``status`` is ``ok`` while
+        serving, ``stopping`` once shutdown has been signalled)."""
+        response = self._admin(FRAME_HEALTH)
+        return {
+            key: value for key, value in response.items()
+            if key not in ("type", "id")
+        }
 
     def shutdown_server(self) -> None:
         """Ask the server to stop cleanly; waits for the ack."""
@@ -215,6 +266,76 @@ class InProcessClient:
                 report.total_virtual_seconds, 0.001
             )
         return result
+
+    # -- introspection -----------------------------------------------------
+    #
+    # Same surface as the socket client, answered straight from the
+    # embedded service (no server section: there is no server).
+
+    def stats(self) -> dict:
+        service = self.service
+        payload = {
+            "registry": service.registry.snapshot(),
+            "service": {
+                "clock": service.clock,
+                "batches_run": service.batches_run,
+                "pending": len(service._pending),
+                "peak_state_bytes": service.peak_state_bytes,
+                "profiles_retained": len(service.profiles),
+                "profiles_evicted": service.profiles.evicted,
+                "feedback_fingerprints": len(service.feedback),
+            },
+        }
+        if service.tracer is not None:
+            payload["trace"] = {
+                "events": len(service.tracer),
+                "dropped": service.tracer.dropped,
+                "max_events": service.tracer.max_events,
+            }
+        return payload
+
+    def prometheus(self) -> str:
+        from repro.obs.export import to_prometheus
+
+        return to_prometheus(self.service.registry)
+
+    def proclist(self) -> list:
+        """Queries waiting in the embedded service's queue.  The
+        in-process twin runs queries synchronously inside ``query()``,
+        so entries only appear between an explicit ``submit`` and the
+        next ``run`` on a shared service."""
+        service = self.service
+        return [
+            {
+                "qid": pending.seq,
+                "tenant": pending.tenant,
+                "label": pending.label,
+                "phase": "queued",
+                "elapsed_wall_s": 0.0,
+                "virtual_elapsed_s": max(
+                    0.0, service.clock - pending.arrival
+                ),
+                "seq": pending.seq,
+                "state_estimate_bytes": pending.state_estimate,
+                "worker": None,
+            }
+            for pending in service._pending
+        ]
+
+    def profile(self, seq: int) -> Optional[dict]:
+        profile = self.service.profiles.get(seq)
+        return profile.as_dict() if profile is not None else None
+
+    def health(self) -> dict:
+        service = self.service
+        return {
+            "status": "closed" if self._closed else "ok",
+            "batches_run": service.batches_run,
+            "pending": len(service._pending),
+            "served_queries": int(
+                service.registry.counter("queries.completed").value
+            ),
+        }
 
     def close(self) -> None:
         if self._closed:

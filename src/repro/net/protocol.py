@@ -7,7 +7,7 @@ One frame on the wire is::
     | endian length  | bytes, with a mandatory "type" key     |
     +----------------+----------------------------------------+
 
-Frame types (``PROTOCOL_VERSION`` = 1):
+Frame types (``PROTOCOL_VERSION`` = 2):
 
 ``hello``
     First frame in each direction.  Client: ``{"type": "hello",
@@ -36,6 +36,34 @@ Frame types (``PROTOCOL_VERSION`` = 1):
     Client asks the server to stop accepting and exit cleanly; echoed
     back as the ack before the listener closes.
 
+Admin (introspection) frames, added in version 2.  Each is a
+request/response pair sharing one type: the client sends ``{"type":
+<kind>, "id": n, ...}`` and the server answers with the same type and
+id.  They are answered directly on the connection's handler thread —
+never through the dispatcher queue — so a slow admin consumer can
+never stall query dispatch:
+
+``stats``
+    Request may carry ``"prom": true``.  Response: ``{"type": "stats",
+    "id": n, "stats": {registry, server, service, trace}}`` — the full
+    metrics-registry snapshot plus server/service gauges — and, when
+    requested, ``"prom"`` with the Prometheus text-format page.
+``proclist``
+    Response ``{"type": "proclist", "id": n, "queries": [...]}``: the
+    live in-flight query table (qid, tenant, label, phase
+    queued/admitted/executing/streaming, elapsed wall seconds, virtual
+    seconds since submission, estimated state bytes, worker id).
+``profile``
+    Request carries ``"seq"`` (the service sequence number a summary
+    frame reported).  Response ``"profile"`` is the retained
+    :meth:`repro.obs.profiles.QueryProfile.as_dict` payload, or null
+    when the profile was never recorded or has been evicted — an
+    unknown seq is an empty answer, not an error.
+``health``
+    Response: ``{"type": "health", "id": n, "status": "ok", ...}``
+    with uptime, served-query and connection counts — the readiness
+    probe.
+
 Framing errors never hang and never kill the process: a truncated,
 oversized or non-JSON frame raises :class:`ProtocolError` (or
 :class:`ConnectionClosed` at clean EOF) and the server drops only that
@@ -50,7 +78,7 @@ from typing import Dict, Optional
 
 from repro.common.errors import ReproError
 
-PROTOCOL_VERSION = 1
+PROTOCOL_VERSION = 2
 
 #: Hard ceiling on one frame's payload; a length prefix past this is a
 #: corrupt or hostile stream, not a big result (rows are chunked).
@@ -65,11 +93,21 @@ FRAME_SUMMARY = "summary"
 FRAME_ERROR = "error"
 FRAME_SHED = "shed"
 FRAME_SHUTDOWN = "shutdown"
+FRAME_STATS = "stats"
+FRAME_PROCLIST = "proclist"
+FRAME_PROFILE = "profile"
+FRAME_HEALTH = "health"
+
+#: Introspection request/response frames (version 2); the server
+#: answers these on the handler thread, off the dispatcher path.
+ADMIN_FRAMES = frozenset((
+    FRAME_STATS, FRAME_PROCLIST, FRAME_PROFILE, FRAME_HEALTH,
+))
 
 FRAME_TYPES = frozenset((
     FRAME_HELLO, FRAME_QUERY, FRAME_ROWS, FRAME_SUMMARY, FRAME_ERROR,
     FRAME_SHED, FRAME_SHUTDOWN,
-))
+)) | ADMIN_FRAMES
 
 #: Rows per ``rows`` frame: small enough that a slow consumer's
 #: backpressure engages quickly, large enough to amortise framing.

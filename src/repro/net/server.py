@@ -17,8 +17,12 @@ layer; it just translates shed outcomes into ``shed`` frames carrying
 ``retry_after_s`` hints.
 
 Observability rides the service's own registry and tracer: gauges
-``net.connections`` / ``net.inflight``, counters ``net.frames.<type>``,
-a wall-clock request-latency histogram, and per-frame trace instants.
+``net.connections`` / ``net.inflight``, one ``net.frames`` counter with
+per-type labeled children, a wall-clock request-latency histogram, and
+per-frame trace instants.  The admin frames (``stats``, ``proclist``,
+``profile``, ``health``) are answered synchronously on the connection's
+handler thread — they never enter the dispatcher queue, so a slow admin
+consumer throttles only itself and query dispatch is unaffected.
 """
 
 from __future__ import annotations
@@ -30,11 +34,13 @@ import time
 from typing import Dict, List, Optional
 
 from repro.net.protocol import (
-    FRAME_ERROR, FRAME_HELLO, FRAME_QUERY, FRAME_ROWS, FRAME_SHED,
-    FRAME_SHUTDOWN, FRAME_SUMMARY, MAX_FRAME_BYTES, ROWS_PER_FRAME,
+    ADMIN_FRAMES, FRAME_ERROR, FRAME_HEALTH, FRAME_HELLO, FRAME_PROCLIST,
+    FRAME_PROFILE, FRAME_QUERY, FRAME_ROWS, FRAME_SHED, FRAME_SHUTDOWN,
+    FRAME_STATS, FRAME_SUMMARY, MAX_FRAME_BYTES, ROWS_PER_FRAME,
     ConnectionClosed, ProtocolError, check_hello, encode_frame, hello_frame,
     read_frame,
 )
+from repro.obs.export import to_prometheus
 from repro.service.service import ERROR, SHED_STATUS
 
 #: Dispatcher wake-up sentinel.
@@ -49,7 +55,7 @@ class _Request:
 
     __slots__ = (
         "text", "strategy", "label", "tenant", "done", "result", "error",
-        "retry_after_s",
+        "retry_after_s", "proc",
     )
 
     def __init__(self, text, strategy, label, tenant):
@@ -58,6 +64,10 @@ class _Request:
         self.label = label
         self.tenant = tenant
         self.done = threading.Event()
+        #: The server's live proc-table entry for this request (a
+        #: plain dict the dispatcher and handler update in place;
+        #: ``proclist`` snapshots it).
+        self.proc: Optional[Dict] = None
         #: A repro.service.result.QueryResult on success/shed/error
         #: status; None when ``error`` carries a message instead.
         self.result = None
@@ -97,6 +107,8 @@ class ReproServer:
         request_timeout_s: float = 300.0,
         owns_service: bool = True,
         max_frame: int = MAX_FRAME_BYTES,
+        prom_out: Optional[str] = None,
+        prom_interval_s: float = 5.0,
     ):
         self.service = service
         self.host = host
@@ -108,6 +120,12 @@ class ReproServer:
         self.request_timeout_s = request_timeout_s
         self.owns_service = owns_service
         self.max_frame = max_frame
+        #: When set, a daemon thread rewrites this path with the
+        #: Prometheus text-format page every ``prom_interval_s``
+        #: wall seconds (plus once at shutdown) — file-based scraping
+        #: for environments without an HTTP scrape path.
+        self.prom_out = prom_out
+        self.prom_interval_s = prom_interval_s
         self.registry = service.registry
         self.tracer = service.tracer
         self._listener: Optional[socket.socket] = None
@@ -121,6 +139,14 @@ class ReproServer:
         self._served_queries = 0
         self._started = False
         self._closed = False
+        #: Live in-flight query table for ``proclist``: server-assigned
+        #: qid -> mutable entry dict.  Entries are added when a query
+        #: frame is accepted and removed when its terminal frame has
+        #: been sent (or the request failed).
+        self._proc: Dict[int, Dict] = {}
+        self._proc_lock = threading.Lock()
+        self._next_qid = 0
+        self._started_wall = time.monotonic()
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -140,10 +166,14 @@ class ReproServer:
         listener.bind((self.host, self._requested_port))
         listener.listen(self.backlog)
         self._listener = listener
-        for name, target in (
+        self._started_wall = time.monotonic()
+        targets = [
             ("repro-net-dispatch", self._dispatch_loop),
             ("repro-net-accept", self._accept_loop),
-        ):
+        ]
+        if self.prom_out is not None:
+            targets.append(("repro-net-prom", self._prom_loop))
+        for name, target in targets:
             thread = threading.Thread(target=target, name=name, daemon=True)
             thread.start()
             self._threads.append(thread)
@@ -221,7 +251,9 @@ class ReproServer:
                 self._inflight += inflight_delta
                 self.registry.gauge("net.inflight").set(self._inflight)
             if frame is not None:
-                self.registry.counter("net.frames.%s" % frame).inc()
+                self.registry.counter("net.frames").labels(
+                    type=frame
+                ).inc()
                 if self.tracer is not None:
                     self.tracer.instant_now(
                         "net.frame.%s" % frame, "net", None
@@ -230,6 +262,144 @@ class ReproServer:
                 self.registry.histogram(
                     "net.request_wall_s"
                 ).observe(wall_latency_s)
+
+    def _sync_trace_drops(self) -> None:
+        """Mirror the tracer's ring evictions into the registry (the
+        counter is monotone, so fold in the delta since last sync)."""
+        tracer = self.tracer
+        if tracer is None:
+            return
+        counter = self.registry.counter("trace.dropped_events")
+        dropped = tracer.dropped
+        if dropped > counter.value:
+            with self._obs_lock:
+                delta = dropped - counter.value
+                if delta > 0:
+                    counter.inc(delta)
+
+    # -- admin frames ------------------------------------------------------
+
+    def _stats_payload(self) -> Dict:
+        """The ``stats`` frame body: registry snapshot + live gauges."""
+        self._sync_trace_drops()
+        service = self.service
+        with self._conn_lock:
+            connections = len(self._conns)
+        payload = {
+            "registry": self.registry.snapshot(),
+            "server": {
+                "connections": connections,
+                "inflight": self._inflight,
+                "served_queries": self._served_queries,
+                "uptime_wall_s": time.monotonic() - self._started_wall,
+                "queue_depth": self._queue.qsize(),
+                "max_batch": self.max_batch,
+            },
+            "service": {
+                "clock": service.clock,
+                "batches_run": service.batches_run,
+                "pending": len(service._pending),
+                "peak_state_bytes": service.peak_state_bytes,
+                "profiles_retained": len(service.profiles),
+                "profiles_evicted": service.profiles.evicted,
+                "feedback_fingerprints": len(service.feedback),
+            },
+        }
+        tracer = self.tracer
+        if tracer is not None:
+            payload["trace"] = {
+                "events": len(tracer),
+                "dropped": tracer.dropped,
+                "max_events": tracer.max_events,
+            }
+        eventlog = getattr(service, "eventlog", None)
+        if eventlog is not None:
+            payload["eventlog"] = {
+                "path": eventlog.path,
+                "events_written": eventlog.events_written,
+                "rotations": eventlog.rotations,
+            }
+        return payload
+
+    def _proclist_payload(self) -> List[Dict]:
+        now = time.monotonic()
+        clock = self.service.clock
+        with self._proc_lock:
+            entries = [dict(entry) for entry in self._proc.values()]
+        rows = []
+        for entry in sorted(entries, key=lambda e: e["qid"]):
+            submitted = entry.get("clock_submitted")
+            rows.append({
+                "qid": entry["qid"],
+                "tenant": entry["tenant"],
+                "label": entry["label"],
+                "phase": entry["phase"],
+                "elapsed_wall_s": now - entry["enqueued_wall"],
+                "virtual_elapsed_s": (
+                    clock - submitted if submitted is not None else 0.0
+                ),
+                "seq": entry.get("seq"),
+                "state_estimate_bytes": entry.get("state_estimate"),
+                "worker": entry.get("worker"),
+            })
+        return rows
+
+    def _admin_response(self, kind: str, frame: Dict) -> Dict:
+        """Answer one admin frame.  Runs on the connection's handler
+        thread; reads shared state under the appropriate locks but
+        never enqueues on the dispatcher, so a slow admin consumer
+        cannot stall query dispatch."""
+        qid = frame.get("id")
+        if kind == FRAME_HEALTH:
+            with self._conn_lock:
+                connections = len(self._conns)
+            return {
+                "type": FRAME_HEALTH, "id": qid,
+                "status": "stopping" if self._stop.is_set() else "ok",
+                "uptime_wall_s": time.monotonic() - self._started_wall,
+                "connections": connections,
+                "inflight": self._inflight,
+                "served_queries": self._served_queries,
+                "batches_run": self.service.batches_run,
+            }
+        if kind == FRAME_STATS:
+            response = {
+                "type": FRAME_STATS, "id": qid,
+                "stats": self._stats_payload(),
+            }
+            if frame.get("prom"):
+                response["prom"] = to_prometheus(self.registry)
+            return response
+        if kind == FRAME_PROCLIST:
+            return {
+                "type": FRAME_PROCLIST, "id": qid,
+                "queries": self._proclist_payload(),
+            }
+        # FRAME_PROFILE: an unknown/evicted seq is a null profile, not
+        # an error — eviction is a normal state for a bounded ring.
+        seq = frame.get("seq")
+        profile = (
+            self.service.profiles.get(seq)
+            if isinstance(seq, int) and not isinstance(seq, bool) else None
+        )
+        return {
+            "type": FRAME_PROFILE, "id": qid,
+            "profile": profile.as_dict() if profile is not None else None,
+        }
+
+    def _prom_loop(self) -> None:
+        """Periodic Prometheus snapshot writer (``prom_out``)."""
+        while not self._stop.wait(self.prom_interval_s):
+            self._write_prom()
+        self._write_prom()  # final page so short runs export something
+
+    def _write_prom(self) -> None:
+        self._sync_trace_drops()
+        try:
+            with open(self.prom_out, "w", encoding="utf-8") as fh:
+                fh.write(to_prometheus(self.registry))
+        except OSError:
+            pass  # an unwritable path must not kill the server
 
     # -- accept / handler threads ------------------------------------------
 
@@ -264,6 +434,12 @@ class ReproServer:
                     conn.sendall(encode_frame({"type": FRAME_SHUTDOWN}))
                     self.stop()
                     return
+                if kind in ADMIN_FRAMES:
+                    self._observe(frame=kind)
+                    conn.sendall(encode_frame(
+                        self._admin_response(kind, frame)
+                    ))
+                    continue
                 if kind != FRAME_QUERY:
                     raise ProtocolError(
                         "unexpected %r frame mid-session" % kind
@@ -301,6 +477,21 @@ class ReproServer:
             }))
             return
         started = time.monotonic()
+        with self._proc_lock:
+            self._next_qid += 1
+            entry = {
+                "qid": self._next_qid,
+                "tenant": tenant,
+                "label": request.label or "sql",
+                "phase": "queued",
+                "enqueued_wall": started,
+                "seq": None,
+                "state_estimate": None,
+                "clock_submitted": None,
+                "worker": None,
+            }
+            self._proc[entry["qid"]] = entry
+        request.proc = entry
         self._observe(inflight_delta=1)
         try:
             self._queue.put(request)
@@ -311,12 +502,14 @@ class ReproServer:
                                "service queue" % self.request_timeout_s,
                 }))
                 return
+            self._send_response(conn, qid, request)
         finally:
             self._observe(
                 inflight_delta=-1,
                 wall_latency_s=time.monotonic() - started,
             )
-        self._send_response(conn, qid, request)
+            with self._proc_lock:
+                self._proc.pop(entry["qid"], None)
 
     def _send_response(self, conn, qid, request: _Request) -> None:
         if request.error is not None:
@@ -348,6 +541,8 @@ class ReproServer:
         # Success: stream rows in chunks, then the summary.  Each
         # sendall may block on a slow consumer — that is the point:
         # backpressure lands on this connection's thread alone.
+        if request.proc is not None:
+            request.proc["phase"] = "streaming"
         for offset in range(0, len(rows), ROWS_PER_FRAME):
             self._observe(frame=FRAME_ROWS)
             conn.sendall(encode_frame({
@@ -406,8 +601,23 @@ class ReproServer:
                 request.fail(str(exc))
                 continue
             seqs[seq] = request
+            proc = request.proc
+            if proc is not None:
+                # Proc-table promotion: the query now has a service
+                # identity and a state estimate for `proclist`.
+                proc["seq"] = seq
+                proc["clock_submitted"] = service.clock
+                for pending in service._pending:
+                    if pending.seq == seq:
+                        proc["state_estimate"] = pending.state_estimate
+                        proc["label"] = pending.label
+                        break
+                proc["phase"] = "admitted"
         if not seqs:
             return
+        for request in seqs.values():
+            if request.proc is not None:
+                request.proc["phase"] = "executing"
         try:
             report = service.run()
         except Exception as exc:  # engine fault: fail the whole group

@@ -22,16 +22,32 @@ and this package is that idea promoted to a first-class subsystem:
 * :mod:`repro.obs.analyze` — ``EXPLAIN ANALYZE``: execute a plan and
   render its tree annotated with estimated vs actual cardinality,
   attributed CPU ticks, peak state and prune counts per operator.
+* :mod:`repro.obs.profiles` — a bounded ring of retained per-query
+  profiles (plan signature, est-vs-actual per operator, latency
+  breakdown), the substrate of the ``profile`` admin frame and the
+  slow-query log.
+* :mod:`repro.obs.eventlog` — append-only JSONL lifecycle/slow-query
+  log with size rotation.
+* :mod:`repro.obs.export` — Prometheus text-format export of the
+  registry, with per-tenant labeled series.
 """
 
+from repro.obs.eventlog import EventLog
+from repro.obs.export import to_prometheus, validate_prometheus
 from repro.obs.feedback import FeedbackStore
+from repro.obs.profiles import ProfileRing, QueryProfile
 from repro.obs.registry import MetricsRegistry, percentile
 from repro.obs.trace import Tracer, validate_chrome_trace
 
 __all__ = [
+    "EventLog",
     "FeedbackStore",
     "MetricsRegistry",
+    "ProfileRing",
+    "QueryProfile",
     "Tracer",
     "percentile",
+    "to_prometheus",
     "validate_chrome_trace",
+    "validate_prometheus",
 ]

@@ -1,0 +1,234 @@
+"""Prometheus text-format export of the metrics registry.
+
+:func:`to_prometheus` renders a :class:`~repro.obs.registry
+.MetricsRegistry` in the Prometheus text exposition format (version
+0.0.4): counters as ``_total`` samples, gauges as plain samples, and
+histograms as cumulative ``_bucket{le=...}`` series with ``_sum`` and
+``_count``.  Labeled children (``counter.labels(tenant="a")``) become
+labeled sample lines; when a metric has children, only the children
+are emitted — the parent is their roll-up, and emitting both would
+double every ``sum()`` a scraper computes.
+
+The exporter reads *live* metric objects (via ``registry.metric``),
+not snapshots — a flat snapshot discards the bucket boundaries and
+per-bucket counts the ``_bucket`` series need.
+
+:func:`validate_prometheus` is the matching format checker, wired into
+``python -m repro.obs.validate --prom`` so CI can assert the exporter
+never drifts from the format scrapers parse.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs.registry import Counter, Gauge, Histogram
+
+#: Default metric-name prefix (the "namespace" in Prometheus terms).
+PREFIX = "repro_"
+
+_NAME_OK = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>[^ ]+)$"
+)
+_LABEL_PAIR = re.compile(r'^[a-zA-Z_][a-zA-Z0-9_]*="[^"\\]*"$')
+
+
+def metric_name(name: str, prefix: str = PREFIX) -> str:
+    """Registry name → valid Prometheus metric name (dots become
+    underscores; anything else illegal is squashed the same way)."""
+    return prefix + re.sub(r"[^a-zA-Z0-9_:]", "_", name)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    as_float = float(value)
+    if as_float.is_integer() and abs(as_float) < 1e15:
+        return str(int(as_float))
+    return repr(as_float)
+
+
+def _series_of(metric) -> List[Tuple[Optional[str], object]]:
+    """(label-string, live metric) pairs to emit for one registry
+    entry: the children when any exist, else the unlabeled parent."""
+    children = metric.series
+    if children:
+        return [(key, child) for key, child in sorted(children.items())]
+    return [(None, metric)]
+
+
+def _merge_labels(labels: Optional[str], extra: str = "") -> str:
+    parts = [part for part in (labels, extra) if part]
+    return "{%s}" % ",".join(parts) if parts else ""
+
+
+def _render_histogram(out: List[str], name: str, labels: Optional[str],
+                      hist: Histogram) -> None:
+    cumulative = 0
+    for index, bound in enumerate(hist.boundaries):
+        cumulative += hist.counts[index]
+        out.append("%s_bucket%s %d" % (
+            name, _merge_labels(labels, 'le="%g"' % bound), cumulative,
+        ))
+    out.append("%s_bucket%s %d" % (
+        name, _merge_labels(labels, 'le="+Inf"'), hist.count,
+    ))
+    out.append("%s_sum%s %s" % (name, _merge_labels(labels),
+                                _fmt(hist.total)))
+    out.append("%s_count%s %d" % (name, _merge_labels(labels), hist.count))
+
+
+def to_prometheus(registry, prefix: str = PREFIX) -> str:
+    """The registry as one Prometheus text-format page."""
+    out: List[str] = []
+    for raw_name in registry.names():
+        metric = registry.metric(raw_name)
+        if metric is None:
+            continue
+        name = metric_name(raw_name, prefix)
+        if isinstance(metric, Counter):
+            out.append("# TYPE %s_total counter" % name)
+            for labels, series in _series_of(metric):
+                out.append("%s_total%s %s" % (
+                    name, _merge_labels(labels), _fmt(series.value),
+                ))
+        elif isinstance(metric, Gauge):
+            out.append("# TYPE %s gauge" % name)
+            for labels, series in _series_of(metric):
+                out.append("%s%s %s" % (
+                    name, _merge_labels(labels), _fmt(series.value),
+                ))
+        elif isinstance(metric, Histogram):
+            out.append("# TYPE %s histogram" % name)
+            for labels, series in _series_of(metric):
+                _render_histogram(out, name, labels, series)
+    return "\n".join(out) + "\n" if out else ""
+
+
+# -- format checking -------------------------------------------------------
+
+def _parse_sample(line: str):
+    match = _SAMPLE.match(line)
+    if match is None:
+        return None
+    labels: Dict[str, str] = {}
+    raw = match.group("labels")
+    if raw is not None:
+        if not raw:
+            return None
+        for pair in raw.split(","):
+            if not _LABEL_PAIR.match(pair):
+                return None
+            key, value = pair.split("=", 1)
+            labels[key] = value[1:-1]
+    try:
+        value = float(match.group("value"))
+    except ValueError:
+        return None
+    return match.group("name"), labels, value
+
+
+def validate_prometheus(text: str) -> List[str]:
+    """Schema-check one Prometheus text-format page.
+
+    Returns human-readable problems (empty list = valid and
+    non-empty).  Beyond line syntax it checks the invariants scrapers
+    rely on: every sample is typed, counter samples end in ``_total``,
+    and each histogram series has monotone cumulative buckets whose
+    ``+Inf`` bucket equals its ``_count``.
+    """
+    errors: List[str] = []
+    types: Dict[str, str] = {}
+    #: (base-name, label-string-minus-le) -> list of (le, value)
+    buckets: Dict[Tuple[str, str], List[Tuple[float, float]]] = {}
+    counts: Dict[Tuple[str, str], float] = {}
+    samples = 0
+
+    def fail(lineno: int, message: str) -> None:
+        if len(errors) < 20:
+            errors.append("line %d: %s" % (lineno, message))
+        elif len(errors) == 20:
+            errors.append("... further errors suppressed")
+
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split()
+            if len(parts) >= 2 and parts[1] == "TYPE":
+                if len(parts) != 4 or parts[3] not in (
+                    "counter", "gauge", "histogram", "summary", "untyped"
+                ):
+                    fail(lineno, "malformed TYPE comment: %r" % line)
+                    continue
+                if not _NAME_OK.match(parts[2]):
+                    fail(lineno, "bad metric name in TYPE: %r" % parts[2])
+                    continue
+                types[parts[2]] = parts[3]
+            elif len(parts) >= 2 and parts[1] == "HELP":
+                pass  # free text; nothing to check
+            else:
+                pass  # arbitrary comment, allowed
+            continue
+        parsed = _parse_sample(line)
+        if parsed is None:
+            fail(lineno, "unparseable sample: %r" % line)
+            continue
+        name, labels, value = parsed
+        samples += 1
+        base = name
+        for suffix in ("_bucket", "_sum", "_count", "_total"):
+            if name.endswith(suffix):
+                base = name[: -len(suffix)]
+                break
+        declared = types.get(name) or types.get(base) or types.get(
+            base + "_total"
+        )
+        if declared is None:
+            fail(lineno, "sample %r has no preceding TYPE" % name)
+            continue
+        if declared == "counter":
+            if not name.endswith("_total"):
+                fail(lineno, "counter sample %r must end in _total" % name)
+            if value < 0:
+                fail(lineno, "counter %r is negative" % name)
+        if declared == "histogram":
+            key_labels = ",".join(sorted(
+                '%s="%s"' % (k, v) for k, v in labels.items() if k != "le"
+            ))
+            if name.endswith("_bucket"):
+                le = labels.get("le")
+                if le is None:
+                    fail(lineno, "bucket sample %r lacks le" % name)
+                    continue
+                bound = float("inf") if le == "+Inf" else float(le)
+                buckets.setdefault((base, key_labels), []).append(
+                    (bound, value)
+                )
+            elif name.endswith("_count"):
+                counts[(base, key_labels)] = value
+
+    for (base, key_labels), series in sorted(buckets.items()):
+        where = base + ("{%s}" % key_labels if key_labels else "")
+        bounds = [bound for bound, _ in series]
+        if bounds != sorted(bounds):
+            errors.append("%s: buckets out of order" % where)
+        values = [value for _, value in series]
+        if any(b < a for a, b in zip(values, values[1:])):
+            errors.append("%s: cumulative bucket counts decrease" % where)
+        if not series or series[-1][0] != float("inf"):
+            errors.append("%s: missing le=\"+Inf\" bucket" % where)
+        elif (base, key_labels) in counts and (
+            series[-1][1] != counts[(base, key_labels)]
+        ):
+            errors.append(
+                "%s: +Inf bucket (%g) != _count (%g)"
+                % (where, series[-1][1], counts[(base, key_labels)])
+            )
+    if samples == 0 and not errors:
+        errors.append("no samples: the exporter emitted nothing")
+    return errors

@@ -1,0 +1,249 @@
+"""Retained per-query profiles: what each completed query cost.
+
+The trace (:mod:`repro.obs.trace`) answers "what happened on the
+timeline"; the registry (:mod:`repro.obs.registry`) answers "what does
+the service look like in aggregate".  Neither can answer the operator's
+question five minutes after the fact: *what did query 4217 cost, and
+where was the optimizer wrong?*  A :class:`QueryProfile` is that
+answer — plan signature, per-operator estimated-vs-actual rows (from
+the same ``charge_op`` cardinality counters the feedback store reads),
+the latency breakdown on the service clock, and the spill/AIP/quota
+counters — and a :class:`ProfileRing` retains the last N of them so
+the ``profile`` admin frame and the slow-query log can look finished
+queries up by sequence number.
+
+Profiles are JSON-ready end to end (:meth:`QueryProfile.as_dict` is
+the ``profile`` frame's payload verbatim), and :meth:`QueryProfile
+.render` produces the EXPLAIN-ANALYZE-style table the slow-query log
+embeds.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Dict, List, Optional
+
+#: Default ring capacity; overridden by ``ServiceConfig
+#: .profile_retention``.
+DEFAULT_RETENTION = 128
+
+
+def operator_table(physical, metrics, estimator) -> List[Dict]:
+    """Per-operator est-vs-actual rows for one executed plan.
+
+    Walks the logical tree exactly like :meth:`~repro.obs.feedback
+    .FeedbackStore.record_plan` (same node skipping rules: rewritten
+    nodes and shared subtrees contribute once), pairing each node's
+    pre-execution estimate with the executed operator's cardinality
+    counters.  Returns JSON-ready dicts, depth-annotated so the tree
+    can be re-rendered client-side.
+    """
+    rows: List[Dict] = []
+    seen = set()
+
+    def visit(node, depth) -> None:
+        if node.node_id in seen:
+            return
+        seen.add(node.node_id)
+        op = physical.by_node_id.get(node.node_id)
+        if op is not None:
+            counters = metrics.operators.get(op.op_id)
+            rows.append({
+                "depth": depth,
+                "operator": type(node).__name__,
+                "label": node._label(),
+                "est_rows": estimator.estimate(node).rows,
+                "actual_rows": (
+                    counters.tuples_out if counters is not None else 0
+                ),
+                "tuples_in": (
+                    counters.tuples_in if counters is not None else 0
+                ),
+                "pruned": (
+                    counters.tuples_pruned if counters is not None else 0
+                ),
+            })
+        for child in node.children:
+            visit(child, depth + 1)
+
+    visit(physical.logical_root, 0)
+    return rows
+
+
+class QueryProfile:
+    """Everything retained about one finished query."""
+
+    __slots__ = (
+        "seq", "label", "status", "tenant", "strategy", "signature",
+        "batch", "arrival", "start", "finish", "rows", "reason",
+        "state_estimate", "aip_filters_injected", "aip_tuples_pruned",
+        "metrics", "operators",
+    )
+
+    def __init__(self, seq, label, status, tenant, strategy, signature,
+                 batch, arrival, start, finish, rows, reason=None,
+                 state_estimate=0.0, aip_filters_injected=0,
+                 aip_tuples_pruned=0, metrics=None, operators=None):
+        self.seq = seq
+        self.label = label
+        self.status = status
+        self.tenant = tenant
+        self.strategy = strategy
+        self.signature = signature
+        self.batch = batch
+        #: Virtual-clock milestones; ``start - arrival`` is queue wait,
+        #: ``finish - start`` is execute time.
+        self.arrival = arrival
+        self.start = start
+        self.finish = finish
+        self.rows = rows
+        self.reason = reason
+        self.state_estimate = state_estimate
+        self.aip_filters_injected = aip_filters_injected
+        self.aip_tuples_pruned = aip_tuples_pruned
+        #: Flat engine-counter summary (same shape as the public
+        #: result's ``metrics``); empty for sheds.
+        self.metrics: Dict = metrics or {}
+        #: Per-operator est-vs-actual table from :func:`operator_table`
+        #: (empty when attribution was unavailable, e.g. pool workers).
+        self.operators: List[Dict] = operators or []
+
+    @property
+    def latency(self) -> float:
+        return self.finish - self.arrival
+
+    @property
+    def queue_wait(self) -> float:
+        return self.start - self.arrival
+
+    @property
+    def execute_seconds(self) -> float:
+        return self.finish - self.start
+
+    @classmethod
+    def from_outcome(cls, outcome, signature: str,
+                     operators: Optional[List[Dict]] = None,
+                     ) -> "QueryProfile":
+        """Build a profile from a service :class:`QueryOutcome`."""
+        result = outcome.result
+        return cls(
+            outcome.seq, outcome.label, outcome.status, outcome.tenant,
+            outcome.strategy, signature, outcome.batch,
+            outcome.arrival, outcome.start, outcome.finish,
+            len(result) if result is not None else 0,
+            reason=outcome.reason,
+            state_estimate=outcome.state_estimate,
+            aip_filters_injected=outcome.aip_filters_injected,
+            aip_tuples_pruned=outcome.aip_tuples_pruned,
+            metrics=(
+                result.metrics.summary() if result is not None else {}
+            ),
+            operators=operators,
+        )
+
+    def as_dict(self) -> Dict:
+        """The ``profile`` admin frame's JSON payload."""
+        return {
+            "seq": self.seq,
+            "label": self.label,
+            "status": self.status,
+            "tenant": self.tenant,
+            "strategy": self.strategy,
+            "signature": self.signature,
+            "batch": self.batch,
+            "arrival": self.arrival,
+            "start": self.start,
+            "finish": self.finish,
+            "latency_s": self.latency,
+            "queue_wait_s": self.queue_wait,
+            "execute_s": self.execute_seconds,
+            "rows": self.rows,
+            "reason": self.reason,
+            "state_estimate_bytes": self.state_estimate,
+            "aip_filters_injected": self.aip_filters_injected,
+            "aip_tuples_pruned": self.aip_tuples_pruned,
+            "metrics": dict(self.metrics),
+            "operators": [dict(row) for row in self.operators],
+        }
+
+    def render(self) -> str:
+        """EXPLAIN-ANALYZE-style text, embedded by the slow-query log."""
+        lines = [
+            "query #%d %s [%s] strategy=%s tenant=%s" % (
+                self.seq, self.label, self.status, self.strategy,
+                self.tenant,
+            ),
+            "latency %.6f vs (queue %.6f + execute %.6f); %d rows%s" % (
+                self.latency, self.queue_wait, self.execute_seconds,
+                self.rows,
+                " (%s)" % self.reason if self.reason else "",
+            ),
+        ]
+        if self.operators:
+            lines.append("%-44s %11s %11s %9s" % (
+                "operator", "est. rows", "actual", "pruned",
+            ))
+            lines.append("-" * 78)
+            for row in self.operators:
+                label = "  " * row["depth"] + row["label"]
+                lines.append("%-44s %11.1f %11d %9d" % (
+                    label[:44], row["est_rows"], row["actual_rows"],
+                    row["pruned"],
+                ))
+        if self.metrics:
+            lines.append(
+                "engine: cpu %.6f s; %.3f MB peak state; "
+                "%d pruned; %d spill bytes" % (
+                    self.metrics.get("cpu_seconds", 0.0),
+                    self.metrics.get("peak_state_mb", 0.0),
+                    self.metrics.get("tuples_pruned", 0),
+                    self.metrics.get("spill_bytes", 0),
+                )
+            )
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return "QueryProfile(#%d %s %s: %.4fs)" % (
+            self.seq, self.label, self.status, self.latency,
+        )
+
+
+class ProfileRing:
+    """Bounded, thread-safe retention of the last N query profiles.
+
+    Keyed by service sequence number.  The dispatcher records while
+    admin handler threads look up and list, so every access takes the
+    ring's lock; recording past capacity evicts the oldest profile and
+    bumps :attr:`evicted`.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_RETENTION):
+        if capacity < 1:
+            raise ValueError("profile retention must be >= 1")
+        self.capacity = capacity
+        self.evicted = 0
+        self._profiles: "OrderedDict[int, QueryProfile]" = OrderedDict()
+        self._lock = threading.Lock()
+
+    def record(self, profile: QueryProfile) -> None:
+        with self._lock:
+            self._profiles[profile.seq] = profile
+            self._profiles.move_to_end(profile.seq)
+            while len(self._profiles) > self.capacity:
+                self._profiles.popitem(last=False)
+                self.evicted += 1
+
+    def get(self, seq: int) -> Optional[QueryProfile]:
+        with self._lock:
+            return self._profiles.get(seq)
+
+    def last(self, n: Optional[int] = None) -> List[QueryProfile]:
+        """The most recent profiles, oldest first."""
+        with self._lock:
+            profiles = list(self._profiles.values())
+        return profiles if n is None else profiles[-n:]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._profiles)

@@ -45,27 +45,41 @@ reader knows 1 displayed microsecond = 1 virtual tick = 1 ps.
 from __future__ import annotations
 
 import json
-from typing import Dict, List, Optional
+from collections import deque
+from typing import Deque, Dict, List, Optional
 
 #: Phases used in exported events.
 PH_COMPLETE = "X"
 PH_INSTANT = "i"
 
-#: Default cap on buffered events: a runaway per-tuple trace must not
-#: consume unbounded memory; overflow is counted, not silently lost.
+#: Default retention: a runaway per-tuple trace must not consume
+#: unbounded memory.  The buffer is a *ring* — a long-lived server
+#: keeps the most recent ``max_events`` events and counts what it
+#: evicted, instead of freezing the trace at hour one and silently
+#: discarding everything after.
 MAX_EVENTS = 1_000_000
 
 
 class Tracer:
-    """Collects trace events stamped in virtual-clock ticks."""
+    """Collects trace events stamped in virtual-clock ticks.
+
+    Retention is a bounded ring: once ``max_events`` events are
+    buffered, each new event evicts the oldest and bumps
+    :attr:`dropped` (surfaced as the ``trace.dropped_events`` counter
+    in server stats), so a multi-hour ``repro serve`` degrades to a
+    sliding window rather than a truncated head.
+    """
 
     __slots__ = ("events", "max_events", "dropped", "last_ts", "offset")
 
     def __init__(self, max_events: int = MAX_EVENTS):
-        #: Raw events as ``(ph, name, cat, ts, dur, args)`` tuples.
-        self.events: List[tuple] = []
+        if max_events < 1:
+            raise ValueError("max_events must be >= 1")
+        #: Raw events as ``(ph, name, cat, ts, dur, args)`` tuples,
+        #: oldest first; a full ring evicts from the front.
+        self.events: Deque[tuple] = deque(maxlen=max_events)
         self.max_events = max_events
-        #: Events discarded after :attr:`max_events` was reached.
+        #: Events evicted from the ring after it filled.
         self.dropped = 0
         #: Largest timestamp seen; hook sites with no clock at hand
         #: (lease creation during operator construction) reuse it via
@@ -81,8 +95,7 @@ class Tracer:
         if ts > self.last_ts:
             self.last_ts = ts
         if len(self.events) >= self.max_events:
-            self.dropped += 1
-            return
+            self.dropped += 1  # the append below evicts the oldest
         self.events.append((ph, name, cat, ts, dur, args))
 
     def instant(

@@ -1,13 +1,16 @@
-"""Chrome-trace schema checker, runnable as a module.
+"""Observability format checkers, runnable as a module.
 
 Usage::
 
     python -m repro.obs.validate trace1.json [trace2.json ...]
+    python -m repro.obs.validate --prom metrics.prom [...]
 
-Exits non-zero when any file is unreadable, malformed, or records an
-empty trace — the CI observability smoke job runs a traced workload and
+The default mode schema-checks Chrome-trace JSON; ``--prom`` checks
+Prometheus text-format pages instead.  Exits non-zero when any file is
+unreadable, malformed, or records nothing — the CI observability smoke
+job runs a traced workload (and a live server's ``stats --prom``) and
 then this checker, so instrumentation that silently stops emitting
-events fails the build rather than rotting.
+fails the build rather than rotting.
 """
 
 from __future__ import annotations
@@ -19,28 +22,56 @@ from typing import List, Optional
 from repro.obs.trace import validate_chrome_trace
 
 
+def _check_trace(path: str) -> List[str]:
+    try:
+        with open(path) as fh:
+            payload = json.load(fh)
+    except (OSError, ValueError) as exc:
+        return ["unreadable (%s)" % exc]
+    errors = validate_chrome_trace(payload)
+    if not errors:
+        print("%s: ok (%d events)" % (path, len(payload["traceEvents"])))
+    return errors
+
+
+def _check_prom(path: str) -> List[str]:
+    from repro.obs.export import validate_prometheus
+
+    try:
+        with open(path) as fh:
+            text = fh.read()
+    except OSError as exc:
+        return ["unreadable (%s)" % exc]
+    errors = validate_prometheus(text)
+    if not errors:
+        samples = sum(
+            1 for line in text.splitlines()
+            if line.strip() and not line.startswith("#")
+        )
+        print("%s: ok (%d samples)" % (path, samples))
+    return errors
+
+
 def main(argv: Optional[List[str]] = None) -> int:
-    paths = sys.argv[1:] if argv is None else argv
+    paths = list(sys.argv[1:] if argv is None else argv)
+    prom = False
+    if paths and paths[0] == "--prom":
+        prom = True
+        paths = paths[1:]
     if not paths:
-        print("usage: python -m repro.obs.validate TRACE.json [...]",
-              file=sys.stderr)
+        print(
+            "usage: python -m repro.obs.validate [--prom] FILE [...]",
+            file=sys.stderr,
+        )
         return 2
+    check = _check_prom if prom else _check_trace
     failures = 0
     for path in paths:
-        try:
-            with open(path) as fh:
-                payload = json.load(fh)
-        except (OSError, ValueError) as exc:
-            print("%s: unreadable (%s)" % (path, exc))
-            failures += 1
-            continue
-        errors = validate_chrome_trace(payload)
+        errors = check(path)
         if errors:
             for message in errors:
                 print("%s: %s" % (path, message))
             failures += 1
-        else:
-            print("%s: ok (%d events)" % (path, len(payload["traceEvents"])))
     return 1 if failures else 0
 
 

@@ -85,6 +85,18 @@ class ServiceConfig:
     slo_seconds: Optional[float] = None
     #: Hard per-tenant caps (see :class:`TenantQuota`).
     quotas: Dict[Optional[str], TenantQuota] = field(default_factory=dict)
+    #: How many completed query profiles the service retains for the
+    #: ``profile`` admin frame and the slow-query log.
+    profile_retention: int = 128
+    #: Latency threshold (milliseconds, service virtual clock) above
+    #: which a completed query gets a ``slow_query`` event-log entry
+    #: embedding its profile; None disables the slow-query log.
+    slow_query_ms: Optional[float] = None
+    #: Structured JSONL event log: a path, an
+    #: :class:`~repro.obs.eventlog.EventLog`, or None (disabled).
+    event_log: Any = None
+    #: Size-rotation threshold for a path-configured event log.
+    event_log_max_bytes: int = 4 * 1024 * 1024
 
     def validate(self) -> "ServiceConfig":
         """Fail fast on contradictory settings; returns self."""
@@ -107,6 +119,15 @@ class ServiceConfig:
                     "quota for tenant %r must be a TenantQuota; got %r"
                     % (tenant, quota)
                 )
+        if self.profile_retention < 1:
+            raise ValueError(
+                "profile_retention must be >= 1; got %r"
+                % (self.profile_retention,)
+            )
+        if self.slow_query_ms is not None and self.slow_query_ms < 0:
+            raise ValueError(
+                "slow_query_ms must be >= 0; got %r" % (self.slow_query_ms,)
+            )
         return self
 
     def evolve(self, **overrides) -> "ServiceConfig":

@@ -27,7 +27,9 @@ from repro.exec.engine import QueryResult
 from repro.exec.metrics import Metrics, seconds_to_ticks
 from repro.harness.concurrent import run_concurrent
 from repro.harness.strategies import make_strategy, uses_magic_plan
+from repro.obs.eventlog import open_event_log
 from repro.obs.feedback import FeedbackStore
+from repro.obs.profiles import ProfileRing, QueryProfile, operator_table
 from repro.obs.registry import RATIO_BUCKETS, MetricsRegistry, percentile
 from repro.optimizer.cost import PlanCoster
 from repro.optimizer.estimator import CardinalityEstimator
@@ -449,6 +451,17 @@ class QueryService:
         #: completed plan — the recording half of the runtime-feedback
         #: loop.
         self.feedback = FeedbackStore()
+        #: Retained profiles of the last-N finished queries (the
+        #: ``profile`` admin frame's backing store; shares its
+        #: est-vs-actual walk with the feedback store).
+        self.profiles = ProfileRing(config.profile_retention)
+        #: Latency threshold (ms) for slow-query entries; None = off.
+        self.slow_query_ms = config.slow_query_ms
+        #: Structured JSONL lifecycle log, or None (disabled — the
+        #: hook everywhere is one ``is None`` check, like the tracer).
+        self.eventlog = open_event_log(
+            config.event_log, config.event_log_max_bytes
+        )
         #: Service-wide table placement: when set, every submitted plan
         #: is marked against it (whole-site and partitioned tables
         #: alike), overriding workload-built-in placements, and the
@@ -700,14 +713,14 @@ class QueryService:
                             {"query": entry.label, "rows": len(result)},
                         )
                     self.registry.counter("cache.result.hits").inc()
-                    self.registry.histogram("query.latency_s").observe(
-                        self.clock - entry.arrival
-                    )
-                    outcomes.append(QueryOutcome(
+                    outcome = QueryOutcome(
                         entry.seq, entry.label, CACHED, entry.strategy_name,
                         entry.arrival, start, self.clock, result, -1,
                         entry.state_estimate, tenant=entry.tenant,
-                    ))
+                    )
+                    self._observe_latency(outcome)
+                    self._finish_query(outcome, entry.signature)
+                    outcomes.append(outcome)
                     continue
                 if not entry.miss_counted:
                     if tracer is not None:
@@ -726,7 +739,6 @@ class QueryService:
                 # tenant's query is shed outright (the front door turns
                 # this into a `shed` frame with a retry hint) while
                 # other tenants in this very round keep packing.
-                self.registry.counter("quota.shed").inc()
                 if tracer is not None:
                     tracer.instant(
                         "admission.quota_shed", "service",
@@ -738,12 +750,9 @@ class QueryService:
                         },
                     )
                 consumed.add(entry.seq)
-                outcomes.append(QueryOutcome(
-                    entry.seq, entry.label, SHED_STATUS,
-                    entry.strategy_name, entry.arrival, self.clock,
-                    self.clock, None, -1, entry.state_estimate,
-                    tenant=entry.tenant, reason=quota_reason,
-                ))
+                outcomes.append(
+                    self._shed(entry, quota_reason, "quota.shed")
+                )
                 continue
             if self.slo_seconds is not None:
                 # Project this query's latency were it packed now: the
@@ -757,7 +766,6 @@ class QueryService:
                     packed_cost + entry.cost_estimate
                 ) / slots
                 if projected > self.slo_seconds:
-                    self.registry.counter("slo.shed").inc()
                     if tracer is not None:
                         tracer.instant(
                             "admission.slo_shed", "service",
@@ -769,12 +777,7 @@ class QueryService:
                             },
                         )
                     consumed.add(entry.seq)
-                    outcomes.append(QueryOutcome(
-                        entry.seq, entry.label, SHED_STATUS,
-                        entry.strategy_name, entry.arrival, self.clock,
-                        self.clock, None, -1, entry.state_estimate,
-                        tenant=entry.tenant, reason="slo",
-                    ))
+                    outcomes.append(self._shed(entry, "slo", "slo.shed"))
                     continue
             decision = self.admission.decide(entry.state_estimate)
             if tracer is not None:
@@ -787,14 +790,10 @@ class QueryService:
                     },
                 )
             if decision == SHED:
-                self.registry.counter("admission.shed").inc()
                 consumed.add(entry.seq)
-                outcomes.append(QueryOutcome(
-                    entry.seq, entry.label, SHED_STATUS, entry.strategy_name,
-                    entry.arrival, self.clock, self.clock, None, -1,
-                    entry.state_estimate, tenant=entry.tenant,
-                    reason="admission",
-                ))
+                outcomes.append(
+                    self._shed(entry, "admission", "admission.shed")
+                )
                 continue
             if decision != ADMIT:
                 # Queued: stop packing so dispatch order is respected;
@@ -802,6 +801,10 @@ class QueryService:
                 self.registry.counter("admission.queued").inc()
                 break
             self.registry.counter("admission.admitted").inc()
+            self._emit_event(
+                "admit", seq=entry.seq, label=entry.label,
+                tenant=entry.tenant, state_estimate=entry.state_estimate,
+            )
             self.admission.acquire(entry.state_estimate)
             consumed.add(entry.seq)
             batch.append(entry)
@@ -853,6 +856,70 @@ class QueryService:
         ):
             return "quota:state"
         return None
+
+    # -- telemetry plumbing ------------------------------------------------
+
+    @staticmethod
+    def _tenant_label(tenant: Optional[str]) -> str:
+        """Label value for per-tenant metric series (queries submitted
+        with no tenant share the ``anonymous`` series)."""
+        return tenant if tenant is not None else "anonymous"
+
+    def _emit_event(self, event: str, **fields) -> None:
+        if self.eventlog is not None:
+            self.eventlog.emit(event, clock=self.clock, **fields)
+
+    def _shed(self, entry: _PendingQuery, reason: str,
+              counter_name: str) -> QueryOutcome:
+        """One shed decision: labeled counter, event-log entry,
+        retained profile, and the outcome itself."""
+        self.registry.counter(counter_name).labels(
+            tenant=self._tenant_label(entry.tenant)
+        ).inc()
+        self._emit_event(
+            "shed", seq=entry.seq, label=entry.label,
+            tenant=entry.tenant, reason=reason,
+        )
+        outcome = QueryOutcome(
+            entry.seq, entry.label, SHED_STATUS, entry.strategy_name,
+            entry.arrival, self.clock, self.clock, None, -1,
+            entry.state_estimate, tenant=entry.tenant, reason=reason,
+        )
+        self._finish_query(outcome, entry.signature)
+        return outcome
+
+    def _observe_latency(self, outcome: QueryOutcome) -> None:
+        """Fold one finished query into the latency distributions:
+        the per-tenant labeled series feeds the unlabeled aggregate
+        via the registry's roll-up."""
+        self.registry.histogram("query.latency_s").labels(
+            tenant=self._tenant_label(outcome.tenant)
+        ).observe(outcome.latency)
+
+    def _finish_query(self, outcome: QueryOutcome, signature: str,
+                      operators=None) -> QueryProfile:
+        """Retain one finished query's profile and, past the slow-query
+        threshold, log the profile with its EXPLAIN-ANALYZE rendering."""
+        profile = QueryProfile.from_outcome(
+            outcome, signature, operators=operators
+        )
+        self.profiles.record(profile)
+        if (
+            self.slow_query_ms is not None
+            and outcome.status in (OK, CACHED)
+            and profile.latency * 1000.0 >= self.slow_query_ms
+        ):
+            self.registry.counter("queries.slow").labels(
+                tenant=self._tenant_label(outcome.tenant)
+            ).inc()
+            self._emit_event(
+                "slow_query", seq=outcome.seq, label=outcome.label,
+                tenant=outcome.tenant,
+                latency_ms=profile.latency * 1000.0,
+                threshold_ms=self.slow_query_ms,
+                profile=profile.as_dict(), explain=profile.render(),
+            )
+        return profile
 
     def _arrival_resolver(self):
         """Remote scans pace on the service's network links via the
@@ -995,7 +1062,19 @@ class QueryService:
         start = self.clock
         self.clock += batch_seconds
 
+        spill_before = (
+            self._run_engine["spill_bytes"], self._run_engine["spill_events"]
+        )
         self._fold_batch_metrics(ctx, physicals)
+        spilled_events = self._run_engine["spill_events"] - spill_before[1]
+        if spilled_events:
+            self._emit_event(
+                "spill", batch=batch_index,
+                spill_bytes=(
+                    self._run_engine["spill_bytes"] - spill_before[0]
+                ),
+                spill_events=spilled_events,
+            )
         estimator = CardinalityEstimator(self.catalog)
         for physical in physicals.values():
             self.feedback.record_plan(physical, ctx.metrics, estimator)
@@ -1005,6 +1084,10 @@ class QueryService:
                 seconds_to_ticks(batch_seconds),
                 {"batch": batch_index, "queries": len(batch)},
             )
+        self._emit_event(
+            "batch_complete", batch=batch_index, queries=len(batch),
+            virtual_seconds=batch_seconds,
+        )
 
         outcomes = []
         for index, (entry, result) in enumerate(zip(batch, results)):
@@ -1023,11 +1106,17 @@ class QueryService:
             outcome.aip_filters_injected = len(filters)
             outcome.aip_tuples_pruned = sum(f.pruned for f in filters)
             self.registry.counter("queries.completed").inc()
-            self.registry.histogram("query.latency_s").observe(
-                outcome.latency
-            )
+            self._observe_latency(outcome)
             self.registry.histogram("query.queue_wait_s").observe(
                 outcome.queue_wait
+            )
+            physical = physicals.get(index)
+            self._finish_query(
+                outcome, entry.signature,
+                operators=(
+                    operator_table(physical, ctx.metrics, estimator)
+                    if physical is not None else None
+                ),
             )
             outcomes.append(outcome)
         return outcomes
@@ -1157,6 +1246,10 @@ class QueryService:
                 },
             )
         pool.record_busy_fractions()
+        self._emit_event(
+            "batch_complete", batch=batch_index, queries=len(batch),
+            virtual_seconds=batch_seconds, parallel=pool.n_workers,
+        )
 
         outcomes = []
         for index, entry in enumerate(batch):
@@ -1168,12 +1261,18 @@ class QueryService:
                         seconds_to_ticks(start),
                         {"query": entry.label, "error": errors[index]},
                     )
-                outcomes.append(QueryOutcome(
+                self._emit_event(
+                    "crash", seq=entry.seq, label=entry.label,
+                    tenant=entry.tenant, error=errors[index],
+                )
+                outcome = QueryOutcome(
                     entry.seq, entry.label, ERROR, entry.strategy_name,
                     entry.arrival, start, start, None, batch_index,
                     entry.state_estimate, tenant=entry.tenant,
                     reason=errors[index],
-                ))
+                )
+                self._finish_query(outcome, entry.signature)
+                outcomes.append(outcome)
                 continue
             result = payloads[index]["result"]
             q_seconds = result.metrics.clock
@@ -1187,12 +1286,14 @@ class QueryService:
                 batch_index, entry.state_estimate, tenant=entry.tenant,
             )
             self.registry.counter("queries.completed").inc()
-            self.registry.histogram("query.latency_s").observe(
-                outcome.latency
-            )
+            self._observe_latency(outcome)
             self.registry.histogram("query.queue_wait_s").observe(
                 outcome.queue_wait
             )
+            # Pool workers run their own metric stores without operator
+            # attribution, so parallel profiles carry the flat summary
+            # but no est-vs-actual operator table.
+            self._finish_query(outcome, entry.signature)
             outcomes.append(outcome)
         return outcomes
 
@@ -1241,15 +1342,17 @@ class QueryService:
     # -- lifecycle ---------------------------------------------------------
 
     def close(self) -> None:
-        """Tear down the storage governor's spill directory and any
-        worker pool the service started itself (a pool passed in stays
-        up — its owner closes it)."""
+        """Tear down the storage governor's spill directory, any worker
+        pool the service started itself (a pool passed in stays up —
+        its owner closes it), and the event log."""
         if self.governor is not None:
             self.governor.close()
         if self._owns_pool and self._pool is not None:
             self._pool.close()
             self._pool = None
             self._owns_pool = False
+        if self.eventlog is not None:
+            self.eventlog.close()
 
     def __enter__(self) -> "QueryService":
         return self

@@ -141,7 +141,8 @@ class TestConcurrency:
                         for r in results.values()}
             assert len(payloads) == 1
             assert server.registry.gauge("net.connections").max_value >= 2
-            assert server.registry.counter("net.frames.query").value == 12
+            frames = server.registry.counter("net.frames")
+            assert frames.labels(type="query").value == 12
 
     def test_tenant_is_bound_at_hello(self, catalog):
         with make_server(catalog) as server, \
@@ -205,7 +206,8 @@ class TestLifecycle:
             client.shutdown_server()
         assert server.wait(timeout=30)
         server.close()
-        assert server.registry.counter("net.frames.shutdown").value == 1
+        frames = server.registry.counter("net.frames")
+        assert frames.labels(type="shutdown").value == 1
 
     def test_close_is_idempotent_and_closes_owned_service(self, catalog):
         service = QueryService(catalog, ServiceConfig())

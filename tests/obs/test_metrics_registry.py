@@ -4,7 +4,7 @@ import pytest
 
 from repro.obs.registry import (
     LATENCY_BUCKETS, RATIO_BUCKETS, Counter, Gauge, Histogram,
-    MetricsRegistry, percentile,
+    MetricsRegistry, label_key, percentile,
 )
 
 
@@ -97,6 +97,60 @@ class TestHistogram:
     def test_quantile_range_check(self):
         with pytest.raises(ValueError):
             Histogram([1.0]).quantile(200)
+
+
+class TestLabels:
+    def test_label_key_is_canonical(self):
+        assert label_key({"b": 2, "a": "x"}) == 'a="x",b="2"'
+        with pytest.raises(ValueError):
+            label_key({})
+
+    def test_counter_children_roll_up(self):
+        c = Counter()
+        c.labels(tenant="a").inc(2)
+        c.labels(tenant="b").inc()
+        assert c.labels(tenant="a") is c.labels(tenant="a")
+        assert c.labels(tenant="a").value == 2
+        assert c.labels(tenant="b").value == 1
+        assert c.value == 3  # parent is the total across label sets
+        snap = c.snapshot()
+        assert snap["value"] == 3
+        assert snap["series"]['tenant="a"']["value"] == 2
+        assert snap["series"]['tenant="b"']["value"] == 1
+
+    def test_histogram_children_share_boundaries_and_roll_up(self):
+        h = Histogram([1.0, 2.0])
+        h.labels(tenant="a").observe(0.5)
+        h.labels(tenant="b").observe(1.5)
+        assert h.labels(tenant="a").boundaries == h.boundaries
+        assert h.count == 2
+        assert h.labels(tenant="a").count == 1
+        snap = h.snapshot()
+        assert snap["count"] == 2
+        assert snap["series"]['tenant="a"']["count"] == 1
+
+    def test_gauge_children_are_independent(self):
+        g = Gauge()
+        g.set(7.0)
+        g.labels(worker="0").set(3.0)
+        assert g.value == 7.0  # no roll-up for point-in-time values
+        assert g.labels(worker="0").value == 3.0
+        assert g.snapshot()["series"]['worker="0"']["value"] == 3.0
+
+    def test_unlabeled_snapshot_has_no_series_key(self):
+        c = Counter()
+        c.inc()
+        assert "series" not in c.snapshot()
+
+    def test_labeled_snapshot_is_json_ready(self):
+        import json
+
+        reg = MetricsRegistry()
+        reg.counter("net.frames").labels(type="query").inc(4)
+        reg.histogram("lat").labels(tenant="t").observe(0.2)
+        snap = reg.snapshot()
+        assert json.loads(json.dumps(snap)) == snap
+        assert snap["net.frames"]["series"]['type="query"']["value"] == 4
 
 
 class TestRegistry:

@@ -1,0 +1,140 @@
+"""Tests for the Prometheus exporter and its format checker."""
+
+import pytest
+
+from repro.obs.export import metric_name, to_prometheus, validate_prometheus
+from repro.obs.registry import MetricsRegistry
+
+
+@pytest.fixture
+def registry():
+    reg = MetricsRegistry()
+    reg.counter("queries.completed").inc(3)
+    reg.gauge("net.inflight").set(2)
+    hist = reg.histogram("query.latency_s", boundaries=(0.1, 1.0, 10.0))
+    for value in (0.05, 0.5, 5.0, 50.0):
+        hist.observe(value)
+    return reg
+
+
+class TestExport:
+    def test_counter_gets_total_suffix(self, registry):
+        text = to_prometheus(registry)
+        assert "# TYPE repro_queries_completed_total counter" in text
+        assert "repro_queries_completed_total 3" in text
+
+    def test_gauge_is_plain_sample(self, registry):
+        text = to_prometheus(registry)
+        assert "# TYPE repro_net_inflight gauge" in text
+        assert "repro_net_inflight 2" in text
+
+    def test_histogram_buckets_are_cumulative(self, registry):
+        lines = to_prometheus(registry).splitlines()
+        buckets = [l for l in lines if "_bucket" in l]
+        assert 'repro_query_latency_s_bucket{le="0.1"} 1' in buckets
+        assert 'repro_query_latency_s_bucket{le="1"} 2' in buckets
+        assert 'repro_query_latency_s_bucket{le="10"} 3' in buckets
+        assert 'repro_query_latency_s_bucket{le="+Inf"} 4' in buckets
+        assert "repro_query_latency_s_count 4" in lines
+        assert any(l.startswith("repro_query_latency_s_sum") for l in lines)
+
+    def test_labeled_children_replace_the_rollup_parent(self):
+        reg = MetricsRegistry()
+        counter = reg.counter("quota.shed")
+        counter.labels(tenant="a").inc(2)
+        counter.labels(tenant="b").inc(1)
+        text = to_prometheus(reg)
+        assert 'repro_quota_shed_total{tenant="a"} 2' in text
+        assert 'repro_quota_shed_total{tenant="b"} 1' in text
+        # The parent is the children's roll-up; emitting it too would
+        # double every sum() a scraper computes.
+        assert "repro_quota_shed_total 3" not in text
+
+    def test_metric_name_sanitised(self):
+        assert metric_name("a.b-c d") == "repro_a_b_c_d"
+        assert metric_name("x", prefix="p_") == "p_x"
+
+    def test_empty_registry_exports_nothing(self):
+        assert to_prometheus(MetricsRegistry()) == ""
+
+
+class TestValidator:
+    def test_exporter_output_is_valid(self, registry):
+        assert validate_prometheus(to_prometheus(registry)) == []
+
+    def test_labeled_output_is_valid(self):
+        reg = MetricsRegistry()
+        hist = reg.histogram("lat", boundaries=(1.0,))
+        hist.labels(tenant="a").observe(0.5)
+        hist.labels(tenant="b").observe(2.0)
+        reg.counter("hits").labels(tenant="a").inc()
+        assert validate_prometheus(to_prometheus(reg)) == []
+
+    def test_untyped_sample_rejected(self):
+        errors = validate_prometheus("repro_x_total 1\n")
+        assert any("no preceding TYPE" in e for e in errors)
+
+    def test_counter_must_end_in_total(self):
+        page = "# TYPE repro_x_total counter\nrepro_x 1\n"
+        errors = validate_prometheus(page)
+        assert any("must end in _total" in e for e in errors)
+
+    def test_negative_counter_rejected(self):
+        page = "# TYPE repro_x_total counter\nrepro_x_total -1\n"
+        errors = validate_prometheus(page)
+        assert any("negative" in e for e in errors)
+
+    def test_decreasing_buckets_rejected(self):
+        page = "\n".join((
+            "# TYPE repro_h histogram",
+            'repro_h_bucket{le="1"} 5',
+            'repro_h_bucket{le="2"} 3',
+            'repro_h_bucket{le="+Inf"} 5',
+            "repro_h_sum 9",
+            "repro_h_count 5",
+        )) + "\n"
+        errors = validate_prometheus(page)
+        assert any("decrease" in e for e in errors)
+
+    def test_inf_bucket_must_match_count(self):
+        page = "\n".join((
+            "# TYPE repro_h histogram",
+            'repro_h_bucket{le="+Inf"} 4',
+            "repro_h_sum 9",
+            "repro_h_count 5",
+        )) + "\n"
+        errors = validate_prometheus(page)
+        assert any("+Inf" in e and "_count" in e for e in errors)
+
+    def test_missing_inf_bucket_rejected(self):
+        page = "\n".join((
+            "# TYPE repro_h histogram",
+            'repro_h_bucket{le="1"} 4',
+            "repro_h_sum 9",
+            "repro_h_count 5",
+        )) + "\n"
+        errors = validate_prometheus(page)
+        assert any("+Inf" in e for e in errors)
+
+    def test_empty_page_is_an_error(self):
+        errors = validate_prometheus("")
+        assert any("no samples" in e for e in errors)
+
+    def test_garbage_line_rejected(self):
+        page = "# TYPE repro_x gauge\nrepro_x{oops} nope\n"
+        errors = validate_prometheus(page)
+        assert any("unparseable" in e for e in errors)
+
+
+class TestValidateModule:
+    def test_prom_mode_checks_files(self, registry, tmp_path, capsys):
+        from repro.obs.validate import main
+
+        good = tmp_path / "good.prom"
+        good.write_text(to_prometheus(registry))
+        bad = tmp_path / "bad.prom"
+        bad.write_text("repro_x_total 1\n")
+        assert main(["--prom", str(good)]) == 0
+        assert "ok (" in capsys.readouterr().out
+        assert main(["--prom", str(bad)]) == 1
+        assert main(["--prom"]) == 2

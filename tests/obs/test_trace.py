@@ -45,6 +45,26 @@ class TestTracer:
         assert tracer.dropped == 3
         assert tracer.to_chrome()["otherData"]["dropped_events"] == 3
 
+    def test_ring_retains_newest_events(self):
+        """A full buffer is a sliding window: a long-lived server keeps
+        the most recent events, not the first hour's."""
+        tracer = Tracer(max_events=3)
+        for ts in range(10):
+            tracer.instant("emit:Scan", "engine", ts)
+        assert [event[3] for event in tracer.events] == [7, 8, 9]
+        assert tracer.dropped == 7
+        # The high-water mark and export keep working past overflow.
+        assert tracer.last_ts == 9
+        exported = tracer.to_chrome()
+        assert [e["ts"] for e in exported["traceEvents"]] == [7, 8, 9]
+
+    def test_retention_is_configurable_and_positive(self):
+        import pytest
+
+        assert Tracer(max_events=5).max_events == 5
+        with pytest.raises(ValueError):
+            Tracer(max_events=0)
+
     def test_default_cap_is_large(self):
         assert Tracer().max_events == MAX_EVENTS == 1_000_000
 

@@ -313,3 +313,56 @@ class TestSqlCommand:
         ]) == 0
         out = capsys.readouterr().out
         assert "total estimated cost" in out
+
+
+class TestAdminCommands:
+    """``repro stats`` / ``repro top`` against a live server."""
+
+    @pytest.fixture()
+    def server(self):
+        from repro.data.tpch import cached_tpch
+        from repro.net.server import ReproServer
+        from repro.service import QueryService, ServiceConfig
+
+        catalog = cached_tpch(scale_factor=0.002)
+        service = QueryService(catalog, ServiceConfig())
+        with ReproServer(service).start() as server:
+            from repro.client import connect
+            with connect(port=server.port, tenant="cli") as client:
+                client.query("Q1A")
+            yield server
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["stats"])
+        assert args.port == 7734 and not args.prom
+        args = build_parser().parse_args(["top", "--iterations", "3"])
+        assert args.interval == 2.0 and args.iterations == 3
+
+    def test_stats_json(self, server, capsys):
+        assert main(["stats", "--port", str(server.port)]) == 0
+        out = capsys.readouterr().out
+        import json
+        stats = json.loads(out)
+        assert stats["server"]["served_queries"] == 1
+        assert "queries.completed" in stats["registry"]
+
+    def test_stats_prom(self, server, capsys):
+        assert main(["stats", "--port", str(server.port), "--prom"]) == 0
+        out = capsys.readouterr().out
+        from repro.obs.export import validate_prometheus
+        assert validate_prometheus(out) == []
+
+    def test_top_bounded_iterations(self, server, capsys):
+        assert main([
+            "top", "--port", str(server.port),
+            "--iterations", "2", "--interval", "0.05", "--plain",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert out.count("repro top —") == 2
+        assert "queries: 1 served" in out
+
+    def test_unreachable_server_is_a_clean_error(self, capsys):
+        assert main(["stats", "--port", "1"]) == 2
+        assert main(["top", "--port", "1", "--iterations", "1"]) == 2
+        err = capsys.readouterr().err
+        assert "cannot reach" in err
